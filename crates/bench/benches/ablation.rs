@@ -1,0 +1,45 @@
+//! Ablation benches: the design-knob sweeps of DESIGN.md §6
+//! (task-size/BTU ratio, dynamic budget multiplier, balance tolerance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cws_bench::{bench_config, show};
+use cws_experiments::ablation::{
+    budget_ablation, budget_report, scale_report, task_scale_ablation, tolerance_ablation,
+    tolerance_report,
+};
+use cws_workloads::montage_24;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let wf = montage_24();
+
+    let scale = task_scale_ablation(
+        &cfg,
+        &wf,
+        &["AllParExceed-s", "StartParExceed-s", "AllParExceed-m"],
+        &[0.25, 1.0, 4.0, 16.0],
+    );
+    show(&scale_report(&scale));
+    let budget = budget_ablation(&cfg, &wf, &[1.0, 2.0, 4.0, 8.0]);
+    show(&budget_report(&budget));
+    let tol = tolerance_ablation(&cfg, &[0.0, 5.0, 10.0, 20.0]);
+    show(&tolerance_report(&tol));
+
+    c.bench_function("ablation/task_scale_sweep", |b| {
+        b.iter(|| {
+            task_scale_ablation(
+                black_box(&cfg),
+                black_box(&wf),
+                &["AllParExceed-s", "StartParExceed-s"],
+                &[0.5, 1.0, 4.0],
+            )
+        })
+    });
+    c.bench_function("ablation/budget_sweep", |b| {
+        b.iter(|| budget_ablation(black_box(&cfg), black_box(&wf), &[1.0, 2.0, 4.0]))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Algorithm performance: scheduling throughput of each strategy as the
+//! workflow grows. Not a paper figure — an engineering bench showing
+//! the library copes with workflows far beyond the paper's 24 tasks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cws_core::Strategy;
+use cws_platform::Platform;
+use cws_workloads::mapreduce::{mapreduce, MapReduceShape};
+use cws_workloads::Scenario;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let platform = Platform::ec2_paper();
+
+    let mut group = c.benchmark_group("algorithms/scaling");
+    for mappers in [8usize, 32, 128] {
+        let wf = Scenario::Pareto { seed: 42 }.apply(&mapreduce(MapReduceShape {
+            mappers,
+            reducers: mappers / 4,
+        }));
+        group.throughput(Throughput::Elements(wf.len() as u64));
+        for label in ["OneVMperTask-s", "StartParExceed-s", "AllParExceed-s"] {
+            let strategy = Strategy::parse(label).expect("known label");
+            group.bench_with_input(
+                BenchmarkId::new(label, wf.len()),
+                &wf,
+                |b, wf| b.iter(|| strategy.schedule(black_box(wf), black_box(&platform))),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("AllPar1LnSDyn", wf.len()), &wf, |b, wf| {
+            b.iter(|| Strategy::AllPar1LnSDyn.schedule(black_box(wf), black_box(&platform)))
+        });
+        group.bench_with_input(BenchmarkId::new("CPA-Eager", wf.len()), &wf, |b, wf| {
+            b.iter(|| {
+                Strategy::CpaEager(Default::default())
+                    .schedule(black_box(wf), black_box(&platform))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benches for the post-paper extension experiments: energy accounting,
+//! the data-intensive variant, and the future-work boundary sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cws_bench::{bench_config, show};
+use cws_experiments::boundaries::{
+    boundaries_report, heterogeneity_sweep, structure_sweep,
+};
+use cws_experiments::data_intensive::{data_intensive_panel, data_report};
+use cws_experiments::energy::{energy_accounting, energy_report};
+use cws_platform::EnergyModel;
+use cws_workloads::montage_24;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let wf = montage_24();
+
+    let rows = energy_accounting(&cfg, &wf, EnergyModel::default());
+    show(&energy_report("montage-24", &rows));
+    let panel = data_intensive_panel(&cfg, &wf);
+    show(&data_report(&panel));
+    let structure = structure_sweep(&cfg, 6, &[1, 4, 16]);
+    show(&boundaries_report("Boundaries — structure", &structure));
+    let het = heterogeneity_sweep(&cfg, &[1.2, 2.0, 5.0]);
+    show(&boundaries_report("Boundaries — heterogeneity", &het));
+
+    c.bench_function("extensions/energy_accounting", |b| {
+        b.iter(|| energy_accounting(black_box(&cfg), black_box(&wf), EnergyModel::default()))
+    });
+    c.bench_function("extensions/data_intensive_panel", |b| {
+        b.iter(|| data_intensive_panel(black_box(&cfg), black_box(&wf)))
+    });
+    c.bench_function("extensions/heterogeneity_sweep", |b| {
+        b.iter(|| heterogeneity_sweep(black_box(&cfg), &[1.2, 2.0, 5.0]))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Failure-domain and spot-market benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cws_bench::{bench_config, show};
+use cws_experiments::failures::{
+    failure_domains, failure_report, spot_economics, spot_report,
+};
+use cws_platform::SpotMarket;
+use cws_workloads::montage_24;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let wf = montage_24();
+
+    let rows = failure_domains(&cfg, &wf, 0.5);
+    show(&failure_report("montage-24", 0.5, &rows));
+    let market = SpotMarket::default();
+    let spot = spot_economics(&cfg, &wf, market, 20);
+    show(&spot_report("montage-24", market, &spot));
+
+    c.bench_function("failures/19_strategies_mid_crash", |b| {
+        b.iter(|| failure_domains(black_box(&cfg), black_box(&wf), 0.5))
+    });
+    c.bench_function("failures/spot_economics_20_trials", |b| {
+        b.iter(|| spot_economics(black_box(&cfg), black_box(&wf), market, 20))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 3 bench: regenerate the Pareto runtime CDF.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cws_bench::show;
+use cws_experiments::fig3::fig3;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated series once (the figure's data).
+    let data = fig3(42, 10_000);
+    show(&data.to_table());
+    println!(
+        "max |empirical - analytic| deviation: {:.4}",
+        data.max_deviation()
+    );
+
+    c.bench_function("fig3/pareto_cdf_10k_samples", |b| {
+        b.iter(|| fig3(black_box(42), black_box(10_000)))
+    });
+    c.bench_function("fig3/pareto_cdf_100k_samples", |b| {
+        b.iter(|| fig3(black_box(42), black_box(100_000)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

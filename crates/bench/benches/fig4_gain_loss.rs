@@ -1,0 +1,34 @@
+//! Fig. 4 bench: regenerate the gain-vs-loss scatter for all four
+//! workflows (19 strategies each).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cws_bench::{bench_config, show};
+use cws_experiments::fig4::{fig4, fig4_panel};
+use cws_workloads::{montage_24, Scenario};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+
+    // Print all four regenerated panels once.
+    for panel in fig4(&cfg) {
+        show(&panel.to_table());
+    }
+
+    c.bench_function("fig4/all_four_panels", |b| {
+        b.iter(|| fig4(black_box(&cfg)))
+    });
+    let montage = montage_24();
+    c.bench_function("fig4/montage_panel", |b| {
+        b.iter(|| {
+            fig4_panel(
+                black_box(&cfg),
+                black_box(&montage),
+                Scenario::Pareto { seed: 42 },
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

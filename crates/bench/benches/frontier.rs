@@ -1,0 +1,23 @@
+//! Pareto-frontier bench: the cost–makespan frontier over the extended
+//! candidate set for every paper workflow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cws_bench::{bench_config, show};
+use cws_experiments::frontier::{frontier, frontier_panel};
+use cws_workloads::montage_24;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    for panel in frontier(&cfg) {
+        show(&panel.to_table());
+    }
+
+    let wf = montage_24();
+    c.bench_function("frontier/montage_29_candidates", |b| {
+        b.iter(|| frontier_panel(black_box(&cfg), black_box(&wf)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

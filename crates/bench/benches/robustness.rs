@@ -1,0 +1,37 @@
+//! Robustness and sensitivity benches: jittered replays and seed
+//! re-draws of the strategy comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cws_bench::{bench_config, show};
+use cws_experiments::robustness::{robustness_report, strategy_robustness};
+use cws_experiments::sensitivity::{seed_sensitivity, sensitivity_report};
+use cws_sim::JitterModel;
+use cws_workloads::montage_24;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let wf = montage_24();
+
+    let rows = strategy_robustness(&cfg, &wf, JitterModel::new(0.2, 42), 10);
+    show(&robustness_report("montage-24", 0.2, &rows));
+    let sens = seed_sensitivity(&cfg, &wf, &[1, 2, 3, 4, 5]);
+    show(&sensitivity_report("montage-24", &sens));
+
+    c.bench_function("robustness/19_strategies_x10_trials", |b| {
+        b.iter(|| {
+            strategy_robustness(
+                black_box(&cfg),
+                black_box(&wf),
+                JitterModel::new(0.2, 42),
+                10,
+            )
+        })
+    });
+    c.bench_function("sensitivity/5_seeds", |b| {
+        b.iter(|| seed_sensitivity(black_box(&cfg), black_box(&wf), &[1, 2, 3, 4, 5]))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

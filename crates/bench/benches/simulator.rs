@@ -1,0 +1,37 @@
+//! Discrete-event simulator throughput: events per second while
+//! replaying schedules of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cws_core::Strategy;
+use cws_platform::Platform;
+use cws_sim::simulate;
+use cws_workloads::mapreduce::{mapreduce, MapReduceShape};
+use cws_workloads::Scenario;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let platform = Platform::ec2_paper();
+
+    let mut group = c.benchmark_group("simulator/replay");
+    for mappers in [8usize, 64, 256] {
+        let wf = Scenario::Pareto { seed: 42 }.apply(&mapreduce(MapReduceShape {
+            mappers,
+            reducers: mappers / 4,
+        }));
+        let schedule = Strategy::BASELINE.schedule(&wf, &platform);
+        // events = VM boots + task finishes + edge arrivals
+        let events = (schedule.vm_count() + wf.len() + wf.edge_count()) as u64;
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(events),
+            &(&wf, &schedule),
+            |b, (wf, schedule)| {
+                b.iter(|| simulate(black_box(wf), black_box(&platform), black_box(schedule)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Table III bench: the gain/savings classification over the full
+//! 3-scenario × 4-workflow grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cws_bench::{bench_config, show};
+use cws_experiments::table3::{table3, table3_report};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let cells = table3(&cfg);
+    show(&table3_report(&cells));
+
+    c.bench_function("table3/classification_grid", |b| {
+        b.iter(|| table3(black_box(&cfg)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

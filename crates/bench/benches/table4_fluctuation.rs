@@ -1,0 +1,20 @@
+//! Table IV bench: savings fluctuation vs stable gain for
+//! `AllPar[Not]Exceed`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cws_bench::{bench_config, show};
+use cws_experiments::table4::{table4, table4_report};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let rows = table4(&cfg);
+    show(&table4_report(&rows));
+
+    c.bench_function("table4/fluctuation_rows", |b| {
+        b.iter(|| table4(black_box(&cfg)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Table V bench: the conclusion-summary winners plus the adaptive
+//! selector's recommendations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cws_bench::{bench_config, show};
+use cws_experiments::table5::{table5, table5_report};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let rows = table5(&cfg);
+    show(&table5_report(&rows));
+
+    c.bench_function("table5/summary_rows", |b| {
+        b.iter(|| table5(black_box(&cfg)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench support: shared helpers for the Criterion harnesses in
+//! `benches/`.
+//!
+//! Every figure/table of the paper has a dedicated bench target that
+//! (1) prints the regenerated rows once, so `cargo bench` leaves the
+//! reproduction artifacts in its log, and (2) measures the time to
+//! regenerate them.
+
+#![warn(missing_docs)]
+
+use cws_experiments::ExperimentConfig;
+
+/// The configuration used by every bench: paper platform, seed 42, CPU
+/// intensive payloads. Simulation cross-checking is disabled inside the
+/// timed loops (it is covered by the test suite) so the bench measures
+/// the scheduling work itself.
+#[must_use]
+pub fn bench_config() -> ExperimentConfig {
+    ExperimentConfig {
+        validate_with_sim: false,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Print a rendered table once, before timing.
+pub fn show(table: &cws_experiments::report::Table) {
+    println!("\n{}", table.to_ascii());
+}

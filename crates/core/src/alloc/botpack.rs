@@ -1,0 +1,165 @@
+//! First-Fit-Decreasing BTU packing for bags of tasks.
+//!
+//! On an edgeless workload the whole scheduling problem collapses to bin
+//! packing: fill each VM's billed BTUs as tightly as possible. This is
+//! the classic BoT provisioning answer ("List and First-Fit" in the
+//! paper's related work on MapReduce rent minimization) and serves as
+//! the cost-optimal-ish reference the workflow strategies can be
+//! compared against when dependencies vanish.
+//!
+//! `bot_ffd` packs tasks in descending duration into VMs whose *billed*
+//! BTU count never grows past what the task itself requires: a task
+//! opens a new VM unless it fits in some VM's already-paid remainder.
+//! With `btus_per_vm > 1` the packer pre-commits each VM to a fixed
+//! number of BTUs, trading fewer VMs for longer (serial) makespan.
+
+use crate::schedule::Schedule;
+use crate::state::ScheduleBuilder;
+use crate::vm::VmId;
+use cws_dag::Workflow;
+use cws_platform::{billing::BTU_EPSILON, InstanceType, Platform, BTU_SECONDS};
+
+/// Schedule an edgeless workload by First-Fit-Decreasing BTU packing on
+/// instances of `itype`. Each VM is committed to `btus_per_vm` billing
+/// units; tasks longer than the commitment still get their own VM (and
+/// as many BTUs as they need).
+///
+/// # Panics
+/// Panics if the workflow has dependencies or `btus_per_vm == 0`.
+#[must_use]
+pub fn bot_ffd(
+    wf: &Workflow,
+    platform: &Platform,
+    itype: InstanceType,
+    btus_per_vm: u32,
+) -> Schedule {
+    assert_eq!(
+        wf.edge_count(),
+        0,
+        "bot_ffd requires an edgeless (bag-of-tasks) workload"
+    );
+    assert!(btus_per_vm >= 1, "need at least one BTU per VM");
+    let capacity = f64::from(btus_per_vm) * BTU_SECONDS;
+
+    let mut order: Vec<_> = wf.ids().collect();
+    order.sort_by(|a, b| {
+        wf.task(*b)
+            .base_time
+            .partial_cmp(&wf.task(*a).base_time)
+            .expect("finite base times")
+            .then(a.0.cmp(&b.0))
+    });
+
+    let mut sb = ScheduleBuilder::new(wf, platform);
+    // Remaining capacity per VM under the fixed commitment.
+    let mut remaining: Vec<f64> = Vec::new();
+    for task in order {
+        let et = sb.exec_time(task, itype);
+        let slot = remaining
+            .iter()
+            .position(|&r| et <= r + BTU_EPSILON);
+        match slot {
+            Some(i) => {
+                sb.place_on(task, VmId(i as u32));
+                remaining[i] -= et;
+            }
+            None => {
+                sb.place_on_new(task, itype);
+                // Oversized tasks consume their own VM completely.
+                remaining.push((capacity - et).max(0.0));
+            }
+        }
+    }
+    sb.build(format!("BoT-FFD-{}x{btus_per_vm}", itype.suffix()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_dag::WorkflowBuilder;
+
+    fn bag(times: &[f64]) -> Workflow {
+        let mut b = WorkflowBuilder::new("bag");
+        for (i, &t) in times.iter().enumerate() {
+            b.task(format!("j{i}"), t);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn perfect_packing_fills_one_btu() {
+        // 4 × 900s = exactly one BTU
+        let wf = bag(&[900.0, 900.0, 900.0, 900.0]);
+        let p = Platform::ec2_paper();
+        let s = bot_ffd(&wf, &p, InstanceType::Small, 1);
+        s.validate(&wf, &p).unwrap();
+        assert_eq!(s.vm_count(), 1);
+        assert_eq!(s.total_btus(), 1);
+        assert!((s.rental_cost(&p) - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ffd_is_no_worse_than_one_vm_per_task() {
+        let wf = bag(&[2000.0, 1600.0, 1500.0, 900.0, 700.0, 500.0]);
+        let p = Platform::ec2_paper();
+        let packed = bot_ffd(&wf, &p, InstanceType::Small, 1);
+        let one = crate::alloc::heft(
+            &wf,
+            &p,
+            crate::provisioning::ProvisioningPolicy::OneVmPerTask,
+            InstanceType::Small,
+        );
+        assert!(packed.rental_cost(&p) <= one.rental_cost(&p) + 1e-9);
+    }
+
+    #[test]
+    fn oversized_tasks_get_their_own_vms() {
+        let wf = bag(&[8000.0, 100.0]);
+        let p = Platform::ec2_paper();
+        let s = bot_ffd(&wf, &p, InstanceType::Small, 1);
+        s.validate(&wf, &p).unwrap();
+        // 8000s needs 3 BTUs alone; the 100s task cannot share a 1-BTU
+        // commitment VM whose remainder is 0.
+        assert_eq!(s.vm_count(), 2);
+        assert_eq!(s.total_btus(), 3 + 1);
+    }
+
+    #[test]
+    fn bigger_commitment_packs_tighter_but_serializes() {
+        let wf = bag(&[2000.0; 8]);
+        let p = Platform::ec2_paper();
+        let tight = bot_ffd(&wf, &p, InstanceType::Small, 1);
+        let committed = bot_ffd(&wf, &p, InstanceType::Small, 4);
+        assert!(committed.vm_count() < tight.vm_count());
+        assert!(committed.makespan() > tight.makespan());
+        assert!(committed.rental_cost(&p) <= tight.rental_cost(&p) + 1e-9);
+    }
+
+    #[test]
+    fn label_encodes_type_and_commitment() {
+        let wf = bag(&[100.0]);
+        let p = Platform::ec2_paper();
+        let s = bot_ffd(&wf, &p, InstanceType::Medium, 2);
+        assert_eq!(s.strategy, "BoT-FFD-m x2".replace(' ', ""));
+    }
+
+    #[test]
+    #[should_panic(expected = "edgeless")]
+    fn dependencies_rejected() {
+        let mut b = WorkflowBuilder::new("dep");
+        let a = b.task("a", 10.0);
+        let c = b.task("c", 10.0);
+        b.edge(a, c);
+        let wf = b.build().unwrap();
+        let p = Platform::ec2_paper();
+        let _ = bot_ffd(&wf, &p, InstanceType::Small, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one BTU")]
+    fn zero_commitment_rejected() {
+        let wf = bag(&[10.0]);
+        let p = Platform::ec2_paper();
+        let _ = bot_ffd(&wf, &p, InstanceType::Small, 0);
+    }
+}

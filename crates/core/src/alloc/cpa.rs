@@ -1,0 +1,227 @@
+//! CPA-Eager: critical-path-driven speed upgrades under a budget.
+//!
+//! "CPA-Eager and Gain rely on the OneVMperTask provisioning method
+//! during the initial schedule. Based on it they will attempt to increase
+//! the speed of certain VMs according to their policies. CPA-Eager will
+//! attempt to systematically increase the speed of VMs allocated to tasks
+//! lying on the critical path." (Sect. III-B). The budget is a multiple
+//! of the cost of HEFT + OneVMperTask on small instances — four times,
+//! per Sect. IV.
+
+use crate::schedule::Schedule;
+use crate::state::ScheduleBuilder;
+use cws_dag::{critical_path, TaskId, Workflow};
+use cws_platform::{billing::btus_for_span, InstanceType, Platform};
+
+/// Per-task rental cost of a one-VM-per-task assignment: each task rents
+/// its own VM for `ceil(exec / BTU)` BTUs at its type's price.
+#[must_use]
+pub fn one_vm_per_task_cost(wf: &Workflow, platform: &Platform, types: &[InstanceType]) -> f64 {
+    assert_eq!(types.len(), wf.len(), "one type per task");
+    wf.ids()
+        .map(|t| {
+            let et = types[t.index()].execution_time(wf.task(t).base_time);
+            btus_for_span(et) as f64 * platform.price(types[t.index()])
+        })
+        .sum()
+}
+
+/// Materialize a one-VM-per-task assignment into a schedule: every task
+/// on a fresh VM of its assigned type, visited in topological order.
+#[must_use]
+pub fn schedule_one_vm_per_task(
+    wf: &Workflow,
+    platform: &Platform,
+    types: &[InstanceType],
+    label: impl Into<String>,
+) -> Schedule {
+    assert_eq!(types.len(), wf.len(), "one type per task");
+    let mut sb = ScheduleBuilder::new(wf, platform);
+    for &task in wf.topological_order() {
+        sb.place_on_new(task, types[task.index()]);
+    }
+    sb.build(label)
+}
+
+/// The baseline cost every dynamic budget is a multiple of: HEFT +
+/// OneVMperTask on small instances. (With one VM per task, HEFT's order
+/// does not change the rent, so the per-task BTU sum is exact.)
+#[must_use]
+pub fn baseline_cost(wf: &Workflow, platform: &Platform) -> f64 {
+    one_vm_per_task_cost(wf, platform, &vec![InstanceType::Small; wf.len()])
+}
+
+/// Run the CPA-Eager type-assignment loop and return the per-task
+/// instance types. Starting from all-small, the critical path is
+/// recomputed after every upgrade and the slowest critical task is
+/// promoted one type step, as long as the total one-VM-per-task rent
+/// stays within `budget`.
+#[must_use]
+pub fn cpa_eager_types(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<InstanceType> {
+    let mut types = vec![InstanceType::Small; wf.len()];
+    loop {
+        let cp = critical_path(
+            wf,
+            |t| types[t.index()].execution_time(wf.task(t).base_time),
+            |e| {
+                platform.transfer_time(
+                    e.data_mb,
+                    types[e.from.index()],
+                    types[e.to.index()],
+                )
+            },
+        );
+        // Candidate upgrades on the critical path, slowest task first.
+        let mut candidates: Vec<TaskId> = cp
+            .tasks
+            .iter()
+            .copied()
+            .filter(|t| types[t.index()].next_faster().is_some())
+            .collect();
+        candidates.sort_by(|a, b| {
+            let ea = types[a.index()].execution_time(wf.task(*a).base_time);
+            let eb = types[b.index()].execution_time(wf.task(*b).base_time);
+            eb.partial_cmp(&ea)
+                .expect("finite execution times")
+                .then(a.0.cmp(&b.0))
+        });
+        let mut upgraded = false;
+        for t in candidates {
+            let faster = types[t.index()]
+                .next_faster()
+                .expect("filtered to upgradeable");
+            let prev = types[t.index()];
+            types[t.index()] = faster;
+            if one_vm_per_task_cost(wf, platform, &types) <= budget + 1e-9 {
+                upgraded = true;
+                break;
+            }
+            types[t.index()] = prev;
+        }
+        if !upgraded {
+            return types;
+        }
+    }
+}
+
+/// Schedule `wf` with CPA-Eager under a budget of
+/// `budget_multiplier × baseline_cost` (the paper uses 4).
+#[must_use]
+pub fn cpa_eager(wf: &Workflow, platform: &Platform, budget_multiplier: f64) -> Schedule {
+    assert!(
+        budget_multiplier >= 1.0,
+        "budget multiplier must be at least 1, got {budget_multiplier}"
+    );
+    let budget = budget_multiplier * baseline_cost(wf, platform);
+    let types = cpa_eager_types(wf, platform, budget);
+    schedule_one_vm_per_task(wf, platform, &types, "CPA-Eager")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_dag::WorkflowBuilder;
+
+    fn chain3() -> Workflow {
+        let mut b = WorkflowBuilder::new("chain3");
+        let a = b.task("a", 1000.0);
+        let c = b.task("c", 2000.0);
+        let d = b.task("d", 500.0);
+        b.edge(a, c).edge(c, d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn baseline_cost_counts_btus() {
+        let wf = chain3();
+        let p = Platform::ec2_paper();
+        // all three tasks < 1 BTU on small
+        assert!((baseline_cost(&wf, &p) - 0.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generous_budget_upgrades_whole_chain() {
+        // A chain is always entirely critical.
+        let wf = chain3();
+        let p = Platform::ec2_paper();
+        let types = cpa_eager_types(&wf, &p, 100.0);
+        assert!(types.iter().all(|&t| t == InstanceType::XLarge));
+    }
+
+    #[test]
+    fn tight_budget_changes_nothing() {
+        let wf = chain3();
+        let p = Platform::ec2_paper();
+        let types = cpa_eager_types(&wf, &p, baseline_cost(&wf, &p));
+        assert!(types.iter().all(|&t| t == InstanceType::Small));
+    }
+
+    #[test]
+    fn upgrades_prefer_slowest_critical_task() {
+        let wf = chain3();
+        let p = Platform::ec2_paper();
+        // budget for exactly one upgrade step: base 0.24 -> +0.08 = 0.32
+        let types = cpa_eager_types(&wf, &p, 0.32);
+        assert_eq!(types[1], InstanceType::Medium, "the 2000s task upgrades");
+        assert_eq!(types[0], InstanceType::Small);
+        assert_eq!(types[2], InstanceType::Small);
+    }
+
+    #[test]
+    fn off_critical_tasks_stay_small() {
+        // diamond where one branch is much longer
+        let mut b = WorkflowBuilder::new("d");
+        let a = b.task("a", 100.0);
+        let long = b.task("long", 3000.0);
+        let short = b.task("short", 100.0);
+        let z = b.task("z", 100.0);
+        b.edge(a, long).edge(a, short).edge(long, z).edge(short, z);
+        let wf = b.build().unwrap();
+        let p = Platform::ec2_paper();
+        let types = cpa_eager_types(&wf, &p, 4.0 * baseline_cost(&wf, &p));
+        assert_eq!(
+            types[short.index()],
+            InstanceType::Small,
+            "short branch never critical"
+        );
+        assert_eq!(types[long.index()], InstanceType::XLarge);
+    }
+
+    #[test]
+    fn cpa_schedule_validates_and_beats_baseline_makespan() {
+        let wf = chain3();
+        let p = Platform::ec2_paper();
+        let base = schedule_one_vm_per_task(
+            &wf,
+            &p,
+            &vec![InstanceType::Small; wf.len()],
+            "base",
+        );
+        let s = cpa_eager(&wf, &p, 4.0);
+        s.validate(&wf, &p).unwrap();
+        assert!(s.makespan() < base.makespan());
+        assert_eq!(s.strategy, "CPA-Eager");
+        assert_eq!(s.vm_count(), wf.len());
+    }
+
+    #[test]
+    fn cost_stays_within_budget() {
+        let wf = chain3();
+        let p = Platform::ec2_paper();
+        for mult in [1.0, 2.0, 4.0, 8.0] {
+            let types = cpa_eager_types(&wf, &p, mult * baseline_cost(&wf, &p));
+            assert!(
+                one_vm_per_task_cost(&wf, &p, &types)
+                    <= mult * baseline_cost(&wf, &p) + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "budget multiplier")]
+    fn sub_unit_multiplier_rejected() {
+        let wf = chain3();
+        let p = Platform::ec2_paper();
+        let _ = cpa_eager(&wf, &p, 0.5);
+    }
+}

@@ -1,0 +1,176 @@
+//! Stand-alone level-ranking schedulers: `AllParNotExceed` and
+//! `AllParExceed`.
+//!
+//! "AllParNotExceed and AllParExceed are similar SAs proposed by us that
+//! split the workflow in levels based on task parallelism. Then each task
+//! in a level is scheduled arbitrarily based on the provisioning method
+//! with the same name." (Sect. III-B). Per Table I the ordering inside a
+//! level is by descending execution time.
+
+use crate::provisioning::ProvisioningPolicy;
+use crate::schedule::Schedule;
+use crate::state::ScheduleBuilder;
+use cws_dag::{TaskId, Workflow};
+use cws_platform::{InstanceType, Platform};
+
+/// Order the tasks of one level by descending execution time (ties by
+/// task id for determinism).
+#[must_use]
+pub fn level_et_descending(wf: &Workflow, level: &[TaskId]) -> Vec<TaskId> {
+    let mut order = level.to_vec();
+    order.sort_by(|a, b| {
+        wf.task(*b)
+            .base_time
+            .partial_cmp(&wf.task(*a).base_time)
+            .expect("base times are finite")
+            .then(a.0.cmp(&b.0))
+    });
+    order
+}
+
+/// Schedule `wf` level by level with the `AllPar*` provisioning policy
+/// given by `policy` (must be [`ProvisioningPolicy::AllParNotExceed`] or
+/// [`ProvisioningPolicy::AllParExceed`]), renting instances of type
+/// `itype` only.
+///
+/// Within a level every task gets its own VM (reused across levels when
+/// the policy permits); the VMs claimed inside the current level are
+/// mutually exclusive, which is what realizes the level's parallelism.
+///
+/// # Panics
+/// Panics if `policy` is not one of the two `AllPar*` variants.
+#[must_use]
+pub fn all_par(
+    wf: &Workflow,
+    platform: &Platform,
+    policy: ProvisioningPolicy,
+    itype: InstanceType,
+) -> Schedule {
+    assert!(
+        policy.is_all_par(),
+        "all_par requires an AllPar* policy, got {policy}"
+    );
+    let mut sb = ScheduleBuilder::new(wf, platform);
+    for level in wf.levels() {
+        let mut used_in_level: Vec<crate::vm::VmId> = Vec::new();
+        for task in level_et_descending(wf, level) {
+            let vm = match policy.pick_vm_in_level(&sb, task, &used_in_level) {
+                Some(vm) => {
+                    sb.place_on(task, vm);
+                    vm
+                }
+                None => sb.place_on_new(task, itype),
+            };
+            used_in_level.push(vm);
+        }
+    }
+    sb.build(format!("{}-{}", policy.name(), itype.suffix()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_dag::WorkflowBuilder;
+    use cws_platform::BTU_SECONDS;
+
+    /// entry(100) -> six parallel 500s tasks (the Fig. 1 sub-workflow).
+    fn fig1() -> Workflow {
+        let mut b = WorkflowBuilder::new("fig1");
+        let e = b.task("entry", 100.0);
+        for i in 0..6 {
+            let t = b.task(format!("p{i}"), 500.0);
+            b.edge(e, t);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn level_ordering_is_et_descending() {
+        let mut b = WorkflowBuilder::new("ord");
+        let t0 = b.task("short", 10.0);
+        let t1 = b.task("long", 100.0);
+        let t2 = b.task("mid", 50.0);
+        let wf = b.build().unwrap();
+        let order = level_et_descending(&wf, &wf.levels()[0]);
+        assert_eq!(order, vec![t1, t2, t0]);
+    }
+
+    #[test]
+    fn fig1_parallel_tasks_get_distinct_vms() {
+        let wf = fig1();
+        let p = Platform::ec2_paper();
+        let s = all_par(&wf, &p, ProvisioningPolicy::AllParExceed, InstanceType::Small);
+        s.validate(&wf, &p).unwrap();
+        // entry VM + 5 new VMs: one parallel task reuses the entry VM
+        assert_eq!(s.vm_count(), 6);
+        // all six parallel tasks run concurrently (cross-VM starts pay
+        // the sub-millisecond intra-region latency)
+        let makespan = s.makespan();
+        assert!((makespan - 600.0).abs() < 0.01, "makespan {makespan}");
+    }
+
+    #[test]
+    fn not_exceed_equals_exceed_when_fitting() {
+        let wf = fig1(); // everything fits first BTUs
+        let p = Platform::ec2_paper();
+        let a = all_par(&wf, &p, ProvisioningPolicy::AllParNotExceed, InstanceType::Small);
+        let b = all_par(&wf, &p, ProvisioningPolicy::AllParExceed, InstanceType::Small);
+        assert_eq!(a.makespan(), b.makespan());
+        assert_eq!(a.total_btus(), b.total_btus());
+    }
+
+    #[test]
+    fn worst_case_not_exceed_never_reuses() {
+        // every task exceeds one BTU => AllParNotExceed == OneVMperTask
+        let wf = fig1().with_uniform_time(3.0 * BTU_SECONDS);
+        let p = Platform::ec2_paper();
+        let s = all_par(&wf, &p, ProvisioningPolicy::AllParNotExceed, InstanceType::Small);
+        s.validate(&wf, &p).unwrap();
+        assert_eq!(s.vm_count(), wf.len());
+    }
+
+    #[test]
+    fn worst_case_exceed_still_reuses() {
+        let wf = fig1().with_uniform_time(3.0 * BTU_SECONDS);
+        let p = Platform::ec2_paper();
+        let s = all_par(&wf, &p, ProvisioningPolicy::AllParExceed, InstanceType::Small);
+        s.validate(&wf, &p).unwrap();
+        assert_eq!(s.vm_count(), 6, "entry VM reused by one parallel task");
+    }
+
+    #[test]
+    fn sequential_chain_packs_one_vm() {
+        let mut b = WorkflowBuilder::new("chain");
+        let ids: Vec<_> = (0..5).map(|i| b.task(format!("t{i}"), 100.0)).collect();
+        for w in ids.windows(2) {
+            b.edge(w[0], w[1]);
+        }
+        let wf = b.build().unwrap();
+        let p = Platform::ec2_paper();
+        let s = all_par(&wf, &p, ProvisioningPolicy::AllParExceed, InstanceType::Small);
+        s.validate(&wf, &p).unwrap();
+        assert_eq!(s.vm_count(), 1, "chain levels have width 1: keep packing");
+    }
+
+    #[test]
+    fn validates_across_types() {
+        let wf = fig1();
+        let p = Platform::ec2_paper();
+        for itype in InstanceType::ALL {
+            for policy in [
+                ProvisioningPolicy::AllParNotExceed,
+                ProvisioningPolicy::AllParExceed,
+            ] {
+                all_par(&wf, &p, policy, itype).validate(&wf, &p).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an AllPar* policy")]
+    fn rejects_non_all_par_policy() {
+        let wf = fig1();
+        let p = Platform::ec2_paper();
+        let _ = all_par(&wf, &p, ProvisioningPolicy::OneVmPerTask, InstanceType::Small);
+    }
+}

@@ -1,0 +1,134 @@
+//! PCH: Path Clustering Heuristic (Bittencourt & Madeira), the scheduler
+//! underlying HCOC from the paper's related work (Sect. II).
+//!
+//! PCH groups tasks lying on the same path into *clusters* to suppress
+//! communication between them, then maps each cluster to one machine.
+//! Here clusters come from [`cws_dag::path_clusters`] (b-level-guided
+//! path extraction) and each cluster is pinned to one VM of a chosen
+//! instance type; tasks are placed in HEFT priority order so precedence
+//! constraints are honoured across clusters.
+//!
+//! PCH is included as a comparison baseline beyond the paper's 19
+//! strategies: a clustering answer to the same cost/makespan trade-off
+//! the AllPar/StartPar provisioning policies navigate.
+
+use super::heft::heft_order;
+use crate::schedule::Schedule;
+use crate::state::ScheduleBuilder;
+use crate::vm::VmId;
+use cws_dag::{path_clusters, Workflow};
+use cws_platform::{InstanceType, Platform};
+
+/// Schedule `wf` with the Path Clustering Heuristic on instances of type
+/// `itype`: one VM per path cluster.
+#[must_use]
+pub fn pch(wf: &Workflow, platform: &Platform, itype: InstanceType) -> Schedule {
+    let clusters = path_clusters(
+        wf,
+        |t| itype.execution_time(wf.task(t).base_time),
+        |e| platform.transfer_time(e.data_mb, itype, itype),
+    );
+    // cluster id per task
+    let mut cluster_of = vec![usize::MAX; wf.len()];
+    for (ci, cluster) in clusters.iter().enumerate() {
+        for &t in cluster {
+            cluster_of[t.index()] = ci;
+        }
+    }
+
+    let mut sb = ScheduleBuilder::new(wf, platform);
+    let mut vm_of_cluster: Vec<Option<VmId>> = vec![None; clusters.len()];
+    for task in heft_order(wf, platform, itype) {
+        let ci = cluster_of[task.index()];
+        match vm_of_cluster[ci] {
+            Some(vm) => sb.place_on(task, vm),
+            None => {
+                let vm = sb.place_on_new(task, itype);
+                vm_of_cluster[ci] = Some(vm);
+            }
+        }
+    }
+    sb.build(format!("PCH-{}", itype.suffix()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_dag::{TaskId, WorkflowBuilder};
+
+    fn diamond_with_data() -> Workflow {
+        let mut b = WorkflowBuilder::new("d");
+        let a = b.task("a", 100.0);
+        let x = b.task("x", 400.0);
+        let y = b.task("y", 300.0);
+        let z = b.task("z", 100.0);
+        b.data_edge(a, x, 1000.0)
+            .data_edge(a, y, 1000.0)
+            .data_edge(x, z, 1000.0)
+            .data_edge(y, z, 1000.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pch_schedule_is_valid_on_every_type() {
+        // (replay agreement is covered by the workspace integration
+        // tests; a dev-dependency on cws-sim would create a second
+        // cws-core instantiation)
+        let wf = diamond_with_data();
+        let p = Platform::ec2_paper();
+        for itype in InstanceType::ALL {
+            let s = pch(&wf, &p, itype);
+            s.validate(&wf, &p).unwrap();
+        }
+    }
+
+    #[test]
+    fn critical_path_shares_one_vm() {
+        let wf = diamond_with_data();
+        let p = Platform::ec2_paper();
+        let s = pch(&wf, &p, InstanceType::Small);
+        // the a -> x -> z path is critical and must be co-located
+        let vm_a = s.placement(TaskId(0)).vm;
+        let vm_x = s.placement(TaskId(1)).vm;
+        let vm_z = s.placement(TaskId(3)).vm;
+        assert_eq!(vm_a, vm_x);
+        assert_eq!(vm_x, vm_z);
+        // the off-path task sits elsewhere
+        assert_ne!(s.placement(TaskId(2)).vm, vm_a);
+        assert_eq!(s.vm_count(), 2);
+    }
+
+    #[test]
+    fn pch_beats_one_vm_per_task_on_communication_heavy_dags() {
+        // Co-locating the critical path removes its transfer times.
+        let wf = diamond_with_data();
+        let p = Platform::ec2_paper();
+        let pch_s = pch(&wf, &p, InstanceType::Small);
+        let one = crate::alloc::heft(
+            &wf,
+            &p,
+            crate::provisioning::ProvisioningPolicy::OneVmPerTask,
+            InstanceType::Small,
+        );
+        assert!(
+            pch_s.makespan() < one.makespan(),
+            "PCH {} vs OneVMperTask {}",
+            pch_s.makespan(),
+            one.makespan()
+        );
+    }
+
+    #[test]
+    fn chain_collapses_to_one_vm() {
+        let mut b = WorkflowBuilder::new("chain");
+        let ids: Vec<_> = (0..6).map(|i| b.task(format!("t{i}"), 50.0)).collect();
+        for w in ids.windows(2) {
+            b.data_edge(w[0], w[1], 100.0);
+        }
+        let wf = b.build().unwrap();
+        let p = Platform::ec2_paper();
+        let s = pch(&wf, &p, InstanceType::Medium);
+        assert_eq!(s.vm_count(), 1);
+        assert_eq!(s.strategy, "PCH-m");
+    }
+}

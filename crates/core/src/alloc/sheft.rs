@@ -1,0 +1,165 @@
+//! SHEFT-style deadline-driven scheduling (Lin & Lu, the paper's
+//! related work): "an extension of HEFT which uses cloud resources
+//! whenever needed to decrease the makespan below a deadline".
+//!
+//! The elastic version here starts from the cheapest configuration
+//! (HEFT + OneVMperTask on small instances) and buys speed — critical
+//! path first, exactly like CPA-Eager but *deadline*-bounded instead of
+//! budget-bounded — until the makespan drops to the deadline or every
+//! critical task runs on the fastest type.
+
+use super::cpa::schedule_one_vm_per_task;
+use crate::schedule::Schedule;
+use cws_dag::{critical_path, Workflow};
+use cws_platform::{InstanceType, Platform};
+
+/// Outcome of a deadline-driven scheduling attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlineOutcome {
+    /// The produced schedule (the fastest affordable configuration even
+    /// when the deadline is unreachable).
+    pub schedule: Schedule,
+    /// Whether the schedule's makespan meets the deadline.
+    pub met: bool,
+}
+
+/// Schedule `wf` so its makespan is at most `deadline` seconds if
+/// possible, spending as little as possible: instance types are upgraded
+/// along the (re-computed) critical path until the deadline holds.
+///
+/// # Panics
+/// Panics if `deadline` is not positive and finite.
+#[must_use]
+pub fn sheft_deadline(wf: &Workflow, platform: &Platform, deadline: f64) -> DeadlineOutcome {
+    assert!(
+        deadline.is_finite() && deadline > 0.0,
+        "deadline must be positive and finite, got {deadline}"
+    );
+    let mut types = vec![InstanceType::Small; wf.len()];
+    loop {
+        let schedule = schedule_one_vm_per_task(wf, platform, &types, "SHEFT");
+        if schedule.makespan() <= deadline {
+            return DeadlineOutcome {
+                schedule,
+                met: true,
+            };
+        }
+        // Upgrade the slowest upgradeable task on the critical path.
+        let cp = critical_path(
+            wf,
+            |t| types[t.index()].execution_time(wf.task(t).base_time),
+            |e| {
+                platform.transfer_time(
+                    e.data_mb,
+                    types[e.from.index()],
+                    types[e.to.index()],
+                )
+            },
+        );
+        let candidate = cp
+            .tasks
+            .iter()
+            .copied()
+            .filter(|t| types[t.index()].next_faster().is_some())
+            .max_by(|a, b| {
+                let ea = types[a.index()].execution_time(wf.task(*a).base_time);
+                let eb = types[b.index()].execution_time(wf.task(*b).base_time);
+                ea.partial_cmp(&eb).expect("finite").then(b.0.cmp(&a.0))
+            });
+        match candidate {
+            Some(t) => {
+                types[t.index()] = types[t.index()].next_faster().expect("filtered");
+            }
+            None => {
+                // Critical path fully upgraded: the deadline is not
+                // reachable under the one-VM-per-task model.
+                return DeadlineOutcome {
+                    schedule,
+                    met: false,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_dag::WorkflowBuilder;
+
+    fn chain3() -> Workflow {
+        let mut b = WorkflowBuilder::new("chain3");
+        let a = b.task("a", 1000.0);
+        let c = b.task("c", 2000.0);
+        let d = b.task("d", 1000.0);
+        b.edge(a, c).edge(c, d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn loose_deadline_stays_cheap() {
+        let wf = chain3();
+        let p = Platform::ec2_paper();
+        let out = sheft_deadline(&wf, &p, 10_000.0);
+        assert!(out.met);
+        // serial work plus two sub-millisecond transfer latencies
+        assert!((out.schedule.makespan() - 4000.0).abs() < 0.01);
+        // no upgrades: 3 small VMs, 1 BTU each
+        assert!((out.schedule.rental_cost(&p) - 0.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tight_deadline_buys_speed() {
+        let wf = chain3();
+        let p = Platform::ec2_paper();
+        let loose = sheft_deadline(&wf, &p, 4000.0);
+        let tight = sheft_deadline(&wf, &p, 2500.0);
+        assert!(tight.met);
+        assert!(tight.schedule.makespan() <= 2500.0);
+        assert!(tight.schedule.rental_cost(&p) > loose.schedule.rental_cost(&p));
+    }
+
+    #[test]
+    fn impossible_deadline_reports_failure_with_fastest_schedule() {
+        let wf = chain3();
+        let p = Platform::ec2_paper();
+        // 4000s of chained work cannot beat 4000/2.7 ≈ 1481s
+        let out = sheft_deadline(&wf, &p, 1000.0);
+        assert!(!out.met);
+        assert!((out.schedule.makespan() - 4000.0 / 2.7).abs() < 1.0);
+    }
+
+    #[test]
+    fn deadline_schedules_validate() {
+        let wf = chain3();
+        let p = Platform::ec2_paper();
+        for deadline in [1200.0, 2000.0, 3000.0, 5000.0] {
+            let out = sheft_deadline(&wf, &p, deadline);
+            out.schedule.validate(&wf, &p).unwrap();
+        }
+    }
+
+    #[test]
+    fn cost_is_monotone_in_deadline_tightness() {
+        let wf = chain3();
+        let p = Platform::ec2_paper();
+        let mut prev_cost = f64::INFINITY;
+        for deadline in [1500.0, 2000.0, 2800.0, 4000.0] {
+            let out = sheft_deadline(&wf, &p, deadline);
+            let cost = out.schedule.rental_cost(&p);
+            assert!(
+                cost <= prev_cost + 1e-9,
+                "looser deadline {deadline} must not cost more"
+            );
+            prev_cost = cost;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn invalid_deadline_rejected() {
+        let wf = chain3();
+        let p = Platform::ec2_paper();
+        let _ = sheft_deadline(&wf, &p, -5.0);
+    }
+}

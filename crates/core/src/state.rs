@@ -1,0 +1,440 @@
+//! The incremental schedule-construction engine shared by every
+//! allocation strategy.
+//!
+//! A [`ScheduleBuilder`] places tasks one at a time, maintaining the VM
+//! pool, per-VM availability, BTU meters and data-transfer readiness. The
+//! allocation strategies differ only in *which order* they visit tasks and
+//! *which VM* they pick; all timing arithmetic funnels through here, so
+//! analytic schedules, the validator and the discrete-event simulator
+//! cannot drift apart.
+
+use crate::schedule::{Schedule, TaskPlacement};
+use crate::vm::{Vm, VmId};
+use cws_dag::{TaskId, Workflow};
+use cws_platform::{InstanceType, Platform, Region};
+
+/// Incremental schedule builder.
+#[derive(Debug, Clone)]
+pub struct ScheduleBuilder<'a> {
+    wf: &'a Workflow,
+    platform: &'a Platform,
+    vms: Vec<Vm>,
+    placements: Vec<Option<TaskPlacement>>,
+}
+
+impl<'a> ScheduleBuilder<'a> {
+    /// Start an empty schedule for `wf` on `platform`.
+    #[must_use]
+    pub fn new(wf: &'a Workflow, platform: &'a Platform) -> Self {
+        ScheduleBuilder {
+            wf,
+            platform,
+            vms: Vec::new(),
+            placements: vec![None; wf.len()],
+        }
+    }
+
+    /// The workflow being scheduled.
+    #[must_use]
+    pub fn workflow(&self) -> &'a Workflow {
+        self.wf
+    }
+
+    /// The platform being scheduled onto.
+    #[must_use]
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
+    /// The VMs rented so far.
+    #[must_use]
+    pub fn vms(&self) -> &[Vm] {
+        &self.vms
+    }
+
+    /// One VM.
+    #[must_use]
+    pub fn vm(&self, id: VmId) -> &Vm {
+        &self.vms[id.index()]
+    }
+
+    /// Placement of a task if it has been scheduled.
+    #[must_use]
+    pub fn placement(&self, task: TaskId) -> Option<TaskPlacement> {
+        self.placements[task.index()]
+    }
+
+    /// Execution time of `task` on an instance of type `itype`.
+    #[must_use]
+    pub fn exec_time(&self, task: TaskId, itype: InstanceType) -> f64 {
+        itype.execution_time(self.wf.task(task).base_time)
+    }
+
+    /// Earliest time the inputs of `task` are available on a VM of type
+    /// `itype` in `region`, accounting for cross-VM transfers.
+    /// `on_vm` identifies the candidate host so intra-VM edges cost zero.
+    ///
+    /// # Panics
+    /// Panics if a predecessor of `task` has not been placed yet —
+    /// strategies must place tasks in a topological order.
+    #[must_use]
+    pub fn ready_time(&self, task: TaskId, on_vm: Option<VmId>, itype: InstanceType, region: Region) -> f64 {
+        let mut ready: f64 = 0.0;
+        for e in self.wf.predecessors(task) {
+            let p = self.placements[e.from.index()]
+                .unwrap_or_else(|| panic!("predecessor {} of {task} not placed", e.from));
+            let from_vm = &self.vms[p.vm.index()];
+            let transfer = if Some(p.vm) == on_vm {
+                0.0
+            } else {
+                self.platform.transfer_time_between(
+                    e.data_mb,
+                    (from_vm.region, from_vm.itype),
+                    (region, itype),
+                )
+            };
+            ready = ready.max(p.finish + transfer);
+        }
+        ready
+    }
+
+    /// The start time `task` would get on existing VM `vm`.
+    #[must_use]
+    pub fn start_time_on(&self, task: TaskId, vm: VmId) -> f64 {
+        let v = &self.vms[vm.index()];
+        self.ready_time(task, Some(vm), v.itype, v.region)
+            .max(v.available_at())
+    }
+
+    /// The finish time `task` would get on existing VM `vm`.
+    #[must_use]
+    pub fn finish_time_on(&self, task: TaskId, vm: VmId) -> f64 {
+        let v = &self.vms[vm.index()];
+        self.start_time_on(task, vm) + self.exec_time(task, v.itype)
+    }
+
+    /// Whether placing `task` on `vm` keeps the VM inside its
+    /// already-paid BTUs (the "NotExceed" reuse test).
+    #[must_use]
+    pub fn fits_on(&self, task: TaskId, vm: VmId) -> bool {
+        let v = &self.vms[vm.index()];
+        v.fits_without_new_btu(self.exec_time(task, v.itype))
+    }
+
+    /// Rent a fresh VM in the platform's default region and place `task`
+    /// on it. The rental opens when the task starts (pre-booted for free,
+    /// as in the paper's static setting, plus any configured boot time).
+    pub fn place_on_new(&mut self, task: TaskId, itype: InstanceType) -> VmId {
+        self.place_on_new_in(task, itype, self.platform.default_region)
+    }
+
+    /// Rent a fresh VM in an explicit region and place `task` on it.
+    pub fn place_on_new_in(&mut self, task: TaskId, itype: InstanceType, region: Region) -> VmId {
+        let id = VmId(self.vms.len() as u32);
+        let ready = self.ready_time(task, None, itype, region);
+        let start = ready.max(self.platform.boot_time_s);
+        let mut vm = Vm::new(id, itype, region, start);
+        let finish = start + self.exec_time(task, itype);
+        vm.push_task(task, start, finish);
+        self.vms.push(vm);
+        self.set_placement(task, id, start, finish);
+        id
+    }
+
+    /// Place `task` on an existing VM, appending after its last task.
+    pub fn place_on(&mut self, task: TaskId, vm: VmId) {
+        let start = self.start_time_on(task, vm);
+        let itype = self.vms[vm.index()].itype;
+        let finish = start + self.exec_time(task, itype);
+        self.vms[vm.index()].push_task(task, start, finish);
+        self.set_placement(task, vm, start, finish);
+    }
+
+    /// The earliest start `task` could get on `vm` using *insertion*:
+    /// the task may fill an idle gap between already-placed tasks, not
+    /// just the tail. This is classic HEFT's insertion policy.
+    #[must_use]
+    pub fn insertion_start_on(&self, task: TaskId, vm: VmId) -> f64 {
+        const EPS: f64 = 1e-9;
+        let v = &self.vms[vm.index()];
+        let ready = self.ready_time(task, Some(vm), v.itype, v.region);
+        let duration = self.exec_time(task, v.itype);
+        // Candidate gaps: before the first task, between consecutive
+        // tasks, after the last (v.tasks is chronological).
+        let mut cursor = self.platform.boot_time_s;
+        for &(_, s, e) in &v.tasks {
+            let start = cursor.max(ready);
+            if start + duration <= s + EPS {
+                return start;
+            }
+            cursor = cursor.max(e);
+        }
+        cursor.max(ready)
+    }
+
+    /// Place `task` on `vm` with the insertion policy: it lands in the
+    /// earliest idle gap that fits (or at the tail).
+    pub fn place_on_inserted(&mut self, task: TaskId, vm: VmId) {
+        let start = self.insertion_start_on(task, vm);
+        let itype = self.vms[vm.index()].itype;
+        let finish = start + self.exec_time(task, itype);
+        self.vms[vm.index()].insert_task(task, start, finish);
+        self.set_placement(task, vm, start, finish);
+    }
+
+    fn set_placement(&mut self, task: TaskId, vm: VmId, start: f64, finish: f64) {
+        assert!(
+            self.placements[task.index()].is_none(),
+            "task {task} placed twice"
+        );
+        self.placements[task.index()] = Some(TaskPlacement { vm, start, finish });
+    }
+
+    /// The existing VM with the largest accumulated execution time —
+    /// the paper's "VM with the largest execution time" used by the
+    /// StartPar policies and by sequential tasks under the AllPar
+    /// policies. Ties break towards the smaller VM id. `None` when no VM
+    /// has been rented yet.
+    #[must_use]
+    pub fn busiest_vm(&self) -> Option<VmId> {
+        self.vms
+            .iter()
+            .max_by(|a, b| {
+                a.busy_seconds()
+                    .partial_cmp(&b.busy_seconds())
+                    .expect("busy times are finite")
+                    .then(b.id.0.cmp(&a.id.0))
+            })
+            .map(|v| v.id)
+    }
+
+    /// Like [`Self::busiest_vm`] but restricted to VMs accepted by
+    /// `keep`.
+    #[must_use]
+    pub fn busiest_vm_where(&self, mut keep: impl FnMut(&Vm) -> bool) -> Option<VmId> {
+        self.vms
+            .iter()
+            .filter(|v| keep(v))
+            .max_by(|a, b| {
+                a.busy_seconds()
+                    .partial_cmp(&b.busy_seconds())
+                    .expect("busy times are finite")
+                    .then(b.id.0.cmp(&a.id.0))
+            })
+            .map(|v| v.id)
+    }
+
+    /// The VM (among those accepted by `keep`) on which `task` could
+    /// start earliest — usually the VM hosting one of its predecessors,
+    /// since that avoids both the transfer delay and any wait for a
+    /// foreign VM to free up. Ties break towards the largest accumulated
+    /// execution time (pack BTUs), then the smaller VM id.
+    ///
+    /// All of `task`'s predecessors must already be placed.
+    #[must_use]
+    pub fn earliest_start_vm_where(
+        &self,
+        task: TaskId,
+        mut keep: impl FnMut(&Vm) -> bool,
+    ) -> Option<VmId> {
+        self.vms
+            .iter()
+            .filter(|v| keep(v))
+            .map(|v| (v, self.start_time_on(task, v.id)))
+            .min_by(|(a, sa), (b, sb)| {
+                sa.partial_cmp(sb)
+                    .expect("start times are finite")
+                    .then(
+                        b.busy_seconds()
+                            .partial_cmp(&a.busy_seconds())
+                            .expect("busy times are finite"),
+                    )
+                    .then(a.id.0.cmp(&b.id.0))
+            })
+            .map(|(v, _)| v.id)
+    }
+
+    /// Number of tasks still unplaced.
+    #[must_use]
+    pub fn unplaced_count(&self) -> usize {
+        self.placements.iter().filter(|p| p.is_none()).count()
+    }
+
+    /// Freeze into a [`Schedule`].
+    ///
+    /// # Panics
+    /// Panics if any task is still unplaced.
+    #[must_use]
+    pub fn build(self, strategy: impl Into<String>) -> Schedule {
+        let placements: Vec<TaskPlacement> = self
+            .placements
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.unwrap_or_else(|| panic!("task t{i} never placed")))
+            .collect();
+        Schedule {
+            strategy: strategy.into(),
+            vms: self.vms,
+            placements,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_dag::WorkflowBuilder;
+
+    fn chain2() -> Workflow {
+        let mut b = WorkflowBuilder::new("chain2");
+        let a = b.task("a", 100.0);
+        let c = b.task("c", 200.0);
+        b.edge(a, c);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn place_chain_on_one_vm() {
+        let wf = chain2();
+        let p = Platform::ec2_paper();
+        let mut sb = ScheduleBuilder::new(&wf, &p);
+        let vm = sb.place_on_new(TaskId(0), InstanceType::Small);
+        sb.place_on(TaskId(1), vm);
+        let s = sb.build("test");
+        s.validate(&wf, &p).unwrap();
+        assert_eq!(s.makespan(), 300.0);
+        assert_eq!(s.vm_count(), 1);
+    }
+
+    #[test]
+    fn place_chain_on_two_vms_pays_transfer() {
+        let mut b = WorkflowBuilder::new("xfer");
+        let a = b.task("a", 100.0);
+        let c = b.task("c", 200.0);
+        b.data_edge(a, c, 1250.0); // 10 s on 1 Gb/s
+        let wf = b.build().unwrap();
+        let p = Platform::ec2_paper();
+        let mut sb = ScheduleBuilder::new(&wf, &p);
+        sb.place_on_new(TaskId(0), InstanceType::Small);
+        sb.place_on_new(TaskId(1), InstanceType::Small);
+        let s = sb.build("test");
+        s.validate(&wf, &p).unwrap();
+        let start1 = s.placement(TaskId(1)).start;
+        assert!((start1 - (100.0 + 10.0 + p.network.intra_region_latency_s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_instance_shortens_task() {
+        let wf = chain2();
+        let p = Platform::ec2_paper();
+        let mut sb = ScheduleBuilder::new(&wf, &p);
+        let vm = sb.place_on_new(TaskId(0), InstanceType::XLarge);
+        sb.place_on(TaskId(1), vm);
+        let s = sb.build("test");
+        s.validate(&wf, &p).unwrap();
+        assert!((s.makespan() - 300.0 / 2.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busiest_vm_picks_largest_execution() {
+        let mut b = WorkflowBuilder::new("par");
+        let a = b.task("a", 100.0);
+        let c = b.task("c", 500.0);
+        let _ = a;
+        let _ = c;
+        let wf = b.build().unwrap();
+        let p = Platform::ec2_paper();
+        let mut sb = ScheduleBuilder::new(&wf, &p);
+        sb.place_on_new(TaskId(0), InstanceType::Small);
+        sb.place_on_new(TaskId(1), InstanceType::Small);
+        assert_eq!(sb.busiest_vm(), Some(VmId(1)));
+        assert_eq!(
+            sb.busiest_vm_where(|v| v.id == VmId(0)),
+            Some(VmId(0))
+        );
+    }
+
+    #[test]
+    fn busiest_tie_breaks_to_smaller_id() {
+        let mut b = WorkflowBuilder::new("tie");
+        b.task("a", 100.0);
+        b.task("c", 100.0);
+        let wf = b.build().unwrap();
+        let p = Platform::ec2_paper();
+        let mut sb = ScheduleBuilder::new(&wf, &p);
+        sb.place_on_new(TaskId(0), InstanceType::Small);
+        sb.place_on_new(TaskId(1), InstanceType::Small);
+        assert_eq!(sb.busiest_vm(), Some(VmId(0)));
+    }
+
+    #[test]
+    fn fits_on_tracks_btu_consumption() {
+        let mut b = WorkflowBuilder::new("fit");
+        b.task("big", 3000.0);
+        b.task("small", 500.0);
+        b.task("tiny", 200.0);
+        let wf = b.build().unwrap();
+        let p = Platform::ec2_paper();
+        let mut sb = ScheduleBuilder::new(&wf, &p);
+        let vm = sb.place_on_new(TaskId(0), InstanceType::Small);
+        assert!(sb.fits_on(TaskId(1), vm)); // 3000 + 500 <= 3600
+        assert!(sb.fits_on(TaskId(2), vm)); // 3000 + 200 <= 3600
+        sb.place_on(TaskId(1), vm); // now 3500 used
+        assert!(!sb.fits_on(TaskId(2), vm)); // 3500 + 200 > 3600
+    }
+
+    #[test]
+    fn boot_time_delays_first_task() {
+        let wf = chain2();
+        let p = Platform::ec2_paper().with_boot_time(120.0);
+        let mut sb = ScheduleBuilder::new(&wf, &p);
+        let vm = sb.place_on_new(TaskId(0), InstanceType::Small);
+        sb.place_on(TaskId(1), vm);
+        let s = sb.build("test");
+        assert_eq!(s.placement(TaskId(0)).start, 120.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "placed twice")]
+    fn double_placement_panics() {
+        let wf = chain2();
+        let p = Platform::ec2_paper();
+        let mut sb = ScheduleBuilder::new(&wf, &p);
+        let vm = sb.place_on_new(TaskId(0), InstanceType::Small);
+        sb.place_on(TaskId(0), vm);
+    }
+
+    #[test]
+    #[should_panic(expected = "never placed")]
+    fn incomplete_build_panics() {
+        let wf = chain2();
+        let p = Platform::ec2_paper();
+        let mut sb = ScheduleBuilder::new(&wf, &p);
+        sb.place_on_new(TaskId(0), InstanceType::Small);
+        let _ = sb.build("test");
+    }
+
+    #[test]
+    #[should_panic(expected = "not placed")]
+    fn ready_time_requires_predecessors_placed() {
+        let wf = chain2();
+        let p = Platform::ec2_paper();
+        let sb = ScheduleBuilder::new(&wf, &p);
+        let _ = sb.ready_time(
+            TaskId(1),
+            None,
+            InstanceType::Small,
+            Region::UsEastVirginia,
+        );
+    }
+
+    #[test]
+    fn unplaced_count_decreases() {
+        let wf = chain2();
+        let p = Platform::ec2_paper();
+        let mut sb = ScheduleBuilder::new(&wf, &p);
+        assert_eq!(sb.unplaced_count(), 2);
+        sb.place_on_new(TaskId(0), InstanceType::Small);
+        assert_eq!(sb.unplaced_count(), 1);
+    }
+}

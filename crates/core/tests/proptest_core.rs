@@ -1,0 +1,162 @@
+//! Crate-level property tests for the scheduling core: policy invariants
+//! over random workflows, runtimes and pool parameters.
+
+use cws_core::alloc::{
+    all_par, bot_ffd, heft, heft_insertion, heft_pool, list_schedule, pch, sheft_deadline,
+    ListRule, PoolSpec,
+};
+use cws_core::{ProvisioningPolicy, Strategy};
+use cws_dag::Workflow;
+use cws_platform::{InstanceType, Platform};
+use cws_workloads::random::{layered_dag, LayeredShape};
+use cws_workloads::{bag_of_tasks, Scenario};
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+
+fn arb_wf() -> impl proptest::strategy::Strategy<Value = Workflow> {
+    (2usize..5, 1usize..4, 0.2f64..0.8, 0u64..300).prop_map(|(l, w, p, s)| {
+        let wf = layered_dag(LayeredShape {
+            levels: l,
+            min_width: 1,
+            max_width: w,
+            edge_prob: p,
+            seed: s,
+        });
+        Scenario::Pareto { seed: s }.apply(&wf)
+    })
+}
+
+fn arb_itype() -> impl proptest::strategy::Strategy<Value = InstanceType> {
+    (0usize..4).prop_map(|i| InstanceType::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn heft_policies_produce_valid_schedules(
+        wf in arb_wf(),
+        itype in arb_itype(),
+        policy in (0usize..3).prop_map(|i| [
+            ProvisioningPolicy::OneVmPerTask,
+            ProvisioningPolicy::StartParNotExceed,
+            ProvisioningPolicy::StartParExceed,
+        ][i]),
+    ) {
+        let p = Platform::ec2_paper();
+        let s = heft(&wf, &p, policy, itype);
+        prop_assert!(s.validate(&wf, &p).is_ok());
+        // OneVMperTask rents exactly one VM per task
+        if policy == ProvisioningPolicy::OneVmPerTask {
+            prop_assert_eq!(s.vm_count(), wf.len());
+        }
+    }
+
+    #[test]
+    fn not_exceed_never_rents_fewer_vms_than_exceed(
+        wf in arb_wf(),
+        itype in arb_itype(),
+    ) {
+        let p = Platform::ec2_paper();
+        let ne = all_par(&wf, &p, ProvisioningPolicy::AllParNotExceed, itype);
+        let ex = all_par(&wf, &p, ProvisioningPolicy::AllParExceed, itype);
+        prop_assert!(ne.vm_count() >= ex.vm_count(),
+            "NotExceed refuses reuses, so its VM count dominates: {} vs {}",
+            ne.vm_count(), ex.vm_count());
+    }
+
+    #[test]
+    fn faster_homogeneous_types_never_slow_a_strategy_down(
+        wf in arb_wf(),
+    ) {
+        let p = Platform::ec2_paper();
+        let slow = heft(&wf, &p, ProvisioningPolicy::OneVmPerTask, InstanceType::Small);
+        let fast = heft(&wf, &p, ProvisioningPolicy::OneVmPerTask, InstanceType::XLarge);
+        prop_assert!(fast.makespan() <= slow.makespan() + 1e-9);
+        prop_assert!(fast.total_cost(&wf, &p) >= slow.total_cost(&wf, &p) - 1e-9,
+            "xlarge per-task rental never undercuts small");
+    }
+
+    #[test]
+    fn insertion_heft_dominates_append_on_the_same_pool(
+        wf in arb_wf(),
+        machines in 1usize..5,
+    ) {
+        let p = Platform::ec2_paper();
+        let ins = heft_insertion(&wf, &p, InstanceType::Small, machines);
+        let append = heft_pool(&wf, &p, &PoolSpec {
+            rentable: vec![InstanceType::Small],
+            max_vms: Some(machines),
+        });
+        prop_assert!(ins.validate(&wf, &p).is_ok());
+        prop_assert!(ins.makespan() <= append.makespan() + 1e-6,
+            "insertion can only improve: {} vs {}", ins.makespan(), append.makespan());
+    }
+
+    #[test]
+    fn sheft_meets_any_deadline_at_or_above_its_cheapest_makespan(
+        wf in arb_wf(),
+        slack in 1.0f64..3.0,
+    ) {
+        let p = Platform::ec2_paper();
+        let cheapest = heft(&wf, &p, ProvisioningPolicy::OneVmPerTask, InstanceType::Small);
+        let out = sheft_deadline(&wf, &p, cheapest.makespan() * slack);
+        prop_assert!(out.met);
+        prop_assert!(out.schedule.rental_cost(&p) <= cheapest.rental_cost(&p) + 1e-9,
+            "a deadline met by the all-small plan needs no upgrades");
+    }
+
+    #[test]
+    fn pch_clusters_never_exceed_task_count_vms(
+        wf in arb_wf(),
+        itype in arb_itype(),
+    ) {
+        let p = Platform::ec2_paper();
+        let s = pch(&wf, &p, itype);
+        prop_assert!(s.validate(&wf, &p).is_ok());
+        prop_assert!(s.vm_count() <= wf.len());
+    }
+
+    #[test]
+    fn list_rules_fill_the_whole_bag(
+        n in 1usize..30,
+        machines in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let p = Platform::ec2_paper();
+        let wf = Scenario::Pareto { seed }.apply(&bag_of_tasks(n));
+        for rule in [ListRule::MinMin, ListRule::MaxMin] {
+            let s = list_schedule(&wf, &p, rule, InstanceType::Small, machines);
+            prop_assert!(s.validate(&wf, &p).is_ok());
+            prop_assert!(s.vm_count() <= machines.min(n));
+        }
+    }
+
+    #[test]
+    fn ffd_cost_no_worse_than_scatter_on_bags(
+        n in 1usize..40,
+        seed in 0u64..100,
+        btus in 1u32..4,
+    ) {
+        let p = Platform::ec2_paper();
+        let wf = Scenario::Pareto { seed }.apply(&bag_of_tasks(n));
+        let packed = bot_ffd(&wf, &p, InstanceType::Small, btus);
+        let scatter = Strategy::BASELINE.schedule(&wf, &p);
+        prop_assert!(packed.validate(&wf, &p).is_ok());
+        prop_assert!(packed.rental_cost(&p) <= scatter.rental_cost(&p) + 1e-9);
+    }
+
+    #[test]
+    fn utilization_is_a_fraction_and_consistent_with_idle(
+        wf in arb_wf(),
+    ) {
+        let p = Platform::ec2_paper();
+        for strategy in [Strategy::BASELINE, Strategy::AllPar1LnS] {
+            let s = strategy.schedule(&wf, &p);
+            let u = s.utilization();
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
+            let billed: f64 = s.vms.iter().map(|v| v.meter.billed_seconds()).sum();
+            prop_assert!((billed * (1.0 - u) - s.idle_seconds()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Critical path and HEFT-style rank computations.
+//!
+//! All functions are generic over the execution-time and communication
+//! cost models (closures), so the same code serves homogeneous runs
+//! (uniform speed-up), heterogeneous runs (mean execution time across the
+//! instance types in play, as classic HEFT prescribes) and the
+//! zero-communication CPU-bound setting of the paper's experiments.
+
+use crate::graph::{Edge, Workflow};
+use crate::task::TaskId;
+
+/// A critical path through a workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Tasks on the path, entry first.
+    pub tasks: Vec<TaskId>,
+    /// Total length: sum of execution times of tasks on the path plus
+    /// communication costs of the edges joining them.
+    pub length: f64,
+}
+
+impl CriticalPath {
+    /// Whether `id` lies on the path.
+    #[must_use]
+    pub fn contains(&self, id: TaskId) -> bool {
+        self.tasks.contains(&id)
+    }
+}
+
+/// Upward ranks (HEFT): `rank_u(i) = w(i) + max over successors j of
+/// (c(i,j) + rank_u(j))`, where `w` is the execution cost and `c` the
+/// communication cost. Exit tasks have `rank_u = w`.
+///
+/// Scheduling tasks by descending upward rank yields the HEFT priority
+/// order; it is also a valid topological order.
+#[must_use]
+pub fn upward_ranks(
+    wf: &Workflow,
+    exec: impl Fn(TaskId) -> f64,
+    comm: impl Fn(&Edge) -> f64,
+) -> Vec<f64> {
+    let mut rank = vec![0.0; wf.len()];
+    for &id in wf.topological_order().iter().rev() {
+        let tail = wf
+            .successors(id)
+            .iter()
+            .map(|e| comm(e) + rank[e.to.index()])
+            .fold(0.0_f64, f64::max);
+        rank[id.index()] = exec(id) + tail;
+    }
+    rank
+}
+
+/// Downward ranks (HEFT): `rank_d(i) = max over predecessors j of
+/// (rank_d(j) + w(j) + c(j,i))`. Entry tasks have `rank_d = 0`.
+#[must_use]
+pub fn downward_ranks(
+    wf: &Workflow,
+    exec: impl Fn(TaskId) -> f64,
+    comm: impl Fn(&Edge) -> f64,
+) -> Vec<f64> {
+    let mut rank = vec![0.0; wf.len()];
+    for &id in wf.topological_order() {
+        let r = wf
+            .predecessors(id)
+            .iter()
+            .map(|e| rank[e.from.index()] + exec(e.from) + comm(e))
+            .fold(0.0_f64, f64::max);
+        rank[id.index()] = r;
+    }
+    rank
+}
+
+/// The critical path of the workflow under the given cost models: the
+/// entry-to-exit path maximizing execution + communication cost. Ties are
+/// broken deterministically towards the smallest task id.
+#[must_use]
+pub fn critical_path(
+    wf: &Workflow,
+    exec: impl Fn(TaskId) -> f64,
+    comm: impl Fn(&Edge) -> f64,
+) -> CriticalPath {
+    let rank = upward_ranks(wf, &exec, &comm);
+    // Start at the entry with the largest upward rank.
+    let start = wf
+        .entries()
+        .into_iter()
+        .max_by(|&a, &b| {
+            rank[a.index()]
+                .partial_cmp(&rank[b.index()])
+                .expect("ranks are finite")
+                // prefer the smaller id on ties: max_by keeps the last max,
+                // so order reversed ids as "greater".
+                .then(b.0.cmp(&a.0))
+        })
+        .expect("validated workflows have at least one entry");
+    let length = rank[start.index()];
+
+    let mut tasks = vec![start];
+    let mut cur = start;
+    loop {
+        // Follow the successor on the path: the one whose comm + rank
+        // equals the tail of cur's rank.
+        let next = wf
+            .successors(cur)
+            .iter()
+            .max_by(|a, b| {
+                let ka = comm(a) + rank[a.to.index()];
+                let kb = comm(b) + rank[b.to.index()];
+                ka.partial_cmp(&kb)
+                    .expect("ranks are finite")
+                    .then(b.to.0.cmp(&a.to.0))
+            })
+            .map(|e| e.to);
+        match next {
+            Some(n) => {
+                tasks.push(n);
+                cur = n;
+            }
+            None => break,
+        }
+    }
+    CriticalPath { tasks, length }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WorkflowBuilder;
+
+    fn exec_base(wf: &Workflow) -> impl Fn(TaskId) -> f64 + '_ {
+        move |id| wf.task(id).base_time
+    }
+
+    fn no_comm(_: &Edge) -> f64 {
+        0.0
+    }
+
+    /// a(10) -> b(20) -> d(40); a -> c(30) -> d
+    fn diamond() -> Workflow {
+        let mut b = WorkflowBuilder::new("diamond");
+        let a = b.task("a", 10.0);
+        let t_b = b.task("b", 20.0);
+        let c = b.task("c", 30.0);
+        let d = b.task("d", 40.0);
+        b.edge(a, t_b).edge(a, c).edge(t_b, d).edge(c, d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn upward_ranks_diamond() {
+        let w = diamond();
+        let r = upward_ranks(&w, exec_base(&w), no_comm);
+        assert_eq!(r[3], 40.0); // d
+        assert_eq!(r[1], 60.0); // b: 20 + 40
+        assert_eq!(r[2], 70.0); // c: 30 + 40
+        assert_eq!(r[0], 80.0); // a: 10 + max(60, 70)
+    }
+
+    #[test]
+    fn downward_ranks_diamond() {
+        let w = diamond();
+        let r = downward_ranks(&w, exec_base(&w), no_comm);
+        assert_eq!(r[0], 0.0);
+        assert_eq!(r[1], 10.0);
+        assert_eq!(r[2], 10.0);
+        assert_eq!(r[3], 40.0); // via c: 10 + 30
+    }
+
+    #[test]
+    fn critical_path_diamond() {
+        let w = diamond();
+        let cp = critical_path(&w, exec_base(&w), no_comm);
+        assert_eq!(cp.length, 80.0);
+        assert_eq!(cp.tasks, vec![TaskId(0), TaskId(2), TaskId(3)]);
+        assert!(cp.contains(TaskId(2)));
+        assert!(!cp.contains(TaskId(1)));
+    }
+
+    #[test]
+    fn communication_shifts_critical_path() {
+        let mut b = WorkflowBuilder::new("comm");
+        let a = b.task("a", 10.0);
+        let fast = b.task("fast", 5.0);
+        let slow = b.task("slow", 8.0);
+        let d = b.task("d", 1.0);
+        // heavy data on the edge to the "fast" branch
+        b.data_edge(a, fast, 1000.0)
+            .edge(a, slow)
+            .edge(fast, d)
+            .edge(slow, d);
+        let w = b.build().unwrap();
+        // Without comm: slow branch wins (8 > 5).
+        let cp0 = critical_path(&w, exec_base(&w), no_comm);
+        assert!(cp0.contains(slow));
+        // With comm proportional to payload, the fast branch dominates.
+        let cp1 = critical_path(&w, exec_base(&w), |e| e.data_mb * 0.01);
+        assert!(cp1.contains(fast));
+        assert_eq!(cp1.length, 10.0 + 10.0 + 5.0 + 1.0);
+    }
+
+    #[test]
+    fn ranks_ordering_is_topological() {
+        let w = diamond();
+        let r = upward_ranks(&w, exec_base(&w), no_comm);
+        for e in w.edges() {
+            assert!(
+                r[e.from.index()] > r[e.to.index()],
+                "upward rank must strictly decrease along edges with positive exec"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_rank_is_suffix_sum() {
+        let mut b = WorkflowBuilder::new("chain");
+        let ids: Vec<_> = (0..5).map(|i| b.task(format!("t{i}"), (i + 1) as f64)).collect();
+        for pair in ids.windows(2) {
+            b.edge(pair[0], pair[1]);
+        }
+        let w = b.build().unwrap();
+        let r = upward_ranks(&w, exec_base(&w), no_comm);
+        // suffix sums of 1..=5: 15, 14, 12, 9, 5
+        assert_eq!(r, vec![15.0, 14.0, 12.0, 9.0, 5.0]);
+        let cp = critical_path(&w, exec_base(&w), no_comm);
+        assert_eq!(cp.tasks.len(), 5);
+        assert_eq!(cp.length, 15.0);
+    }
+
+    #[test]
+    fn multi_entry_critical_path_picks_heaviest_entry() {
+        let mut b = WorkflowBuilder::new("multi");
+        let a = b.task("a", 100.0);
+        let c = b.task("c", 1.0);
+        let d = b.task("d", 1.0);
+        b.edge(c, d);
+        let w = b.build().unwrap();
+        let cp = critical_path(&w, exec_base(&w), no_comm);
+        assert_eq!(cp.tasks, vec![a]);
+        assert_eq!(cp.length, 100.0);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        // Two identical branches: the path must pick the smaller id.
+        let mut b = WorkflowBuilder::new("tie");
+        let a = b.task("a", 1.0);
+        let x = b.task("x", 5.0);
+        let y = b.task("y", 5.0);
+        let z = b.task("z", 1.0);
+        b.edge(a, x).edge(a, y).edge(x, z).edge(y, z);
+        let w = b.build().unwrap();
+        let cp = critical_path(&w, |id| w.task(id).base_time, no_comm);
+        assert_eq!(cp.tasks, vec![a, x, z]);
+    }
+}

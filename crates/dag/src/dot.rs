@@ -1,0 +1,90 @@
+//! Graphviz DOT export.
+
+use crate::graph::Workflow;
+use std::fmt::Write as _;
+
+/// Render the workflow in Graphviz DOT syntax. Node labels carry the task
+/// name and base execution time; edge labels carry the payload size when
+/// non-zero. Levels are grouped with `rank=same` so `dot` draws the level
+/// structure the scheduling algorithms operate on.
+#[must_use]
+pub fn to_dot(wf: &Workflow) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(wf.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, style=rounded];");
+    for t in wf.tasks() {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\n{:.1}s\"];",
+            t.id,
+            escape(&t.name),
+            t.base_time
+        );
+    }
+    for (level, ids) in wf.levels().iter().enumerate() {
+        let names: Vec<String> = ids.iter().map(|id| id.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "  {{ rank=same; /* level {level} */ {}; }}",
+            names.join("; ")
+        );
+    }
+    for e in wf.edges() {
+        if e.data_mb > 0.0 {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{:.0} MB\"];",
+                e.from, e.to, e.data_mb
+            );
+        } else {
+            let _ = writeln!(out, "  {} -> {};", e.from, e.to);
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WorkflowBuilder;
+
+    #[test]
+    fn dot_contains_nodes_edges_and_levels() {
+        let mut b = WorkflowBuilder::new("demo");
+        let a = b.task("first", 10.0);
+        let c = b.task("second", 20.0);
+        b.data_edge(a, c, 128.0);
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.starts_with("digraph \"demo\""));
+        assert!(dot.contains("t0 [label=\"first\\n10.0s\"]"));
+        assert!(dot.contains("t0 -> t1 [label=\"128 MB\"]"));
+        assert!(dot.contains("rank=same"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn zero_payload_edges_have_no_label() {
+        let mut b = WorkflowBuilder::new("ctl");
+        let a = b.task("a", 1.0);
+        let c = b.task("b", 1.0);
+        b.edge(a, c);
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.contains("t0 -> t1;"));
+        assert!(!dot.contains("MB"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut b = WorkflowBuilder::new("quo\"te");
+        b.task("a\"b", 1.0);
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.contains("quo\\\"te"));
+        assert!(dot.contains("a\\\"b"));
+    }
+}

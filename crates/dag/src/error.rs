@@ -1,0 +1,62 @@
+//! Error type for DAG construction and validation.
+
+use crate::task::TaskId;
+
+/// Errors raised while building or validating a workflow DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge references a task id that was never added.
+    UnknownTask(TaskId),
+    /// An edge would connect a task to itself.
+    SelfLoop(TaskId),
+    /// The same edge was added twice.
+    DuplicateEdge(TaskId, TaskId),
+    /// The graph contains a cycle (detected through `cycle_witness`, a
+    /// task known to be on a cycle).
+    Cycle {
+        /// A task on the detected cycle.
+        cycle_witness: TaskId,
+    },
+    /// The workflow has no tasks.
+    Empty,
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::UnknownTask(t) => write!(f, "edge references unknown task {t}"),
+            DagError::SelfLoop(t) => write!(f, "self-loop on task {t}"),
+            DagError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            DagError::Cycle { cycle_witness } => {
+                write!(f, "workflow contains a cycle through {cycle_witness}")
+            }
+            DagError::Empty => write!(f, "workflow has no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            DagError::UnknownTask(TaskId(3)).to_string(),
+            "edge references unknown task t3"
+        );
+        assert_eq!(DagError::SelfLoop(TaskId(1)).to_string(), "self-loop on task t1");
+        assert_eq!(
+            DagError::DuplicateEdge(TaskId(0), TaskId(2)).to_string(),
+            "duplicate edge t0 -> t2"
+        );
+        assert!(DagError::Cycle {
+            cycle_witness: TaskId(5)
+        }
+        .to_string()
+        .contains("t5"));
+        assert_eq!(DagError::Empty.to_string(), "workflow has no tasks");
+    }
+}

@@ -1,0 +1,38 @@
+//! Workflow DAG substrate.
+//!
+//! Deterministic workflows — the paper's setting — are directed acyclic
+//! graphs whose nodes are tasks (with a reference execution time) and
+//! whose edges carry data dependencies (with a payload size). This crate
+//! provides:
+//!
+//! * the [`Workflow`] graph structure and its [`WorkflowBuilder`],
+//! * structural queries: topological order, entry/exit tasks,
+//!   [level decomposition](Workflow::levels) (the basis of level-ranking
+//!   schedulers), predecessor/successor iteration,
+//! * scheduling-theoretic quantities: [critical path](critical::critical_path),
+//!   [upward/downward ranks](critical::upward_ranks) (the basis of HEFT),
+//! * [structure metrics](metrics::StructureMetrics) used by the adaptive
+//!   strategy selector,
+//! * Graphviz DOT export for debugging and documentation.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod critical;
+pub mod dot;
+pub mod error;
+pub mod graph;
+pub mod metrics;
+pub mod ops;
+pub mod paths;
+pub mod query;
+pub mod task;
+
+pub use critical::{critical_path, downward_ranks, upward_ranks, CriticalPath};
+pub use error::DagError;
+pub use graph::{Edge, Workflow, WorkflowBuilder};
+pub use metrics::StructureMetrics;
+pub use ops::{chain, reachability, transitive_reduction, union};
+pub use paths::{alap_times, b_levels, path_clusters, slacks, t_levels};
+pub use query::{ancestors, descendants, subgraph};
+pub use task::{Task, TaskId};

@@ -1,0 +1,219 @@
+//! Structural operations on workflows: composition, subgraphs,
+//! transitive reduction and reachability.
+//!
+//! These are the utilities a workflow *system* needs around the paper's
+//! algorithms: gluing pipelines together (`chain`), running independent
+//! campaigns as one submission (`union`), trimming redundant control
+//! edges (`transitive_reduction`) and dependency queries
+//! (`reachability`).
+
+use crate::graph::{Workflow, WorkflowBuilder};
+use crate::task::TaskId;
+
+/// Concatenate two workflows: every exit of `first` gains a control edge
+/// to every entry of `second`. Task ids of `second` are shifted by
+/// `first.len()`.
+#[must_use]
+pub fn chain(first: &Workflow, second: &Workflow) -> Workflow {
+    let mut b = WorkflowBuilder::new(format!("{}+{}", first.name(), second.name()));
+    for t in first.tasks() {
+        b.task(t.name.clone(), t.base_time);
+    }
+    let offset = first.len() as u32;
+    for t in second.tasks() {
+        b.task(t.name.clone(), t.base_time);
+    }
+    for e in first.edges() {
+        b.data_edge(e.from, e.to, e.data_mb);
+    }
+    for e in second.edges() {
+        b.data_edge(
+            TaskId(e.from.0 + offset),
+            TaskId(e.to.0 + offset),
+            e.data_mb,
+        );
+    }
+    for exit in first.exits() {
+        for entry in second.entries() {
+            b.edge(exit, TaskId(entry.0 + offset));
+        }
+    }
+    b.build().expect("chaining two valid DAGs is valid")
+}
+
+/// Disjoint union of two workflows (run side by side, no new edges).
+#[must_use]
+pub fn union(a: &Workflow, b_wf: &Workflow) -> Workflow {
+    let mut b = WorkflowBuilder::new(format!("{}|{}", a.name(), b_wf.name()));
+    for t in a.tasks() {
+        b.task(t.name.clone(), t.base_time);
+    }
+    let offset = a.len() as u32;
+    for t in b_wf.tasks() {
+        b.task(t.name.clone(), t.base_time);
+    }
+    for e in a.edges() {
+        b.data_edge(e.from, e.to, e.data_mb);
+    }
+    for e in b_wf.edges() {
+        b.data_edge(
+            TaskId(e.from.0 + offset),
+            TaskId(e.to.0 + offset),
+            e.data_mb,
+        );
+    }
+    b.build().expect("disjoint union of valid DAGs is valid")
+}
+
+/// Boolean reachability matrix: `reach[i][j]` iff a directed path leads
+/// from task `i` to task `j` (tasks do not reach themselves unless on a
+/// cycle, which validated workflows exclude).
+#[must_use]
+pub fn reachability(wf: &Workflow) -> Vec<Vec<bool>> {
+    let n = wf.len();
+    let mut reach = vec![vec![false; n]; n];
+    // Process in reverse topological order: a task reaches its
+    // successors and everything they reach.
+    for &id in wf.topological_order().iter().rev() {
+        for e in wf.successors(id) {
+            reach[id.index()][e.to.index()] = true;
+            // Split the borrow: copy the successor's row.
+            let succ_row: Vec<bool> = reach[e.to.index()].clone();
+            for (j, r) in succ_row.into_iter().enumerate() {
+                if r {
+                    reach[id.index()][j] = true;
+                }
+            }
+        }
+    }
+    reach
+}
+
+/// Transitive reduction: drop every edge `(u, v)` for which another
+/// path `u → … → v` exists. Preserves the precedence relation (same
+/// reachability) with the minimal edge set; payload data on removed
+/// edges is folded into the retained path's semantics only in the sense
+/// of control flow — edges carrying data (`data_mb > 0`) are **kept**
+/// even when redundant, because the data still has to move.
+#[must_use]
+pub fn transitive_reduction(wf: &Workflow) -> Workflow {
+    let reach = reachability(wf);
+    let mut b = WorkflowBuilder::new(wf.name());
+    for t in wf.tasks() {
+        b.task(t.name.clone(), t.base_time);
+    }
+    for e in wf.edges() {
+        if e.data_mb > 0.0 {
+            b.data_edge(e.from, e.to, e.data_mb);
+            continue;
+        }
+        // Redundant iff some other successor of `from` reaches `to`.
+        let redundant = wf
+            .successors(e.from)
+            .iter()
+            .any(|other| other.to != e.to && reach[other.to.index()][e.to.index()]);
+        if !redundant {
+            b.edge(e.from, e.to);
+        }
+    }
+    b.build().expect("reduction preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_wf(n: usize) -> Workflow {
+        let mut b = WorkflowBuilder::new(format!("c{n}"));
+        let ids: Vec<_> = (0..n).map(|i| b.task(format!("t{i}"), 10.0)).collect();
+        for w in ids.windows(2) {
+            b.edge(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chaining_concatenates_depth() {
+        let w = chain(&chain_wf(3), &chain_wf(4));
+        assert_eq!(w.len(), 7);
+        assert_eq!(w.depth(), 7);
+        assert_eq!(w.entries().len(), 1);
+        assert_eq!(w.exits().len(), 1);
+        assert_eq!(w.name(), "c3+c4");
+    }
+
+    #[test]
+    fn chaining_joins_all_exits_to_all_entries() {
+        let mut b1 = WorkflowBuilder::new("two-exit");
+        let a = b1.task("a", 1.0);
+        let x = b1.task("x", 1.0);
+        let y = b1.task("y", 1.0);
+        b1.edge(a, x).edge(a, y);
+        let first = b1.build().unwrap();
+        let second = chain_wf(1);
+        let w = chain(&first, &second);
+        // both exits feed the single entry of the second part
+        let joined = TaskId(3);
+        assert_eq!(w.predecessors(joined).len(), 2);
+    }
+
+    #[test]
+    fn union_keeps_components_independent() {
+        let w = union(&chain_wf(2), &chain_wf(3));
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.entries().len(), 2);
+        assert_eq!(w.exits().len(), 2);
+        assert_eq!(w.depth(), 3);
+    }
+
+    #[test]
+    fn reachability_on_chain_is_upper_triangle() {
+        let w = chain_wf(4);
+        let r = reachability(&w);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(r[i][j], i < j, "reach[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn transitive_reduction_drops_shortcut() {
+        // a -> b -> c plus shortcut a -> c
+        let mut b = WorkflowBuilder::new("shortcut");
+        let a = b.task("a", 1.0);
+        let m = b.task("m", 1.0);
+        let c = b.task("c", 1.0);
+        b.edge(a, m).edge(m, c).edge(a, c);
+        let w = b.build().unwrap();
+        let red = transitive_reduction(&w);
+        assert_eq!(red.edge_count(), 2);
+        assert!(red.edge_data(a, c).is_none());
+        // reachability is preserved
+        assert_eq!(reachability(&w), reachability(&red));
+    }
+
+    #[test]
+    fn transitive_reduction_keeps_data_edges() {
+        let mut b = WorkflowBuilder::new("data-shortcut");
+        let a = b.task("a", 1.0);
+        let m = b.task("m", 1.0);
+        let c = b.task("c", 1.0);
+        b.edge(a, m).edge(m, c).data_edge(a, c, 100.0);
+        let red = transitive_reduction(&b.build().unwrap());
+        assert_eq!(red.edge_count(), 3, "the 100 MB still has to move");
+    }
+
+    #[test]
+    fn reduction_of_reduced_graph_is_identity() {
+        let mut b = WorkflowBuilder::new("dag");
+        let a = b.task("a", 1.0);
+        let x = b.task("x", 1.0);
+        let y = b.task("y", 1.0);
+        let z = b.task("z", 1.0);
+        b.edge(a, x).edge(a, y).edge(x, z).edge(y, z).edge(a, z);
+        let once = transitive_reduction(&b.build().unwrap());
+        let twice = transitive_reduction(&once);
+        assert_eq!(once, twice);
+    }
+}

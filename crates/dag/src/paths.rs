@@ -1,0 +1,245 @@
+//! Path-level scheduling quantities: t-levels, b-levels, ALAP times,
+//! slack, and path extraction.
+//!
+//! These are the classic list-scheduling companions to the HEFT ranks in
+//! [`critical`](crate::critical): the *t-level* (top level) of a task is
+//! the earliest it can start given unlimited resources, the *b-level*
+//! (bottom level) is the longest remaining path including the task, the
+//! *ALAP* time is the latest start that does not stretch the critical
+//! path, and the *slack* (ALAP − t-level) is how much a task can slip —
+//! zero exactly on the critical path. Path clustering heuristics (PCH,
+//! HCOC — the paper's related work) are built on these quantities.
+
+use crate::graph::{Edge, Workflow};
+use crate::task::TaskId;
+
+/// t-level: earliest possible start of each task (unlimited resources):
+/// `t(i) = max over predecessors j of (t(j) + w(j) + c(j,i))`, 0 for
+/// entries. Identical to the HEFT downward rank.
+#[must_use]
+pub fn t_levels(
+    wf: &Workflow,
+    exec: impl Fn(TaskId) -> f64,
+    comm: impl Fn(&Edge) -> f64,
+) -> Vec<f64> {
+    crate::critical::downward_ranks(wf, exec, comm)
+}
+
+/// b-level: longest path from each task to an exit, including the task's
+/// own cost. Identical to the HEFT upward rank.
+#[must_use]
+pub fn b_levels(
+    wf: &Workflow,
+    exec: impl Fn(TaskId) -> f64,
+    comm: impl Fn(&Edge) -> f64,
+) -> Vec<f64> {
+    crate::critical::upward_ranks(wf, exec, comm)
+}
+
+/// ALAP (as-late-as-possible) start times: the latest start of each task
+/// that keeps the overall length at the critical-path length `L`:
+/// `alap(i) = L − b(i)`.
+#[must_use]
+pub fn alap_times(
+    wf: &Workflow,
+    exec: impl Fn(TaskId) -> f64,
+    comm: impl Fn(&Edge) -> f64,
+) -> Vec<f64> {
+    let b = b_levels(wf, &exec, &comm);
+    let length = b.iter().cloned().fold(0.0_f64, f64::max);
+    b.into_iter().map(|bi| length - bi).collect()
+}
+
+/// Slack per task: `alap(i) − t(i)`. Zero on every critical-path task;
+/// positive elsewhere. Never negative (up to float noise).
+#[must_use]
+pub fn slacks(
+    wf: &Workflow,
+    exec: impl Fn(TaskId) -> f64 + Copy,
+    comm: impl Fn(&Edge) -> f64 + Copy,
+) -> Vec<f64> {
+    let t = t_levels(wf, exec, comm);
+    let a = alap_times(wf, exec, comm);
+    t.iter().zip(a).map(|(ti, ai)| ai - ti).collect()
+}
+
+/// Decompose the workflow into disjoint *clusters* of tasks, PCH-style:
+/// repeatedly take the unclustered task with the highest b-level and
+/// follow, at each step, its unclustered successor with the highest
+/// `b-level + comm` priority, forming one path per iteration. The first
+/// cluster is the critical path; later clusters cover branch paths.
+/// Every task lands in exactly one cluster.
+#[must_use]
+pub fn path_clusters(
+    wf: &Workflow,
+    exec: impl Fn(TaskId) -> f64 + Copy,
+    comm: impl Fn(&Edge) -> f64 + Copy,
+) -> Vec<Vec<TaskId>> {
+    let b = b_levels(wf, exec, comm);
+    let mut clustered = vec![false; wf.len()];
+    let mut clusters = Vec::new();
+    loop {
+        // Highest-b-level unclustered task starts the next path.
+        let start = wf
+            .ids()
+            .filter(|id| !clustered[id.index()])
+            .max_by(|a, c| {
+                b[a.index()]
+                    .partial_cmp(&b[c.index()])
+                    .expect("finite b-levels")
+                    .then(c.0.cmp(&a.0))
+            });
+        let Some(start) = start else { break };
+        let mut path = vec![start];
+        clustered[start.index()] = true;
+        let mut cur = start;
+        loop {
+            let next = wf
+                .successors(cur)
+                .iter()
+                .filter(|e| !clustered[e.to.index()])
+                .max_by(|x, y| {
+                    let kx = comm(x) + b[x.to.index()];
+                    let ky = comm(y) + b[y.to.index()];
+                    kx.partial_cmp(&ky)
+                        .expect("finite priorities")
+                        .then(y.to.0.cmp(&x.to.0))
+                })
+                .map(|e| e.to);
+            match next {
+                Some(n) => {
+                    clustered[n.index()] = true;
+                    path.push(n);
+                    cur = n;
+                }
+                None => break,
+            }
+        }
+        clusters.push(path);
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WorkflowBuilder;
+
+    fn exec(wf: &Workflow) -> impl Fn(TaskId) -> f64 + Copy + '_ {
+        move |t| wf.task(t).base_time
+    }
+
+    fn no_comm(_: &Edge) -> f64 {
+        0.0
+    }
+
+    /// a(10) -> {b(20), c(30)} -> d(40)
+    fn diamond() -> Workflow {
+        let mut b = WorkflowBuilder::new("diamond");
+        let a = b.task("a", 10.0);
+        let tb = b.task("b", 20.0);
+        let c = b.task("c", 30.0);
+        let d = b.task("d", 40.0);
+        b.edge(a, tb).edge(a, c).edge(tb, d).edge(c, d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn alap_of_entry_is_zero_on_critical_path() {
+        let w = diamond();
+        let alap = alap_times(&w, exec(&w), no_comm);
+        assert_eq!(alap[0], 0.0); // a is on the CP
+        assert_eq!(alap[2], 10.0); // c starts right after a
+        assert_eq!(alap[1], 20.0); // b can slip 10s
+    }
+
+    #[test]
+    fn slack_zero_exactly_on_critical_path() {
+        let w = diamond();
+        let s = slacks(&w, exec(&w), no_comm);
+        let cp = crate::critical::critical_path(&w, exec(&w), no_comm);
+        for id in w.ids() {
+            if cp.contains(id) {
+                assert!(s[id.index()].abs() < 1e-9, "{id} on CP has slack {}", s[id.index()]);
+            } else {
+                assert!(s[id.index()] > 0.0, "{id} off CP has zero slack");
+            }
+        }
+    }
+
+    #[test]
+    fn slack_is_never_negative() {
+        let w = diamond();
+        for s in slacks(&w, exec(&w), no_comm) {
+            assert!(s >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn t_levels_match_downward_ranks() {
+        let w = diamond();
+        assert_eq!(
+            t_levels(&w, exec(&w), no_comm),
+            crate::critical::downward_ranks(&w, exec(&w), no_comm)
+        );
+    }
+
+    #[test]
+    fn clusters_partition_tasks() {
+        let w = diamond();
+        let clusters = path_clusters(&w, exec(&w), no_comm);
+        let mut all: Vec<TaskId> = clusters.iter().flatten().copied().collect();
+        all.sort();
+        let expected: Vec<TaskId> = w.ids().collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn first_cluster_is_the_critical_path() {
+        let w = diamond();
+        let clusters = path_clusters(&w, exec(&w), no_comm);
+        let cp = crate::critical::critical_path(&w, exec(&w), no_comm);
+        assert_eq!(clusters[0], cp.tasks);
+    }
+
+    #[test]
+    fn chain_is_one_cluster() {
+        let mut b = WorkflowBuilder::new("chain");
+        let ids: Vec<_> = (0..5).map(|i| b.task(format!("t{i}"), 10.0)).collect();
+        for w in ids.windows(2) {
+            b.edge(w[0], w[1]);
+        }
+        let w = b.build().unwrap();
+        let clusters = path_clusters(&w, exec(&w), no_comm);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 5);
+    }
+
+    #[test]
+    fn fan_yields_width_clusters() {
+        let mut b = WorkflowBuilder::new("fan");
+        let root = b.task("root", 10.0);
+        for i in 0..4 {
+            let t = b.task(format!("p{i}"), 10.0);
+            b.edge(root, t);
+        }
+        let w = b.build().unwrap();
+        let clusters = path_clusters(&w, exec(&w), no_comm);
+        // root+one child, then 3 singleton children
+        assert_eq!(clusters.len(), 4);
+        assert_eq!(clusters[0].len(), 2);
+    }
+
+    #[test]
+    fn clusters_follow_edges() {
+        let w = diamond();
+        for cluster in path_clusters(&w, exec(&w), no_comm) {
+            for pair in cluster.windows(2) {
+                assert!(
+                    w.successors(pair[0]).iter().any(|e| e.to == pair[1]),
+                    "cluster path must follow edges"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Dependency queries: ancestors, descendants and induced subgraphs.
+
+use crate::graph::{Workflow, WorkflowBuilder};
+use crate::task::TaskId;
+
+/// All tasks that must run before `task` (transitively), excluding the
+/// task itself, in topological order.
+#[must_use]
+pub fn ancestors(wf: &Workflow, task: TaskId) -> Vec<TaskId> {
+    let mut mark = vec![false; wf.len()];
+    // walk in reverse topological order starting from the task's preds
+    for e in wf.predecessors(task) {
+        mark[e.from.index()] = true;
+    }
+    for &id in wf.topological_order().iter().rev() {
+        if wf.successors(id).iter().any(|e| mark[e.to.index()]) {
+            mark[id.index()] = true;
+        }
+    }
+    wf.topological_order()
+        .iter()
+        .copied()
+        .filter(|t| mark[t.index()])
+        .collect()
+}
+
+/// All tasks that can only run after `task` (transitively), excluding
+/// the task itself, in topological order.
+#[must_use]
+pub fn descendants(wf: &Workflow, task: TaskId) -> Vec<TaskId> {
+    let mut mark = vec![false; wf.len()];
+    for e in wf.successors(task) {
+        mark[e.to.index()] = true;
+    }
+    for &id in wf.topological_order() {
+        if wf.predecessors(id).iter().any(|e| mark[e.from.index()]) {
+            mark[id.index()] = true;
+        }
+    }
+    wf.topological_order()
+        .iter()
+        .copied()
+        .filter(|t| mark[t.index()])
+        .collect()
+}
+
+/// The subgraph induced by `keep`: those tasks with every edge whose
+/// both endpoints are kept. Task ids are re-numbered densely in the
+/// original id order; the mapping `new -> old` is returned alongside.
+///
+/// # Panics
+/// Panics if `keep` is empty or references unknown tasks.
+#[must_use]
+pub fn subgraph(wf: &Workflow, keep: &[TaskId]) -> (Workflow, Vec<TaskId>) {
+    assert!(!keep.is_empty(), "subgraph needs at least one task");
+    let mut kept = vec![false; wf.len()];
+    for &t in keep {
+        assert!(t.index() < wf.len(), "unknown task {t}");
+        kept[t.index()] = true;
+    }
+    let mut mapping: Vec<TaskId> = Vec::new(); // new -> old
+    let mut old_to_new = vec![None; wf.len()];
+    let mut b = WorkflowBuilder::new(format!("{}[sub]", wf.name()));
+    for old in wf.ids().filter(|t| kept[t.index()]) {
+        let t = wf.task(old);
+        let new = b.task(t.name.clone(), t.base_time);
+        old_to_new[old.index()] = Some(new);
+        mapping.push(old);
+    }
+    for e in wf.edges() {
+        if let (Some(from), Some(to)) = (old_to_new[e.from.index()], old_to_new[e.to.index()]) {
+            b.data_edge(from, to, e.data_mb);
+        }
+    }
+    (
+        b.build().expect("induced subgraph of a DAG is a DAG"),
+        mapping,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a -> b -> d; a -> c -> d; e isolated
+    fn wf() -> Workflow {
+        let mut b = WorkflowBuilder::new("q");
+        let a = b.task("a", 1.0);
+        let tb = b.task("b", 2.0);
+        let c = b.task("c", 3.0);
+        let d = b.task("d", 4.0);
+        let _e = b.task("e", 5.0);
+        b.edge(a, tb).edge(a, c).edge(tb, d).edge(c, d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ancestors_of_sink_are_everything_upstream() {
+        let w = wf();
+        assert_eq!(
+            ancestors(&w, TaskId(3)),
+            vec![TaskId(0), TaskId(1), TaskId(2)]
+        );
+        assert!(ancestors(&w, TaskId(0)).is_empty());
+        assert!(ancestors(&w, TaskId(4)).is_empty(), "isolated task");
+    }
+
+    #[test]
+    fn descendants_of_source_are_everything_downstream() {
+        let w = wf();
+        assert_eq!(
+            descendants(&w, TaskId(0)),
+            vec![TaskId(1), TaskId(2), TaskId(3)]
+        );
+        assert!(descendants(&w, TaskId(3)).is_empty());
+    }
+
+    #[test]
+    fn ancestors_and_descendants_are_disjoint() {
+        let w = wf();
+        for id in w.ids() {
+            let a = ancestors(&w, id);
+            let d = descendants(&w, id);
+            for x in &a {
+                assert!(!d.contains(x), "{x} both before and after {id}");
+            }
+            assert!(!a.contains(&id));
+            assert!(!d.contains(&id));
+        }
+    }
+
+    #[test]
+    fn subgraph_keeps_internal_edges_only() {
+        let w = wf();
+        let (sub, mapping) = subgraph(&w, &[TaskId(0), TaskId(1), TaskId(3)]);
+        assert_eq!(sub.len(), 3);
+        // kept edges: a->b, b->d (a->c and c->d dropped with c)
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(mapping, vec![TaskId(0), TaskId(1), TaskId(3)]);
+        assert_eq!(sub.task(TaskId(2)).name, "d");
+        assert_eq!(sub.name(), "q[sub]");
+    }
+
+    #[test]
+    fn subgraph_of_everything_is_isomorphic() {
+        let w = wf();
+        let all: Vec<TaskId> = w.ids().collect();
+        let (sub, _) = subgraph(&w, &all);
+        assert_eq!(sub.len(), w.len());
+        assert_eq!(sub.edge_count(), w.edge_count());
+        assert_eq!(sub.depth(), w.depth());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_subgraph_rejected() {
+        let _ = subgraph(&wf(), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown task")]
+    fn unknown_task_rejected() {
+        let _ = subgraph(&wf(), &[TaskId(99)]);
+    }
+}

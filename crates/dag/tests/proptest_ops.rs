@@ -1,0 +1,161 @@
+//! Property-based invariants for the DAG substrate: random layered DAGs
+//! through construction, level decomposition, ranks, clustering,
+//! composition and transitive reduction.
+
+use cws_dag::{
+    alap_times, b_levels, chain, critical_path, path_clusters, reachability, slacks, t_levels,
+    transitive_reduction, union, Edge, StructureMetrics, TaskId, Workflow, WorkflowBuilder,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random layered DAG built directly (the dag crate cannot depend on
+/// cws-workloads).
+fn random_dag(levels: usize, max_width: usize, edge_prob: f64, seed: u64) -> Workflow {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = WorkflowBuilder::new("rand");
+    let mut prev: Vec<TaskId> = Vec::new();
+    for l in 0..levels {
+        let width = rng.gen_range(1..=max_width);
+        let cur: Vec<TaskId> = (0..width)
+            .map(|i| b.task(format!("t{l}_{i}"), rng.gen_range(1.0..1000.0)))
+            .collect();
+        if l > 0 {
+            for &t in &cur {
+                let mut any = false;
+                for &p in &prev {
+                    if rng.gen::<f64>() < edge_prob {
+                        b.data_edge(p, t, rng.gen_range(0.0..100.0));
+                        any = true;
+                    }
+                }
+                if !any {
+                    let p = prev[rng.gen_range(0..prev.len())];
+                    b.edge(p, t);
+                }
+            }
+        }
+        prev = cur;
+    }
+    b.build().expect("generator emits valid DAGs")
+}
+
+fn arb_dag() -> impl Strategy<Value = Workflow> {
+    (2usize..6, 1usize..5, 0.1f64..0.9, 0u64..500)
+        .prop_map(|(l, w, p, s)| random_dag(l, w, p, s))
+}
+
+fn exec(wf: &Workflow) -> impl Fn(TaskId) -> f64 + Copy + '_ {
+    move |t| wf.task(t).base_time
+}
+
+fn no_comm(_: &Edge) -> f64 {
+    0.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn topological_order_is_consistent(wf in arb_dag()) {
+        let topo = wf.topological_order();
+        prop_assert_eq!(topo.len(), wf.len());
+        let pos = |id: TaskId| topo.iter().position(|&t| t == id).unwrap();
+        for e in wf.edges() {
+            prop_assert!(pos(e.from) < pos(e.to));
+        }
+    }
+
+    #[test]
+    fn levels_partition_and_respect_edges(wf in arb_dag()) {
+        let total: usize = wf.levels().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, wf.len());
+        for e in wf.edges() {
+            prop_assert!(wf.level_of(e.from) < wf.level_of(e.to));
+        }
+    }
+
+    #[test]
+    fn critical_path_length_equals_max_b_level(wf in arb_dag()) {
+        let cp = critical_path(&wf, exec(&wf), no_comm);
+        let b = b_levels(&wf, exec(&wf), no_comm);
+        let max_b = b.iter().cloned().fold(0.0_f64, f64::max);
+        prop_assert!((cp.length - max_b).abs() < 1e-6);
+        // the path's own cost sums to the length
+        let sum: f64 = cp.tasks.iter().map(|&t| wf.task(t).base_time).sum();
+        prop_assert!((sum - cp.length).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slack_nonnegative_and_zero_on_cp(wf in arb_dag()) {
+        let s = slacks(&wf, exec(&wf), no_comm);
+        let cp = critical_path(&wf, exec(&wf), no_comm);
+        for id in wf.ids() {
+            prop_assert!(s[id.index()] >= -1e-6);
+        }
+        for &t in &cp.tasks {
+            prop_assert!(s[t.index()].abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn alap_never_precedes_asap(wf in arb_dag()) {
+        let t = t_levels(&wf, exec(&wf), no_comm);
+        let a = alap_times(&wf, exec(&wf), no_comm);
+        for id in wf.ids() {
+            prop_assert!(a[id.index()] >= t[id.index()] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn clusters_partition_and_follow_edges(wf in arb_dag()) {
+        let clusters = path_clusters(&wf, exec(&wf), no_comm);
+        let mut seen: Vec<TaskId> = clusters.iter().flatten().copied().collect();
+        seen.sort();
+        let expected: Vec<TaskId> = wf.ids().collect();
+        prop_assert_eq!(seen, expected);
+        for c in &clusters {
+            for w in c.windows(2) {
+                prop_assert!(wf.successors(w[0]).iter().any(|e| e.to == w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn transitive_reduction_preserves_reachability(wf in arb_dag()) {
+        let red = transitive_reduction(&wf);
+        prop_assert!(red.edge_count() <= wf.edge_count());
+        prop_assert_eq!(reachability(&wf), reachability(&red));
+    }
+
+    #[test]
+    fn chain_and_union_task_counts(a in arb_dag(), b in arb_dag()) {
+        let c = chain(&a, &b);
+        prop_assert_eq!(c.len(), a.len() + b.len());
+        prop_assert_eq!(c.depth(), a.depth() + b.depth());
+        let u = union(&a, &b);
+        prop_assert_eq!(u.len(), a.len() + b.len());
+        prop_assert_eq!(u.depth(), a.depth().max(b.depth()));
+        prop_assert_eq!(u.entries().len(), a.entries().len() + b.entries().len());
+    }
+
+    #[test]
+    fn metrics_are_bounded(wf in arb_dag()) {
+        let m = StructureMetrics::compute(&wf);
+        prop_assert!((0.0..=1.0).contains(&m.parallelism));
+        prop_assert!(m.mean_width >= 1.0 - 1e-9);
+        prop_assert!(m.max_width >= 1);
+        prop_assert!(m.runtime_cv >= 0.0);
+        prop_assert!(m.exit_count >= 1);
+    }
+
+    #[test]
+    fn with_base_times_roundtrip(wf in arb_dag(), scale in 0.1f64..10.0) {
+        let times: Vec<f64> = wf.tasks().iter().map(|t| t.base_time * scale).collect();
+        let w2 = wf.with_base_times(&times);
+        prop_assert_eq!(w2.len(), wf.len());
+        prop_assert_eq!(w2.edge_count(), wf.edge_count());
+        prop_assert!((w2.total_work() - wf.total_work() * scale).abs() < 1e-6 * wf.total_work());
+    }
+}

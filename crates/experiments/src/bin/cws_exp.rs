@@ -1,0 +1,362 @@
+//! `cws-exp` — regenerate the paper's figures and tables from the
+//! command line.
+//!
+//! ```text
+//! cws-exp <fig3|fig4|fig5|table3|table4|table5|corent|catalog|prices|all>
+//!         [--seed N] [--out DIR] [--format ascii|csv|gnuplot]
+//! ```
+//!
+//! Without `--out` the selected artifact prints to stdout in the chosen
+//! format (default: ascii). With `--out DIR` every produced table is
+//! also written to `DIR` as both `.csv` and `.dat`.
+
+use cws_experiments::report::Table;
+use cws_experiments::{
+    ablation, boundaries, characterize, corent, data_intensive, energy, failures, fig3, fig4,
+    fig5, fleet,
+    frontier, robustness, sensitivity, summary, table3, table4, table5, tables,
+    ExperimentConfig,
+};
+use cws_workloads::{montage_24, Scenario};
+use std::path::{Path, PathBuf};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Ascii,
+    Csv,
+    Gnuplot,
+}
+
+struct Args {
+    command: String,
+    seed: u64,
+    out: Option<PathBuf>,
+    format: Format,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cws-exp <fig3|fig4|fig5|table3|table4|table5|corent|catalog|prices\
+         |frontier|ablation|boundaries|grid|workloads|fleet|gantt|sensitivity|robustness|failures|energy|data|summary|all> \
+         [--seed N] [--out DIR] [--format ascii|csv|gnuplot]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else { usage() };
+    let mut parsed = Args {
+        command,
+        seed: 42,
+        out: None,
+        format: Format::Ascii,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                parsed.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                parsed.out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--format" => {
+                parsed.format = match args.next().as_deref() {
+                    Some("ascii") => Format::Ascii,
+                    Some("csv") => Format::Csv,
+                    Some("gnuplot") => Format::Gnuplot,
+                    _ => usage(),
+                };
+            }
+            _ => usage(),
+        }
+    }
+    parsed
+}
+
+fn emit(table: &Table, name: &str, args: &Args) {
+    match args.format {
+        Format::Ascii => println!("{}", table.to_ascii()),
+        Format::Csv => println!("{}", table.to_csv()),
+        Format::Gnuplot => println!("{}", table.to_gnuplot()),
+    }
+    if let Some(dir) = &args.out {
+        write_files(table, name, dir);
+    }
+}
+
+fn write_files(table: &Table, name: &str, dir: &Path) {
+    std::fs::create_dir_all(dir).expect("create output directory");
+    std::fs::write(dir.join(format!("{name}.csv")), table.to_csv())
+        .expect("write csv");
+    std::fs::write(dir.join(format!("{name}.dat")), table.to_gnuplot())
+        .expect("write dat");
+}
+
+fn main() {
+    let args = parse_args();
+    let config = ExperimentConfig {
+        seed: args.seed,
+        ..ExperimentConfig::default()
+    };
+
+    let run_one = |cmd: &str, args: &Args| match cmd {
+        "fig3" => {
+            let t = fig3::fig3(config.seed, 10_000).to_table();
+            emit(&t, "fig3_pareto_cdf", args);
+        }
+        "fig4" => {
+            for panel in fig4::fig4(&config) {
+                let name = format!("fig4_{}", panel.workflow.replace('-', "_"));
+                emit(&panel.to_table(), &name, args);
+                if let Some(dir) = &args.out {
+                    std::fs::write(
+                        dir.join(format!("{name}.gp")),
+                        tables::fig4_gnuplot_script(&panel.workflow),
+                    )
+                    .expect("write gnuplot script");
+                }
+            }
+        }
+        "fig5" => {
+            for panel in fig5::fig5(&config) {
+                let name = format!("fig5_{}", panel.workflow.replace('-', "_"));
+                emit(&panel.to_table(), &name, args);
+            }
+        }
+        "table3" => {
+            let cells = table3::table3(&config);
+            emit(&table3::table3_report(&cells), "table3", args);
+        }
+        "table4" => {
+            let rows = table4::table4(&config);
+            emit(&table4::table4_report(&rows), "table4", args);
+        }
+        "table5" => {
+            let rows = table5::table5(&config);
+            emit(&table5::table5_report(&rows), "table5", args);
+        }
+        "corent" => {
+            let wf = montage_24();
+            let entries = corent::corent(&config, &wf, Scenario::Pareto { seed: config.seed }, 0.3);
+            emit(&corent::corent_report("montage-24", &entries), "corent_montage", args);
+        }
+        "frontier" => {
+            let quiet = ExperimentConfig {
+                validate_with_sim: false,
+                ..config.clone()
+            };
+            for panel in frontier::frontier(&quiet) {
+                let name = format!("frontier_{}", panel.workflow.replace('-', "_"));
+                emit(&panel.to_table(), &name, args);
+            }
+        }
+        "grid" => {
+            // The full 4x3x19 grid through the crossbeam-parallel runner.
+            let quiet = ExperimentConfig {
+                validate_with_sim: false,
+                ..config.clone()
+            };
+            let workflows = cws_workloads::paper_workflows();
+            let scenarios = quiet.scenarios();
+            let strategies = cws_core::Strategy::paper_set();
+            let cells =
+                cws_experiments::sweep::run_grid(&quiet, &workflows, &scenarios, &strategies, 0);
+            let mut t = Table::new(
+                "Full grid — every (workflow, scenario, strategy) cell",
+                &["workflow", "scenario", "strategy", "makespan_s", "cost_usd",
+                  "idle_s", "vms", "gain_pct", "loss_pct"],
+            );
+            for c in cells {
+                t.row(vec![
+                    c.workflow,
+                    c.scenario,
+                    c.result.label,
+                    format!("{:.0}", c.result.metrics.makespan),
+                    format!("{:.3}", c.result.metrics.cost),
+                    format!("{:.0}", c.result.metrics.idle_seconds),
+                    c.result.metrics.vm_count.to_string(),
+                    format!("{:.1}", c.result.relative.gain_pct),
+                    format!("{:.1}", c.result.relative.loss_pct),
+                ]);
+            }
+            emit(&t, "full_grid", args);
+        }
+        "boundaries" => {
+            let quiet = ExperimentConfig {
+                validate_with_sim: false,
+                ..config.clone()
+            };
+            let structure = boundaries::structure_sweep(&quiet, 6, &[1, 2, 4, 8, 16]);
+            emit(
+                &boundaries::boundaries_report("Boundaries — structure (layered width)", &structure),
+                "boundaries_structure",
+                args,
+            );
+            let het = boundaries::heterogeneity_sweep(&quiet, &[1.1, 1.3, 2.0, 3.0, 5.0, 10.0]);
+            emit(
+                &boundaries::boundaries_report("Boundaries — runtime heterogeneity (Pareto alpha)", &het),
+                "boundaries_heterogeneity",
+                args,
+            );
+        }
+        "gantt" => {
+            // ASCII Gantt of a handful of representative plans.
+            let wf = Scenario::Pareto { seed: config.seed }
+                .apply(&cws_workloads::DataSizeModel::CpuIntensive.apply(&montage_24()));
+            for label in ["OneVMperTask-s", "StartParExceed-s", "AllParExceed-m", "AllPar1LnSDyn"] {
+                let s = cws_core::Strategy::parse(label)
+                    .expect("known label")
+                    .schedule(&wf, &config.platform);
+                println!("{}", cws_core::gantt::render(&wf, &s, 100));
+            }
+        }
+        "fleet" => {
+            let quiet = ExperimentConfig {
+                validate_with_sim: false,
+                ..config.clone()
+            };
+            for wf in cws_workloads::paper_workflows() {
+                let rows = fleet::fleet(&quiet, &wf);
+                let name = format!("fleet_{}", wf.name().replace('-', "_"));
+                emit(&fleet::fleet_report(wf.name(), &rows), &name, args);
+            }
+        }
+        "workloads" => {
+            let profiles = characterize::characterize_all();
+            emit(&characterize::characterize_report(&profiles), "workload_profiles", args);
+        }
+        "failures" => {
+            let quiet = ExperimentConfig {
+                validate_with_sim: false,
+                ..config.clone()
+            };
+            for wf in cws_workloads::paper_workflows() {
+                let rows = failures::failure_domains(&quiet, &wf, 0.5);
+                let name = format!("failures_{}", wf.name().replace('-', "_"));
+                emit(&failures::failure_report(wf.name(), 0.5, &rows), &name, args);
+            }
+            let market = cws_platform::SpotMarket::default();
+            let wf = montage_24();
+            let rows = failures::spot_economics(&quiet, &wf, market, 50);
+            emit(&failures::spot_report("montage-24", market, &rows), "spot_montage", args);
+        }
+        "energy" => {
+            let quiet = ExperimentConfig {
+                validate_with_sim: false,
+                ..config.clone()
+            };
+            for wf in cws_workloads::paper_workflows() {
+                let rows = energy::energy_accounting(&quiet, &wf, cws_platform::EnergyModel::default());
+                let name = format!("energy_{}", wf.name().replace('-', "_"));
+                emit(&energy::energy_report(wf.name(), &rows), &name, args);
+            }
+        }
+        "data" => {
+            let quiet = ExperimentConfig {
+                validate_with_sim: false,
+                ..config.clone()
+            };
+            for wf in cws_workloads::paper_workflows() {
+                let panel = data_intensive::data_intensive_panel(&quiet, &wf);
+                let name = format!("data_{}", panel.workflow.replace('-', "_"));
+                emit(&data_intensive::data_report(&panel), &name, args);
+            }
+        }
+        "summary" => {
+            let quiet = ExperimentConfig {
+                validate_with_sim: false,
+                ..config.clone()
+            };
+            let md = summary::markdown_report(&quiet);
+            println!("{md}");
+            if let Some(dir) = &args.out {
+                std::fs::create_dir_all(dir).expect("create output directory");
+                std::fs::write(dir.join("reproduction_report.md"), md)
+                    .expect("write reproduction report");
+            }
+        }
+        "catalog" => emit(&tables::table1(), "table1_catalog", args),
+        "prices" => emit(&tables::table2(), "table2_prices", args),
+        "ablation" => {
+            let quiet = ExperimentConfig {
+                validate_with_sim: false,
+                ..config.clone()
+            };
+            let wf = montage_24();
+            let scale = ablation::task_scale_ablation(
+                &quiet,
+                &wf,
+                &["AllParExceed-s", "StartParExceed-s", "AllParExceed-m"],
+                &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
+            );
+            emit(&ablation::scale_report(&scale), "ablation_scale", args);
+            let budget = ablation::budget_ablation(&quiet, &wf, &[1.0, 1.5, 2.0, 3.0, 4.0, 8.0]);
+            emit(&ablation::budget_report(&budget), "ablation_budget", args);
+            let tol = ablation::tolerance_ablation(&quiet, &[0.0, 2.0, 5.0, 10.0, 20.0, 50.0]);
+            emit(&ablation::tolerance_report(&tol), "ablation_tolerance", args);
+        }
+        "sensitivity" => {
+            let quiet = ExperimentConfig {
+                validate_with_sim: false,
+                ..config.clone()
+            };
+            let seeds: Vec<u64> = (0..20).map(|i| config.seed.wrapping_add(i)).collect();
+            for wf in cws_workloads::paper_workflows() {
+                let rows = sensitivity::seed_sensitivity(&quiet, &wf, &seeds);
+                let name = format!("sensitivity_{}", wf.name().replace('-', "_"));
+                emit(&sensitivity::sensitivity_report(wf.name(), &rows), &name, args);
+            }
+        }
+        "robustness" => {
+            let quiet = ExperimentConfig {
+                validate_with_sim: false,
+                ..config.clone()
+            };
+            let jitter = cws_sim::JitterModel::new(0.2, config.seed);
+            for wf in cws_workloads::paper_workflows() {
+                let rows = robustness::strategy_robustness(&quiet, &wf, jitter, 25);
+                let name = format!("robustness_{}", wf.name().replace('-', "_"));
+                emit(
+                    &robustness::robustness_report(wf.name(), 0.2, &rows),
+                    &name,
+                    args,
+                );
+            }
+        }
+        _ => usage(),
+    };
+
+    if args.command == "all" {
+        for cmd in [
+            "prices",
+            "catalog",
+            "fig3",
+            "fig4",
+            "fig5",
+            "table3",
+            "table4",
+            "table5",
+            "corent",
+            "frontier",
+            "ablation",
+            "boundaries",
+            "grid",
+            "workloads",
+            "fleet",
+            "sensitivity",
+            "robustness",
+            "failures",
+            "energy",
+            "data",
+            "summary",
+        ] {
+            run_one(cmd, &args);
+        }
+    } else {
+        run_one(&args.command, &args);
+    }
+}

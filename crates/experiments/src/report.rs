@@ -1,0 +1,200 @@
+//! Report emitters: ASCII tables, CSV and gnuplot data files.
+
+use std::fmt::Write as _;
+
+/// A rectangular table with a header row, rendered to aligned ASCII, CSV
+/// or gnuplot-friendly whitespace-separated data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (printed above ASCII output, `# `-prefixed in data
+    /// files).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned ASCII table.
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-style quoting for cells containing commas
+    /// or quotes).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Render as a gnuplot `.dat` file: `#`-prefixed title and header,
+    /// whitespace-separated columns, spaces inside cells replaced with
+    /// underscores.
+    #[must_use]
+    pub fn to_gnuplot(&self) -> String {
+        let clean = |s: &str| s.replace(' ', "_");
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(
+            out,
+            "# {}",
+            self.headers.iter().map(|h| clean(h)).collect::<Vec<_>>().join(" ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| clean(c)).collect::<Vec<_>>().join(" ")
+            );
+        }
+        out
+    }
+}
+
+/// Format a float with a fixed number of decimals, trimming `-0.0`.
+#[must_use]
+pub fn fmt_f(x: f64, decimals: usize) -> String {
+    let s = format!("{x:.decimals$}");
+    if s.starts_with("-0.") && s[1..].parse::<f64>() == Ok(0.0) {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["beta, the second".into(), "2".into()]);
+        t
+    }
+
+    #[test]
+    fn ascii_contains_title_headers_rows() {
+        let s = sample().to_ascii();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("name"));
+        assert!(s.contains("alpha"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn ascii_columns_align() {
+        let s = sample().to_ascii();
+        let lines: Vec<&str> = s.lines().collect();
+        // header and first data row start their second column at the same
+        // offset
+        let header = lines[1];
+        let row = lines[3];
+        let col = header.find("value").unwrap();
+        assert_eq!(&row[col..col + 1], "1");
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let s = sample().to_csv();
+        assert!(s.contains("\"beta, the second\""));
+        assert!(s.starts_with("name,value\n"));
+    }
+
+    #[test]
+    fn csv_escapes_quotes() {
+        let mut t = Table::new("q", &["a"]);
+        t.row(vec!["say \"hi\"".into()]);
+        assert!(t.to_csv().contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn gnuplot_has_comment_header_and_no_spaces() {
+        let s = sample().to_gnuplot();
+        assert!(s.starts_with("# demo\n"));
+        assert!(s.contains("beta,_the_second"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_f(-0.0001, 2), "0.00");
+        assert_eq!(fmt_f(-5.5, 1), "-5.5");
+    }
+}

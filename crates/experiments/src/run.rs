@@ -1,0 +1,150 @@
+//! Shared experiment runner: one (workflow, scenario, strategy) cell.
+
+use cws_core::{RelativeMetrics, ScheduleMetrics, Strategy};
+use cws_dag::Workflow;
+use cws_platform::Platform;
+use cws_workloads::{DataSizeModel, Scenario};
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by every experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The simulated platform (EC2 prices, network, default region).
+    pub platform: Platform,
+    /// Seed for the Pareto runtime scenario.
+    pub seed: u64,
+    /// Edge payload model. The paper's figures are CPU-intensive, so the
+    /// default zeroes all payloads.
+    pub data_model: DataSizeModel,
+    /// Whether to cross-validate every schedule in the discrete-event
+    /// simulator (adds a few percent of runtime; on by default because
+    /// the check is cheap and catches model drift immediately).
+    pub validate_with_sim: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            platform: Platform::ec2_paper(),
+            seed: 42,
+            data_model: DataSizeModel::CpuIntensive,
+            validate_with_sim: true,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Prepare a workflow for one scenario: rewrite runtimes per the
+    /// scenario and payloads per the data model.
+    #[must_use]
+    pub fn materialize(&self, wf: &Workflow, scenario: Scenario) -> Workflow {
+        let wf = self.data_model.apply(wf);
+        scenario.apply(&wf)
+    }
+
+    /// The paper's three scenarios with this config's seed.
+    #[must_use]
+    pub fn scenarios(&self) -> [Scenario; 3] {
+        Scenario::paper_set(self.seed)
+    }
+}
+
+/// The outcome of one strategy on one materialized workflow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StrategyResult {
+    /// Figure-legend label.
+    pub label: String,
+    /// Absolute metrics.
+    pub metrics: ScheduleMetrics,
+    /// Gain/loss against the `OneVMperTask-s` baseline.
+    pub relative: RelativeMetrics,
+}
+
+/// Run one strategy on a *materialized* workflow (runtimes already set)
+/// and measure it against the supplied baseline metrics.
+///
+/// # Panics
+/// Panics if the produced schedule is invalid or (when enabled in
+/// `config`) diverges under discrete-event replay — either indicates a
+/// bug, not a data condition.
+#[must_use]
+pub fn run_strategy(
+    config: &ExperimentConfig,
+    wf: &Workflow,
+    strategy: Strategy,
+    baseline: &ScheduleMetrics,
+) -> StrategyResult {
+    let schedule = strategy.schedule(wf, &config.platform);
+    schedule
+        .validate(wf, &config.platform)
+        .unwrap_or_else(|e| panic!("{} produced an invalid schedule: {e}", strategy.label()));
+    if config.validate_with_sim {
+        cws_sim::verify(wf, &config.platform, &schedule, 1e-6)
+            .unwrap_or_else(|e| panic!("{} diverged under replay: {e}", strategy.label()));
+    }
+    let metrics = ScheduleMetrics::of(&schedule, wf, &config.platform);
+    StrategyResult {
+        label: strategy.label(),
+        metrics,
+        relative: RelativeMetrics::vs(&metrics, baseline),
+    }
+}
+
+/// Compute the baseline (`OneVMperTask-s`) metrics for a materialized
+/// workflow.
+#[must_use]
+pub fn baseline_metrics(config: &ExperimentConfig, wf: &Workflow) -> ScheduleMetrics {
+    let schedule = Strategy::BASELINE.schedule(wf, &config.platform);
+    ScheduleMetrics::of(&schedule, wf, &config.platform)
+}
+
+/// Run the full 19-strategy paper set on a materialized workflow.
+#[must_use]
+pub fn run_all_strategies(config: &ExperimentConfig, wf: &Workflow) -> Vec<StrategyResult> {
+    let baseline = baseline_metrics(config, wf);
+    Strategy::paper_set()
+        .into_iter()
+        .map(|s| run_strategy(config, wf, s, &baseline))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_workloads::sequential;
+
+    #[test]
+    fn baseline_relative_is_origin() {
+        let cfg = ExperimentConfig::default();
+        let wf = cfg.materialize(&sequential(5), Scenario::BestCase);
+        let baseline = baseline_metrics(&cfg, &wf);
+        let r = run_strategy(&cfg, &wf, Strategy::BASELINE, &baseline);
+        assert!(r.relative.gain_pct.abs() < 1e-9);
+        assert!(r.relative.loss_pct.abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_all_covers_19_strategies() {
+        let cfg = ExperimentConfig::default();
+        let wf = cfg.materialize(&sequential(5), Scenario::BestCase);
+        let results = run_all_strategies(&cfg, &wf);
+        assert_eq!(results.len(), 19);
+    }
+
+    #[test]
+    fn materialize_applies_scenario_and_data_model() {
+        let cfg = ExperimentConfig::default();
+        let wf = cfg.materialize(&sequential(4), Scenario::WorstCase);
+        assert!(wf.tasks().iter().all(|t| t.base_time == 10800.0));
+        assert!(wf.edges().all(|e| e.data_mb == 0.0));
+    }
+
+    #[test]
+    fn pareto_materialization_is_seeded() {
+        let cfg = ExperimentConfig::default();
+        let s = Scenario::Pareto { seed: cfg.seed };
+        let a = cfg.materialize(&sequential(6), s);
+        let b = cfg.materialize(&sequential(6), s);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,186 @@
+//! One-shot reproduction report: runs every experiment and renders a
+//! single Markdown document with the measured headline numbers next to
+//! the paper's claims — the machine-generated companion to the
+//! hand-curated EXPERIMENTS.md.
+
+use crate::run::ExperimentConfig;
+use crate::{fig3, fig4, fig5, table3, table4, table5};
+use std::fmt::Write as _;
+
+/// Outcome of one headline check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Claim {
+    /// What the paper asserts.
+    pub paper: String,
+    /// What we measured.
+    pub measured: String,
+    /// Whether the reproduction agrees.
+    pub holds: bool,
+}
+
+/// Evaluate the paper's headline claims against a fresh run of every
+/// experiment.
+#[must_use]
+pub fn headline_claims(config: &ExperimentConfig) -> Vec<Claim> {
+    let mut claims = Vec::new();
+
+    // Fig. 3 CDF landmarks.
+    let f3 = fig3::fig3(config.seed, 50_000);
+    claims.push(Claim {
+        paper: "Fig. 3: runtime CDF reaches ~0.75 at 1000 s".into(),
+        measured: format!("max CDF deviation {:.3}", f3.max_deviation()),
+        holds: f3.max_deviation() < 0.02,
+    });
+
+    // Fig. 4 headlines.
+    let f4 = fig4::fig4(config);
+    let one_l_ok = f4.iter().all(|p| {
+        let pt = p.point("OneVMperTask-l").expect("legend entry");
+        pt.gain_pct > 0.0 && (200.0..=300.0).contains(&pt.loss_pct)
+    });
+    claims.push(Claim {
+        paper: "OneVMperTask-l gains at a 200-300% loss on every workflow".into(),
+        measured: f4
+            .iter()
+            .map(|p| {
+                let pt = p.point("OneVMperTask-l").expect("legend entry");
+                format!("{}: ({:.0}%, {:.0}%)", p.workflow, pt.gain_pct, pt.loss_pct)
+            })
+            .collect::<Vec<_>>()
+            .join("; "),
+        holds: one_l_ok,
+    });
+
+    let dyn_square = f4.iter().all(|p| {
+        p.point("AllPar1LnSDyn").expect("legend entry").in_target_square
+    });
+    claims.push(Claim {
+        paper: "AllPar1LnSDyn stays in the target square for every workflow".into(),
+        measured: f4
+            .iter()
+            .map(|p| {
+                let pt = p.point("AllPar1LnSDyn").expect("legend entry");
+                format!("{}: ({:.0}%, {:.0}%)", p.workflow, pt.gain_pct, pt.loss_pct)
+            })
+            .collect::<Vec<_>>()
+            .join("; "),
+        holds: dyn_square,
+    });
+
+    // Fig. 5 idle headline.
+    let f5 = fig5::fig5(config);
+    let montage_max = f5[0]
+        .bars
+        .iter()
+        .map(|b| b.idle_seconds)
+        .fold(0.0_f64, f64::max);
+    claims.push(Claim {
+        paper: "idle time peaks around 22 hours on Montage".into(),
+        measured: format!("{:.1} hours", montage_max / 3600.0),
+        holds: (15.0..30.0).contains(&(montage_max / 3600.0)),
+    });
+
+    // Table III worst-case identity.
+    let t3 = table3::table3(config);
+    let no_worst_gain = t3
+        .iter()
+        .filter(|c| c.scenario == "worst-case")
+        .all(|c| c.gain_dominant.is_empty());
+    claims.push(Claim {
+        paper: "no strategy is gain-dominant in the worst case".into(),
+        measured: if no_worst_gain {
+            "confirmed".into()
+        } else {
+            "violated".into()
+        },
+        holds: no_worst_gain,
+    });
+
+    // Table IV stable gains.
+    let t4 = table4::table4(config);
+    let gains: Vec<f64> = t4.iter().map(|r| r.mean_gain).collect();
+    let stable_ok = gains.len() == 3
+        && gains[0].abs() < 1.0
+        && (gains[1] - 37.5).abs() < 2.0
+        && (gains[2] - 52.4).abs() < 2.0;
+    claims.push(Claim {
+        paper: "AllPar[Not]Exceed stable gain is 0/37/52% by instance size".into(),
+        measured: format!(
+            "{:.1}% / {:.1}% / {:.1}%",
+            gains[0], gains[1], gains[2]
+        ),
+        holds: stable_ok,
+    });
+
+    // Table V savings winners save.
+    let t5 = table5::table5(config);
+    let savers = t5.iter().all(|r| r.savings_value > 0.0);
+    claims.push(Claim {
+        paper: "a savings-oriented strategy exists for every workflow".into(),
+        measured: t5
+            .iter()
+            .map(|r| format!("{}: {} ({:.0}%)", r.workflow, r.savings_winner, r.savings_value))
+            .collect::<Vec<_>>()
+            .join("; "),
+        holds: savers,
+    });
+
+    claims
+}
+
+/// Render the full Markdown reproduction report.
+#[must_use]
+pub fn markdown_report(config: &ExperimentConfig) -> String {
+    let claims = headline_claims(config);
+    let mut out = String::new();
+    let _ = writeln!(out, "# Reproduction report (auto-generated)\n");
+    let _ = writeln!(
+        out,
+        "Seed {}, EC2 Oct-2012 prices, BTU = 3600 s, CPU-intensive payloads.\n",
+        config.seed
+    );
+    let _ = writeln!(out, "| # | paper claim | measured | holds |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for (i, c) in claims.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            i + 1,
+            c.paper,
+            c.measured,
+            if c.holds { "✅" } else { "❌" }
+        );
+    }
+    let passed = claims.iter().filter(|c| c.holds).count();
+    let _ = writeln!(out, "\n**{passed}/{} headline claims hold.**", claims.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            validate_with_sim: false,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_headline_claims_hold() {
+        let claims = headline_claims(&cfg());
+        assert_eq!(claims.len(), 7);
+        for c in &claims {
+            assert!(c.holds, "claim failed: {} — measured {}", c.paper, c.measured);
+        }
+    }
+
+    #[test]
+    fn markdown_renders_and_reports_success() {
+        let md = markdown_report(&cfg());
+        assert!(md.starts_with("# Reproduction report"));
+        assert!(md.contains("7/7 headline claims hold"));
+        assert!(!md.contains("❌"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Parallel grid runner.
+//!
+//! The full reproduction runs 19 strategies × 4 workflows × 3 scenarios
+//! (plus baselines). Cells are independent, so the grid is executed on a
+//! crossbeam-scoped worker pool fed through a channel — the standard
+//! work-queue pattern — while results return through a second channel.
+//! Determinism is preserved by sorting results back into grid order.
+
+use crate::run::{baseline_metrics, run_strategy, ExperimentConfig, StrategyResult};
+use crossbeam::channel;
+use cws_core::Strategy;
+use cws_dag::Workflow;
+use cws_workloads::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// One completed grid cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridCell {
+    /// Workflow name.
+    pub workflow: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Strategy result (label + metrics + relative metrics).
+    pub result: StrategyResult,
+}
+
+/// Run the whole (workflow × scenario × strategy) grid on `workers`
+/// threads (`0` = one per available core). Results come back in
+/// deterministic grid order regardless of scheduling.
+#[must_use]
+pub fn run_grid(
+    config: &ExperimentConfig,
+    workflows: &[Workflow],
+    scenarios: &[Scenario],
+    strategies: &[Strategy],
+    workers: usize,
+) -> Vec<GridCell> {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    } else {
+        workers
+    };
+
+    // Materialize workflows + baselines once per (workflow, scenario).
+    let prepared: Vec<(String, String, Workflow, cws_core::ScheduleMetrics)> = workflows
+        .iter()
+        .flat_map(|wf| {
+            scenarios.iter().map(move |&sc| {
+                let m = config.materialize(wf, sc);
+                let base = baseline_metrics(config, &m);
+                (wf.name().to_string(), sc.name().to_string(), m, base)
+            })
+        })
+        .collect();
+
+    let jobs: Vec<(usize, usize)> = (0..prepared.len())
+        .flat_map(|p| (0..strategies.len()).map(move |s| (p, s)))
+        .collect();
+
+    let (job_tx, job_rx) = channel::unbounded::<(usize, usize)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, usize, GridCell)>();
+    for j in &jobs {
+        job_tx.send(*j).expect("queue accepts jobs");
+    }
+    drop(job_tx);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let prepared = &prepared;
+            scope.spawn(move |_| {
+                while let Ok((p, s)) = job_rx.recv() {
+                    let (wf_name, sc_name, m, base) = &prepared[p];
+                    let result = run_strategy(config, m, strategies[s], base);
+                    let cell = GridCell {
+                        workflow: wf_name.clone(),
+                        scenario: sc_name.clone(),
+                        result,
+                    };
+                    res_tx.send((p, s, cell)).expect("result channel open");
+                }
+            });
+        }
+        drop(res_tx);
+        let mut out: Vec<Option<GridCell>> = vec![None; jobs.len()];
+        for (p, s, cell) in res_rx {
+            out[p * strategies.len() + s] = Some(cell);
+        }
+        out.into_iter()
+            .map(|c| c.expect("every job completed"))
+            .collect()
+    })
+    .expect("no worker panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_workloads::{mapreduce_default, sequential};
+
+    #[test]
+    fn grid_covers_every_cell_in_order() {
+        let cfg = ExperimentConfig::default();
+        let wfs = [sequential(5), mapreduce_default()];
+        let scenarios = [Scenario::BestCase, Scenario::WorstCase];
+        let strategies = Strategy::paper_set();
+        let cells = run_grid(&cfg, &wfs, &scenarios, &strategies, 4);
+        assert_eq!(cells.len(), 2 * 2 * 19);
+        // deterministic order: workflow-major, then scenario, then strategy
+        assert_eq!(cells[0].workflow, "sequential-5");
+        assert_eq!(cells[0].scenario, "best-case");
+        assert_eq!(cells[0].result.label, "StartParNotExceed-s");
+        assert_eq!(cells.last().unwrap().workflow, "mapreduce-8x8x4");
+        assert_eq!(cells.last().unwrap().result.label, "AllPar1LnSDyn");
+    }
+
+    #[test]
+    fn parallel_equals_sequential_run() {
+        let cfg = ExperimentConfig::default();
+        let wfs = [sequential(4)];
+        let scenarios = [Scenario::Pareto { seed: 42 }];
+        let strategies = Strategy::paper_set();
+        let par = run_grid(&cfg, &wfs, &scenarios, &strategies, 8);
+        let seq = run_grid(&cfg, &wfs, &scenarios, &strategies, 1);
+        assert_eq!(par.len(), seq.len());
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.result.label, b.result.label);
+            assert_eq!(a.result.metrics.makespan, b.result.metrics.makespan);
+            assert_eq!(a.result.metrics.cost, b.result.metrics.cost);
+        }
+    }
+
+    #[test]
+    fn zero_workers_defaults_to_parallelism() {
+        let cfg = ExperimentConfig::default();
+        let cells = run_grid(
+            &cfg,
+            &[sequential(3)],
+            &[Scenario::BestCase],
+            &[Strategy::BASELINE],
+            0,
+        );
+        assert_eq!(cells.len(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! The paper's static tables (Table I and Table II) as renderable data.
+
+use crate::report::Table;
+use cws_platform::{InstanceType, PriceCatalog, Region};
+
+/// Table I — the provisioning/ordering/allocation pairings.
+#[must_use]
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table I — provisioning and allocation policies",
+        &["provisioning", "task_ordering", "allocation", "parallelism_reduction"],
+    );
+    for row in cws_core::strategy::table_i() {
+        t.row(vec![
+            row.provisioning.to_string(),
+            row.ordering.to_string(),
+            row.allocation.to_string(),
+            if row.parallelism_reduction { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table II — the EC2 October-2012 price list.
+#[must_use]
+pub fn table2() -> Table {
+    let cat = PriceCatalog::ec2_oct_2012();
+    let mut t = Table::new(
+        "Table II — Amazon EC2 prices, October 31st 2012 (USD)",
+        &["region", "small", "medium", "large", "xlarge", "transfer_out_per_gb"],
+    );
+    for r in Region::ALL {
+        t.row(vec![
+            r.name().to_string(),
+            format!("{:.3}", cat.price(r, InstanceType::Small)),
+            format!("{:.3}", cat.price(r, InstanceType::Medium)),
+            format!("{:.3}", cat.price(r, InstanceType::Large)),
+            format!("{:.3}", cat.price(r, InstanceType::XLarge)),
+            format!("{:.3}", cat.transfer_out_price(r)),
+        ]);
+    }
+    t
+}
+
+/// A gnuplot script that plots one Fig. 4 panel from its `.dat` file
+/// (written by `cws-exp fig4 --out DIR`), reproducing the paper's axes:
+/// gain on x in [−100, 300], loss on y in [−100, 300], with the target
+/// square outlined.
+#[must_use]
+pub fn fig4_gnuplot_script(workflow: &str) -> String {
+    let stem = format!("fig4_{}", workflow.replace('-', "_"));
+    format!(
+        "# gnuplot script reproducing Fig. 4 ({workflow})\n\
+         set terminal pngcairo size 900,700\n\
+         set output '{stem}.png'\n\
+         set xlabel '% gain'\n\
+         set ylabel '% $ loss'\n\
+         set xrange [-100:300]\n\
+         set yrange [-100:300]\n\
+         set object 1 rect from 0,-100 to 300,0 fc rgb '#eeffee' behind\n\
+         set grid\n\
+         set key outside right\n\
+         plot '{stem}.dat' using 2:3:1 with labels point pt 7 offset char 1,0.5 \
+         title '{workflow}'\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_rows() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 5);
+        assert_eq!(t.rows[0][0], "OneVMperTask");
+        assert_eq!(t.rows[3][3], "yes");
+        assert!(t.to_ascii().contains("level ranking + ET descending"));
+    }
+
+    #[test]
+    fn table2_reproduces_prices() {
+        let t = table2();
+        assert_eq!(t.rows.len(), 7);
+        // spot check two cells against the paper
+        assert_eq!(t.rows[0][1], "0.080"); // US East small
+        assert_eq!(t.rows[6][4], "0.920"); // Sao Paulo xlarge
+        assert_eq!(t.rows[5][5], "0.201"); // Tokyo transfer
+    }
+
+    #[test]
+    fn gnuplot_script_targets_the_right_files() {
+        let s = fig4_gnuplot_script("montage-24");
+        assert!(s.contains("fig4_montage_24.dat"));
+        assert!(s.contains("set xrange [-100:300]"));
+        assert!(s.contains("set output 'fig4_montage_24.png'"));
+    }
+}

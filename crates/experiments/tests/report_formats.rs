@@ -1,0 +1,107 @@
+//! Output-format integration tests: the CSV and gnuplot emitters must
+//! produce machine-readable artifacts for every figure/table the CLI
+//! writes.
+
+use cws_experiments::report::Table;
+use cws_experiments::{fig3, fig4, fig5, table4, tables, ExperimentConfig};
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        validate_with_sim: false,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Minimal CSV splitter good enough for the emitter's quoting rules.
+fn parse_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes && chars.peek() == Some(&'"') => {
+                cur.push('"');
+                chars.next();
+            }
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            other => cur.push(other),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+fn assert_csv_rectangular(t: &Table) {
+    let csv = t.to_csv();
+    let mut lines = csv.lines();
+    let header = parse_csv_line(lines.next().expect("header"));
+    assert_eq!(header.len(), t.headers.len());
+    let mut count = 0;
+    for line in lines {
+        let row = parse_csv_line(line);
+        assert_eq!(row.len(), header.len(), "ragged CSV row: {line:?}");
+        count += 1;
+    }
+    assert_eq!(count, t.rows.len());
+}
+
+fn assert_gnuplot_numeric_columns(t: &Table, numeric_cols: &[usize]) {
+    let dat = t.to_gnuplot();
+    for line in dat.lines().filter(|l| !l.starts_with('#')) {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(fields.len(), t.headers.len(), "ragged dat row: {line:?}");
+        for &c in numeric_cols {
+            assert!(
+                fields[c].parse::<f64>().is_ok(),
+                "column {c} not numeric in {line:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig3_formats_are_machine_readable() {
+    let t = fig3::fig3(42, 1000).to_table();
+    assert_csv_rectangular(&t);
+    assert_gnuplot_numeric_columns(&t, &[0, 1, 2]);
+}
+
+#[test]
+fn fig4_formats_are_machine_readable() {
+    for panel in fig4::fig4(&cfg()) {
+        let t = panel.to_table();
+        assert_csv_rectangular(&t);
+        // gain/loss columns must parse as numbers for gnuplot
+        assert_gnuplot_numeric_columns(&t, &[1, 2]);
+    }
+}
+
+#[test]
+fn fig5_formats_are_machine_readable() {
+    for panel in fig5::fig5(&cfg()) {
+        let t = panel.to_table();
+        assert_csv_rectangular(&t);
+        assert_gnuplot_numeric_columns(&t, &[1]);
+    }
+}
+
+#[test]
+fn table4_and_static_tables_round_through_csv() {
+    assert_csv_rectangular(&table4::table4_report(&table4::table4(&cfg())));
+    assert_csv_rectangular(&tables::table1());
+    assert_csv_rectangular(&tables::table2());
+}
+
+#[test]
+fn gnuplot_script_references_every_fig4_panel() {
+    for panel in fig4::fig4(&cfg()) {
+        let script = tables::fig4_gnuplot_script(&panel.workflow);
+        let stem = format!("fig4_{}", panel.workflow.replace('-', "_"));
+        assert!(script.contains(&format!("{stem}.dat")));
+        assert!(script.contains(&format!("{stem}.png")));
+    }
+}

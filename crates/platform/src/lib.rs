@@ -1,0 +1,39 @@
+//! EC2-like IaaS platform model.
+//!
+//! This crate reproduces the platform of Sect. IV-A of *"Comparing
+//! Provisioning and Scheduling Strategies for Workflows on Clouds"*
+//! (Frincu, Genaud, Gossa — IPDPS CloudFlow 2013):
+//!
+//! * four on-demand instance types (`small`, `medium`, `large`, `xlarge`)
+//!   with speed-ups 1 / 1.6 / 2.1 / 2.7 over the one-core reference,
+//! * seven Amazon EC2 regions with the October 31st 2012 on-demand prices
+//!   (the paper's Table II),
+//! * billing by integral Billing Time Units (BTU = 3600 s),
+//! * 1 Gb/s links for small/medium instances and 10 Gb/s for large/xlarge,
+//!   with store-and-forward transfer times `size/bandwidth + latency`,
+//! * outbound inter-region transfer pricing applied to monthly volumes in
+//!   the (1 GB, 10 TB] bracket.
+//!
+//! Everything is plain data + pure functions: the scheduling crates consume
+//! this model without any I/O or global state.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod billing;
+pub mod energy;
+pub mod instance;
+pub mod network;
+pub mod platform;
+pub mod pricing;
+pub mod region;
+pub mod spot;
+
+pub use billing::{BtuMeter, BTU_SECONDS};
+pub use energy::EnergyModel;
+pub use instance::InstanceType;
+pub use network::{NetworkModel, TransferSpec};
+pub use platform::Platform;
+pub use pricing::{PriceCatalog, TransferBracket};
+pub use spot::SpotMarket;
+pub use region::Region;

@@ -1,0 +1,175 @@
+//! Spot-market pricing: discounted, interruptible instances.
+//!
+//! The paper closes its idle-time discussion with the co-rent/spot
+//! analogy ("in a similar manner with what Amazon does with its spot
+//! instances"). This module models the other side of that market: VMs
+//! rented at a discount that may be reclaimed ("interrupted") with some
+//! probability per hour. Combined with the failure-impact analysis in
+//! the simulator crate, it prices the discount-vs-reliability trade-off.
+
+use crate::instance::InstanceType;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A spot market: a flat discount and a per-hour interruption hazard.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpotMarket {
+    /// Price as a fraction of the on-demand price (e.g. 0.3 = 70% off —
+    /// typical EC2 spot discounts).
+    pub price_fraction: f64,
+    /// Probability that a spot VM is reclaimed within any given hour.
+    pub hourly_interruption_prob: f64,
+}
+
+impl Default for SpotMarket {
+    fn default() -> Self {
+        SpotMarket {
+            price_fraction: 0.3,
+            hourly_interruption_prob: 0.05,
+        }
+    }
+}
+
+impl SpotMarket {
+    /// Construct a market.
+    ///
+    /// # Panics
+    /// Panics unless both parameters are within `(0, 1]` / `[0, 1)`.
+    #[must_use]
+    pub fn new(price_fraction: f64, hourly_interruption_prob: f64) -> Self {
+        assert!(
+            price_fraction > 0.0 && price_fraction <= 1.0,
+            "price fraction must be in (0, 1], got {price_fraction}"
+        );
+        assert!(
+            (0.0..1.0).contains(&hourly_interruption_prob),
+            "interruption probability must be in [0, 1), got {hourly_interruption_prob}"
+        );
+        SpotMarket {
+            price_fraction,
+            hourly_interruption_prob,
+        }
+    }
+
+    /// Spot price per BTU of `itype` given its on-demand price.
+    #[must_use]
+    pub fn price(&self, on_demand: f64) -> f64 {
+        on_demand * self.price_fraction
+    }
+
+    /// Probability a spot VM survives `hours` hours uninterrupted
+    /// (geometric survival).
+    #[must_use]
+    pub fn survival_probability(&self, hours: f64) -> f64 {
+        assert!(hours >= 0.0, "hours must be non-negative");
+        (1.0 - self.hourly_interruption_prob).powf(hours)
+    }
+
+    /// Expected cost of completing `busy_seconds` of work on a spot VM
+    /// of `itype`, **including retries**: each interruption loses the
+    /// running hour's work and restarts it (a simple memoryless retry
+    /// model). With survival probability `s` per hour, each wall-clock
+    /// hour of useful work costs on average `1/s` attempted hours.
+    #[must_use]
+    pub fn expected_cost(&self, itype: InstanceType, on_demand_small: f64, busy_seconds: f64) -> f64 {
+        let hours = (busy_seconds / 3600.0).ceil().max(1.0);
+        let per_hour =
+            self.price(on_demand_small * f64::from(itype.price_multiplier()));
+        let survival = 1.0 - self.hourly_interruption_prob;
+        per_hour * hours / survival
+    }
+
+    /// Sample interruption times for a VM running `span_seconds`,
+    /// returning the first interruption (seconds from rental start) if
+    /// one occurs. Deterministic per seed.
+    #[must_use]
+    pub fn sample_interruption(&self, span_seconds: f64, seed: u64) -> Option<f64> {
+        assert!(span_seconds >= 0.0, "span must be non-negative");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let hours = (span_seconds / 3600.0).ceil() as u64;
+        for h in 0..hours {
+            if rng.gen::<f64>() < self.hourly_interruption_prob {
+                // interrupted somewhere within hour h
+                let offset = rng.gen::<f64>() * 3600.0;
+                return Some((h as f64 * 3600.0 + offset).min(span_seconds));
+            }
+        }
+        None
+    }
+
+    /// The break-even hazard: the hourly interruption probability at
+    /// which the expected spot cost (with retries) equals on-demand.
+    /// Below it, spot is cheaper in expectation.
+    #[must_use]
+    pub fn break_even_hazard(&self) -> f64 {
+        // per_hour_spot / survival = per_hour_on_demand
+        // fraction / (1 − p) = 1  ⇒  p = 1 − fraction
+        1.0 - self.price_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_a_70pct_discount() {
+        let m = SpotMarket::default();
+        assert!((m.price(0.08) - 0.024).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_decays_geometrically() {
+        let m = SpotMarket::new(0.3, 0.1);
+        assert!((m.survival_probability(0.0) - 1.0).abs() < 1e-12);
+        assert!((m.survival_probability(1.0) - 0.9).abs() < 1e-12);
+        assert!((m.survival_probability(2.0) - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_cost_beats_on_demand_at_low_hazard() {
+        let m = SpotMarket::new(0.3, 0.05);
+        let spot = m.expected_cost(InstanceType::Small, 0.08, 3600.0);
+        assert!(spot < 0.08, "spot {spot} must undercut on-demand 0.08");
+    }
+
+    #[test]
+    fn break_even_matches_closed_form() {
+        let m = SpotMarket::new(0.3, 0.05);
+        assert!((m.break_even_hazard() - 0.7).abs() < 1e-12);
+        // at the break-even hazard, expected cost equals on-demand
+        let at = SpotMarket::new(0.3, m.break_even_hazard() - 1e-12);
+        let cost = at.expected_cost(InstanceType::Small, 0.08, 3600.0);
+        assert!((cost - 0.08).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interruptions_are_seeded_and_within_span() {
+        let m = SpotMarket::new(0.3, 0.5);
+        let a = m.sample_interruption(7200.0, 9);
+        let b = m.sample_interruption(7200.0, 9);
+        assert_eq!(a, b);
+        if let Some(t) = a {
+            assert!((0.0..=7200.0).contains(&t));
+        }
+        // hazard 0 never interrupts
+        let never = SpotMarket::new(0.3, 0.0);
+        assert_eq!(never.sample_interruption(1e6, 1), None);
+    }
+
+    #[test]
+    fn high_hazard_interrupts_long_rentals_almost_surely() {
+        let m = SpotMarket::new(0.3, 0.9);
+        let hits = (0..100)
+            .filter(|&s| m.sample_interruption(36_000.0, s).is_some())
+            .count();
+        assert!(hits > 95);
+    }
+
+    #[test]
+    #[should_panic(expected = "price fraction")]
+    fn zero_price_rejected() {
+        let _ = SpotMarket::new(0.0, 0.1);
+    }
+}

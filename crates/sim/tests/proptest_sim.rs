@@ -1,0 +1,103 @@
+//! Crate-level property tests for the discrete-event engine: replay
+//! exactness, jitter bounds, failure monotonicity.
+
+use cws_core::{Strategy, VmId};
+use cws_dag::Workflow;
+use cws_platform::Platform;
+use cws_sim::{failure_impact, robustness, simulate, verify, JitterModel, VmFailure};
+use cws_workloads::random::{layered_dag, LayeredShape};
+use cws_workloads::Scenario;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+
+fn arb_wf() -> impl proptest::strategy::Strategy<Value = Workflow> {
+    (2usize..5, 1usize..4, 0.2f64..0.8, 0u64..300).prop_map(|(l, w, p, s)| {
+        let wf = layered_dag(LayeredShape {
+            levels: l,
+            min_width: 1,
+            max_width: w,
+            edge_prob: p,
+            seed: s,
+        });
+        Scenario::Pareto { seed: s }.apply(&wf)
+    })
+}
+
+fn arb_strategy() -> impl proptest::strategy::Strategy<Value = Strategy> {
+    (0usize..19).prop_map(|i| Strategy::paper_set()[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn replay_is_exact_for_every_strategy(wf in arb_wf(), strategy in arb_strategy()) {
+        let p = Platform::ec2_paper();
+        let s = strategy.schedule(&wf, &p);
+        prop_assert!(verify(&wf, &p, &s, 1e-6).is_ok(), "{}", strategy.label());
+    }
+
+    #[test]
+    fn replay_is_idempotent(wf in arb_wf()) {
+        let p = Platform::ec2_paper();
+        let s = Strategy::BASELINE.schedule(&wf, &p);
+        let a = simulate(&wf, &p, &s);
+        let b = simulate(&wf, &p, &s);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jitter_inflation_is_bounded_by_the_model(
+        wf in arb_wf(),
+        rel in 0.0f64..0.4,
+        seed in 0u64..100,
+    ) {
+        let p = Platform::ec2_paper();
+        let s = Strategy::BASELINE.schedule(&wf, &p);
+        let r = robustness(&wf, &p, &s, JitterModel::new(rel, seed), 5);
+        // with OneVMperTask every task path scales by at most (1+rel):
+        prop_assert!(r.max_makespan <= r.planned_makespan * (1.0 + rel) + 1.0,
+            "max {} vs bound {}", r.max_makespan, r.planned_makespan * (1.0 + rel));
+        // and by at least (1-rel) on the way down
+        prop_assert!(r.mean_makespan >= r.planned_makespan * (1.0 - rel) - 1.0);
+    }
+
+    #[test]
+    fn failure_sets_are_monotone(wf in arb_wf(), at_frac in 0.1f64..0.9) {
+        // crashing earlier can only lose more
+        let p = Platform::ec2_paper();
+        let s = Strategy::parse("StartParExceed-s").unwrap().schedule(&wf, &p);
+        let at = s.makespan() * at_frac;
+        let early = failure_impact(&wf, &p, &s, &[VmFailure { vm: VmId(0), at: at / 2.0 }]);
+        let late = failure_impact(&wf, &p, &s, &[VmFailure { vm: VmId(0), at }]);
+        prop_assert!(early.completion_rate() <= late.completion_rate() + 1e-12);
+        // completed sets are nested
+        for (e, l) in early.completed.iter().zip(&late.completed) {
+            prop_assert!(!e || *l, "a task completed under the earlier crash must complete under the later one");
+        }
+    }
+
+    #[test]
+    fn more_failures_never_help(wf in arb_wf()) {
+        let p = Platform::ec2_paper();
+        let s = Strategy::BASELINE.schedule(&wf, &p);
+        let mid = s.makespan() / 2.0;
+        let one = failure_impact(&wf, &p, &s, &[VmFailure { vm: VmId(0), at: mid }]);
+        let two = failure_impact(
+            &wf, &p, &s,
+            &[VmFailure { vm: VmId(0), at: mid },
+              VmFailure { vm: VmId((s.vm_count() as u32).saturating_sub(1)), at: mid }],
+        );
+        prop_assert!(two.completion_rate() <= one.completion_rate() + 1e-12);
+    }
+
+    #[test]
+    fn utilization_from_replay_matches_schedule(wf in arb_wf(), strategy in arb_strategy()) {
+        let p = Platform::ec2_paper();
+        let s = strategy.schedule(&wf, &p);
+        let report = simulate(&wf, &p, &s);
+        let agg = report.aggregate_utilization(s.vm_count());
+        prop_assert!((agg - s.utilization()).abs() < 1e-9,
+            "{}: replay {} vs plan {}", strategy.label(), agg, s.utilization());
+    }
+}

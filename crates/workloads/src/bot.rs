@@ -1,0 +1,56 @@
+//! Bag-of-tasks workloads.
+//!
+//! The paper positions workflows against the other canonical cloud
+//! workload: the **bag of tasks** — "many independent tasks" with no
+//! dependencies, whose provisioning sensitivity had already been shown
+//! ([3], [4], [5] in the paper). A bag is simply an edgeless workflow;
+//! this module provides the generator so the same strategies, metrics
+//! and experiments run on bags unchanged (a bag is one big level, which
+//! makes the `AllPar*` policies its natural provisioners).
+
+use cws_dag::{Workflow, WorkflowBuilder};
+
+/// Build a bag of `n` independent tasks, each with unit base time
+/// (overwrite with a [`Scenario`](crate::runtime::Scenario) for real
+/// runtimes).
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[must_use]
+pub fn bag_of_tasks(n: usize) -> Workflow {
+    assert!(n >= 1, "a bag needs at least one task");
+    let mut b = WorkflowBuilder::new(format!("bot-{n}"));
+    for i in 0..n {
+        b.task(format!("job_{i}"), 100.0);
+    }
+    b.build().expect("an edgeless task set is a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_dag::StructureMetrics;
+
+    #[test]
+    fn bag_is_one_level_of_entries() {
+        let w = bag_of_tasks(50);
+        assert_eq!(w.len(), 50);
+        assert_eq!(w.edge_count(), 0);
+        assert_eq!(w.depth(), 1);
+        assert_eq!(w.entries().len(), 50);
+        assert_eq!(w.exits().len(), 50);
+    }
+
+    #[test]
+    fn bag_classifies_as_highly_parallel() {
+        let m = StructureMetrics::compute(&bag_of_tasks(20));
+        assert_eq!(m.parallelism, 1.0);
+        assert_eq!(m.dependency_density, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_bag_rejected() {
+        let _ = bag_of_tasks(0);
+    }
+}

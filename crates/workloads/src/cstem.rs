@@ -1,0 +1,134 @@
+//! CSTEM workflow reconstruction.
+//!
+//! CSTEM (Coupled Structural-Thermal-Electromagnetic analysis, Doğan &
+//! Özgüner 2005) is the paper's CPU-intensive, mostly-sequential workflow:
+//! a single entry task, a long spine with limited fan-out, and several
+//! final tasks. The original DAG is not published in the paper; we
+//! reconstruct a 20-task instance with the documented shape, including the
+//! Fig. 1 sub-workflow verbatim — one task fanning out to six subsequent
+//! tasks.
+
+use cws_dag::{Workflow, WorkflowBuilder};
+
+/// Number of tasks in the reconstructed CSTEM instance.
+pub const CSTEM_TASKS: usize = 20;
+
+/// Build the reconstructed CSTEM workflow.
+///
+/// Structure (level by level):
+///
+/// ```text
+/// t0                      entry (mesh generation)
+/// t1                      preprocessing
+/// t2                      setup — the Fig. 1 sub-workflow root
+/// t3 .. t8                6 parallel field computations (Fig. 1 fan-out)
+/// t9                      field assembly (join)
+/// t10                     thermal solve
+/// t11                     structural solve
+/// t12, t13                2 parallel post-processing branches
+/// t14                     coupling iteration
+/// t15                     convergence check
+/// t16 .. t19              4 final tasks (reports/visualisations) — the
+///                         "several final tasks" of Sect. IV-B
+/// ```
+#[must_use]
+pub fn cstem() -> Workflow {
+    let mut b = WorkflowBuilder::new("cstem");
+    const DATA_MB: f64 = 10.0;
+
+    let t0 = b.task("mesh_gen", 200.0);
+    let t1 = b.task("preprocess", 150.0);
+    let t2 = b.task("setup", 100.0);
+    b.data_edge(t0, t1, DATA_MB);
+    b.data_edge(t1, t2, DATA_MB);
+
+    // Fig. 1 sub-workflow: one initial task and six subsequent tasks.
+    let fields: Vec<_> = (0..6)
+        .map(|i| {
+            let t = b.task(format!("field_{i}"), 300.0);
+            b.data_edge(t2, t, DATA_MB);
+            t
+        })
+        .collect();
+
+    let t9 = b.task("assemble", 120.0);
+    for &f in &fields {
+        b.data_edge(f, t9, DATA_MB);
+    }
+
+    let t10 = b.task("thermal_solve", 400.0);
+    let t11 = b.task("structural_solve", 400.0);
+    b.data_edge(t9, t10, DATA_MB);
+    b.data_edge(t10, t11, DATA_MB);
+
+    let t12 = b.task("post_a", 180.0);
+    let t13 = b.task("post_b", 180.0);
+    b.data_edge(t11, t12, DATA_MB);
+    b.data_edge(t11, t13, DATA_MB);
+
+    let t14 = b.task("couple", 250.0);
+    b.data_edge(t12, t14, DATA_MB);
+    b.data_edge(t13, t14, DATA_MB);
+
+    let t15 = b.task("converge", 80.0);
+    b.data_edge(t14, t15, DATA_MB);
+
+    for i in 0..4 {
+        let t = b.task(format!("final_{i}"), 100.0);
+        b.data_edge(t15, t, DATA_MB);
+    }
+
+    b.build().expect("CSTEM generator emits a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_dag::StructureMetrics;
+
+    #[test]
+    fn has_twenty_tasks() {
+        assert_eq!(cstem().len(), CSTEM_TASKS);
+    }
+
+    #[test]
+    fn single_entry_several_finals() {
+        let w = cstem();
+        assert_eq!(w.entries().len(), 1, "CSTEM has a single initial task");
+        assert_eq!(w.exits().len(), 4, "CSTEM has several final tasks");
+    }
+
+    #[test]
+    fn fig1_subworkflow_present() {
+        // one task ("setup") fanning out to exactly six successors
+        let w = cstem();
+        let setup = w
+            .tasks()
+            .iter()
+            .find(|t| t.name == "setup")
+            .expect("setup exists");
+        assert_eq!(w.successors(setup.id).len(), 6);
+    }
+
+    #[test]
+    fn structure_has_some_but_limited_parallelism() {
+        let m = StructureMetrics::compute(&cstem());
+        assert!(m.max_width == 6, "widest level is the Fig. 1 fan-out");
+        assert!(
+            m.parallelism > 0.05 && m.parallelism < 0.5,
+            "CSTEM sits between sequential and parallel: {}",
+            m.parallelism
+        );
+    }
+
+    #[test]
+    fn deeper_than_wide() {
+        let w = cstem();
+        assert!(w.depth() > w.max_width(), "relatively sequential nature");
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        assert_eq!(cstem(), cstem());
+    }
+}

@@ -1,0 +1,59 @@
+//! Sequential (chain) workflow.
+//!
+//! "A typical example of a serial application with dependencies, e.g.,
+//! makefiles" (Sect. IV-B) — the opposite extreme of MapReduce, used to
+//! expose the limits of parallel provisioning policies.
+
+use cws_dag::{Workflow, WorkflowBuilder};
+
+/// Build a pure chain of `n` tasks (`step_0 -> step_1 -> … -> step_{n-1}`)
+/// with small data payloads between steps.
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[must_use]
+pub fn sequential(n: usize) -> Workflow {
+    assert!(n >= 1, "a sequential workflow needs at least one task");
+    let mut b = WorkflowBuilder::new(format!("sequential-{n}"));
+    let ids: Vec<_> = (0..n)
+        .map(|i| b.task(format!("step_{i}"), 100.0))
+        .collect();
+    for w in ids.windows(2) {
+        b.data_edge(w[0], w[1], 5.0);
+    }
+    b.build().expect("chain is a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_dag::StructureMetrics;
+
+    #[test]
+    fn chain_of_20() {
+        let w = sequential(20);
+        assert_eq!(w.len(), 20);
+        assert_eq!(w.depth(), 20);
+        assert_eq!(w.max_width(), 1);
+        assert_eq!(w.edge_count(), 19);
+    }
+
+    #[test]
+    fn zero_parallelism() {
+        let m = StructureMetrics::compute(&sequential(10));
+        assert_eq!(m.parallelism, 0.0);
+    }
+
+    #[test]
+    fn single_task_chain() {
+        let w = sequential(1);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.entries(), w.exits());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_length_rejected() {
+        let _ = sequential(0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Plain-text workflow interchange format.
+//!
+//! A minimal, diff-friendly serialization so workflows can be exported,
+//! versioned and re-imported without a JSON dependency — in the spirit
+//! of Pegasus' DAX files but line-oriented:
+//!
+//! ```text
+//! workflow montage-24
+//! task 0 mProjectPP_0 120
+//! task 1 mProjectPP_1 120
+//! edge 0 5 100
+//! ```
+//!
+//! `task <id> <name> <base_time_s>` lines must appear in id order;
+//! `edge <from> <to> <data_mb>` lines follow. Blank lines and `#`
+//! comments are ignored.
+
+use cws_dag::{DagError, TaskId, Workflow, WorkflowBuilder};
+
+/// Errors raised while parsing the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A line did not match any known directive.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field.
+        field: String,
+    },
+    /// Task ids must be dense and in order.
+    BadTaskId {
+        /// 1-based line number.
+        line: usize,
+        /// Expected id.
+        expected: u32,
+        /// Found id.
+        found: u32,
+    },
+    /// The `workflow` header is missing.
+    MissingHeader,
+    /// The reassembled graph failed DAG validation.
+    Invalid(DagError),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadLine { line, content } => {
+                write!(f, "line {line}: unrecognized directive {content:?}")
+            }
+            TraceError::BadNumber { line, field } => {
+                write!(f, "line {line}: bad number {field:?}")
+            }
+            TraceError::BadTaskId {
+                line,
+                expected,
+                found,
+            } => write!(f, "line {line}: expected task id {expected}, found {found}"),
+            TraceError::MissingHeader => write!(f, "missing `workflow <name>` header"),
+            TraceError::Invalid(e) => write!(f, "invalid workflow: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Serialize a workflow to the text format.
+#[must_use]
+pub fn to_text(wf: &Workflow) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "workflow {}", wf.name());
+    for t in wf.tasks() {
+        let _ = writeln!(out, "task {} {} {}", t.id.0, t.name, t.base_time);
+    }
+    for e in wf.edges() {
+        let _ = writeln!(out, "edge {} {} {}", e.from.0, e.to.0, e.data_mb);
+    }
+    out
+}
+
+/// Parse a workflow from the text format.
+///
+/// # Errors
+/// Returns a [`TraceError`] on malformed input or an invalid DAG.
+pub fn from_text(text: &str) -> Result<Workflow, TraceError> {
+    let mut name: Option<String> = None;
+    let mut builder: Option<WorkflowBuilder> = None;
+    let mut next_task = 0u32;
+
+    let num = |s: &str, line: usize| -> Result<f64, TraceError> {
+        s.parse::<f64>().map_err(|_| TraceError::BadNumber {
+            line,
+            field: s.to_string(),
+        })
+    };
+    let int = |s: &str, line: usize| -> Result<u32, TraceError> {
+        s.parse::<u32>().map_err(|_| TraceError::BadNumber {
+            line,
+            field: s.to_string(),
+        })
+    };
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("workflow") => {
+                let n = parts.collect::<Vec<_>>().join(" ");
+                if n.is_empty() {
+                    return Err(TraceError::BadLine {
+                        line: line_no,
+                        content: line.to_string(),
+                    });
+                }
+                builder = Some(WorkflowBuilder::new(n.clone()));
+                name = Some(n);
+            }
+            Some("task") => {
+                let b = builder.as_mut().ok_or(TraceError::MissingHeader)?;
+                let fields: Vec<&str> = parts.collect();
+                if fields.len() != 3 {
+                    return Err(TraceError::BadLine {
+                        line: line_no,
+                        content: line.to_string(),
+                    });
+                }
+                let id = int(fields[0], line_no)?;
+                if id != next_task {
+                    return Err(TraceError::BadTaskId {
+                        line: line_no,
+                        expected: next_task,
+                        found: id,
+                    });
+                }
+                let base = num(fields[2], line_no)?;
+                if !base.is_finite() || base < 0.0 {
+                    return Err(TraceError::BadNumber {
+                        line: line_no,
+                        field: fields[2].to_string(),
+                    });
+                }
+                b.task(fields[1], base);
+                next_task += 1;
+            }
+            Some("edge") => {
+                let b = builder.as_mut().ok_or(TraceError::MissingHeader)?;
+                let fields: Vec<&str> = parts.collect();
+                if fields.len() != 3 {
+                    return Err(TraceError::BadLine {
+                        line: line_no,
+                        content: line.to_string(),
+                    });
+                }
+                let from = int(fields[0], line_no)?;
+                let to = int(fields[1], line_no)?;
+                let mb = num(fields[2], line_no)?;
+                if !mb.is_finite() || mb < 0.0 {
+                    return Err(TraceError::BadNumber {
+                        line: line_no,
+                        field: fields[2].to_string(),
+                    });
+                }
+                b.data_edge(TaskId(from), TaskId(to), mb);
+            }
+            _ => {
+                return Err(TraceError::BadLine {
+                    line: line_no,
+                    content: line.to_string(),
+                })
+            }
+        }
+    }
+    let _ = name.ok_or(TraceError::MissingHeader)?;
+    builder
+        .ok_or(TraceError::MissingHeader)?
+        .build()
+        .map_err(TraceError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cstem, mapreduce_default, montage_24, sequential};
+
+    #[test]
+    fn round_trip_preserves_paper_workflows() {
+        for wf in [montage_24(), cstem(), mapreduce_default(), sequential(7)] {
+            let text = to_text(&wf);
+            let back = from_text(&text).expect("round trip parses");
+            assert_eq!(back, wf);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n\nworkflow demo\ntask 0 a 5\n# more\ntask 1 b 6\nedge 0 1 2.5\n";
+        let wf = from_text(text).unwrap();
+        assert_eq!(wf.len(), 2);
+        assert_eq!(wf.edge_data(TaskId(0), TaskId(1)), Some(2.5));
+    }
+
+    #[test]
+    fn missing_header_detected() {
+        assert_eq!(
+            from_text("task 0 a 5\n").unwrap_err(),
+            TraceError::MissingHeader
+        );
+    }
+
+    #[test]
+    fn bad_directive_reports_line() {
+        match from_text("workflow w\nfrobnicate 1 2\n").unwrap_err() {
+            TraceError::BadLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_dense_task_ids_rejected() {
+        match from_text("workflow w\ntask 1 a 5\n").unwrap_err() {
+            TraceError::BadTaskId { expected, found, .. } => {
+                assert_eq!(expected, 0);
+                assert_eq!(found, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        assert!(matches!(
+            from_text("workflow w\ntask 0 a five\n").unwrap_err(),
+            TraceError::BadNumber { .. }
+        ));
+        assert!(matches!(
+            from_text("workflow w\ntask 0 a -3\n").unwrap_err(),
+            TraceError::BadNumber { .. }
+        ));
+    }
+
+    #[test]
+    fn cyclic_input_rejected_at_validation() {
+        let text = "workflow w\ntask 0 a 1\ntask 1 b 1\nedge 0 1 0\nedge 1 0 0\n";
+        assert!(matches!(
+            from_text(text).unwrap_err(),
+            TraceError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = TraceError::BadNumber {
+            line: 3,
+            field: "x".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

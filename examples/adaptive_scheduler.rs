@@ -1,0 +1,83 @@
+//! Adaptive scheduling: the paper's conclusion, running.
+//!
+//! "These results open the way for adaptive scheduling where the SA can
+//! be adjusted based on workflow properties and user goals." This
+//! example classifies workflows of very different shapes, asks the
+//! Table V selector for a strategy under each objective, and verifies
+//! the recommendation is competitive with the measured optimum.
+//!
+//! ```text
+//! cargo run --example adaptive_scheduler
+//! ```
+
+use cloud_workflow_sched::prelude::*;
+use cloud_workflow_sched::workloads::random::{fork_join, layered_dag, ForkJoinShape, LayeredShape};
+
+fn main() {
+    let platform = Platform::ec2_paper();
+
+    let workflows = vec![
+        Scenario::Pareto { seed: 1 }.apply(&montage_24()),
+        Scenario::Pareto { seed: 2 }.apply(&cstem()),
+        Scenario::Pareto { seed: 3 }.apply(&mapreduce_default()),
+        Scenario::Pareto { seed: 4 }.apply(&sequential(20)),
+        // beyond the paper: custom random workflows (its future work)
+        Scenario::Pareto { seed: 5 }.apply(&layered_dag(LayeredShape::default())),
+        Scenario::Pareto { seed: 6 }.apply(&fork_join(ForkJoinShape { stages: 4, fanout: 6 })),
+    ];
+
+    for wf in &workflows {
+        let m = StructureMetrics::compute(wf);
+        println!(
+            "\n{} — {} ({} tasks, parallelism {:.2}, density {:.2}, cv {:.2})",
+            wf.name(),
+            m.classify(),
+            m.tasks,
+            m.parallelism,
+            m.dependency_density,
+            m.runtime_cv
+        );
+
+        let base =
+            ScheduleMetrics::of(&Strategy::BASELINE.schedule(wf, &platform), wf, &platform);
+
+        for objective in [Objective::Savings, Objective::Gain, Objective::Balanced] {
+            let picked = select_strategy(wf, objective);
+            let s = picked.schedule(wf, &platform);
+            let rel = RelativeMetrics::vs(&ScheduleMetrics::of(&s, wf, &platform), &base);
+
+            // How good was the pick? Rank it among all 19 strategies for
+            // this objective.
+            let score = |r: &RelativeMetrics| match objective {
+                Objective::Savings => r.savings_pct(),
+                Objective::Gain => r.gain_pct,
+                Objective::Balanced => r.gain_pct.min(r.savings_pct()),
+            };
+            let mut all: Vec<f64> = Strategy::paper_set()
+                .iter()
+                .map(|st| {
+                    let sch = st.schedule(wf, &platform);
+                    score(&RelativeMetrics::vs(
+                        &ScheduleMetrics::of(&sch, wf, &platform),
+                        &base,
+                    ))
+                })
+                .collect();
+            all.sort_by(|a, b| b.partial_cmp(a).expect("finite scores"));
+            let rank = all
+                .iter()
+                .position(|&v| v <= score(&rel) + 1e-9)
+                .map(|p| p + 1)
+                .unwrap_or(all.len());
+
+            println!(
+                "  {:<9} -> {:<22} gain {:>6.1}%  savings {:>6.1}%  (rank {}/19)",
+                objective.to_string(),
+                picked.label(),
+                rel.gain_pct,
+                rel.savings_pct(),
+                rank
+            );
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Montage campaign: size sweep of the astronomy workflow.
+//!
+//! The paper notes Montage's size "var[ies] depending on the dimension of
+//! the studied sky region". This example sweeps the mosaic size and shows
+//! how the best provisioning choice shifts with scale, for a fixed
+//! objective.
+//!
+//! ```text
+//! cargo run --example montage_campaign
+//! ```
+
+use cloud_workflow_sched::prelude::*;
+use cloud_workflow_sched::workloads::montage::{montage, MontageShape};
+
+fn main() {
+    let platform = Platform::ec2_paper();
+
+    println!(
+        "{:>6} {:>6}  {:>22} {:>8} {:>8}   {:>22} {:>8} {:>8}",
+        "tasks", "width", "best_savings", "save%", "gain%", "best_gain", "gain%", "save%"
+    );
+
+    for projections in [4usize, 8, 16, 32, 64] {
+        let shape = MontageShape {
+            projections,
+            overlaps: (projections * 3 / 2).min(projections * (projections - 1) / 2),
+        };
+        let wf = Scenario::Pareto { seed: 7 }.apply(&montage(shape));
+
+        let base = ScheduleMetrics::of(&Strategy::BASELINE.schedule(&wf, &platform), &wf, &platform);
+
+        let mut best_savings: Option<(String, RelativeMetrics)> = None;
+        let mut best_gain: Option<(String, RelativeMetrics)> = None;
+        for strategy in Strategy::paper_set() {
+            let s = strategy.schedule(&wf, &platform);
+            let rel = RelativeMetrics::vs(&ScheduleMetrics::of(&s, &wf, &platform), &base);
+            if best_savings
+                .as_ref()
+                .map(|(_, r)| rel.savings_pct() > r.savings_pct())
+                .unwrap_or(true)
+            {
+                best_savings = Some((s.strategy.clone(), rel));
+            }
+            if rel.in_target_square()
+                && best_gain
+                    .as_ref()
+                    .map(|(_, r)| rel.gain_pct > r.gain_pct)
+                    .unwrap_or(true)
+            {
+                best_gain = Some((s.strategy.clone(), rel));
+            }
+        }
+
+        let (sl, sr) = best_savings.expect("19 strategies ran");
+        let (gl, gr) = best_gain.expect("the baseline itself is in the square");
+        println!(
+            "{:>6} {:>6}  {:>22} {:>8.1} {:>8.1}   {:>22} {:>8.1} {:>8.1}",
+            wf.len(),
+            wf.max_width(),
+            sl,
+            sr.savings_pct(),
+            sr.gain_pct,
+            gl,
+            gr.gain_pct,
+            gr.savings_pct(),
+        );
+    }
+
+    println!("\nIntuition: wider mosaics amortize parallel provisioning better;");
+    println!("the savings champion stays a packing strategy at every scale.");
+}

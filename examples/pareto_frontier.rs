@@ -1,0 +1,65 @@
+//! The cost–makespan Pareto frontier, visualized.
+//!
+//! Evaluates 29 candidate strategies (the paper's 19, the xlarge
+//! statics, PCH, the mixed-pool HEFT) on a workflow of your choosing,
+//! prints the frontier, and renders the cheapest and fastest optimal
+//! plans as Gantt charts.
+//!
+//! ```text
+//! cargo run --example pareto_frontier [montage|cstem|mapreduce|sequential]
+//! ```
+
+use cloud_workflow_sched::core::frontier::{frontier_only, pareto_front, CandidateSet};
+use cloud_workflow_sched::core::gantt;
+use cloud_workflow_sched::prelude::*;
+
+fn pick_workflow(name: &str) -> Workflow {
+    match name {
+        "cstem" => cstem(),
+        "mapreduce" => mapreduce_default(),
+        "sequential" => sequential(20),
+        _ => montage_24(),
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "montage".into());
+    let platform = Platform::ec2_paper();
+    let wf = Scenario::Pareto { seed: 42 }.apply(&pick_workflow(&arg));
+
+    let points = pareto_front(&wf, &platform, CandidateSet::default());
+    let front = frontier_only(&points);
+
+    println!("{} — {} candidates, {} Pareto-optimal\n", wf.name(), points.len(), front.len());
+    println!("{:<24} {:>10} {:>9}  optimal", "strategy", "makespan_s", "cost_usd");
+    for p in &points {
+        println!(
+            "{:<24} {:>10.0} {:>9.3}  {}",
+            p.label,
+            p.makespan,
+            p.cost,
+            if p.on_frontier { "*" } else { "" }
+        );
+    }
+
+    // Render the two ends of the frontier.
+    let cheapest = front.last().expect("frontier is non-empty");
+    let fastest = front.first().expect("frontier is non-empty");
+    for (tag, label) in [("cheapest", &cheapest.label), ("fastest", &fastest.label)] {
+        println!("\n--- {tag} Pareto-optimal plan: {label} ---\n");
+        // Re-run the strategy to get the schedule for rendering. Every
+        // candidate label is either a paper strategy, PCH, or HEFT-pool.
+        let schedule = if let Some(s) = Strategy::parse(label) {
+            s.schedule(&wf, &platform)
+        } else if let Some(suffix) = label.strip_prefix("PCH-") {
+            pch(&wf, &platform, InstanceType::parse(suffix).expect("known suffix"))
+        } else {
+            cloud_workflow_sched::core::alloc::heft_pool(
+                &wf,
+                &platform,
+                &cloud_workflow_sched::core::alloc::PoolSpec::default(),
+            )
+        };
+        println!("{}", gantt::render(&wf, &schedule, 90));
+    }
+}

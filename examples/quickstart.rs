@@ -1,0 +1,51 @@
+//! Quickstart: schedule one workflow with every strategy of the paper
+//! and print the gain/loss picture.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cloud_workflow_sched::prelude::*;
+
+fn main() {
+    let platform = Platform::ec2_paper();
+
+    // The paper's Montage instance with heterogeneous (Pareto) runtimes.
+    let wf = Scenario::Pareto { seed: 42 }.apply(&montage_24());
+    println!(
+        "workflow: {} ({} tasks, {} levels, max width {})\n",
+        wf.name(),
+        wf.len(),
+        wf.depth(),
+        wf.max_width()
+    );
+
+    // Baseline: one small VM per task.
+    let base = Strategy::BASELINE.schedule(&wf, &platform);
+    let base_m = ScheduleMetrics::of(&base, &wf, &platform);
+    println!(
+        "baseline {:>20}: makespan {:>8.0}s  cost ${:<6.2} idle {:>7.0}s",
+        base.strategy, base_m.makespan, base_m.cost, base_m.idle_seconds
+    );
+
+    println!("\n{:>20}  {:>8}  {:>8}  {:>7}  {:>6}  {:>6}", "strategy", "makespan", "cost_usd", "vms", "gain%", "loss%");
+    for strategy in Strategy::paper_set() {
+        let s = strategy.schedule(&wf, &platform);
+        s.validate(&wf, &platform).expect("schedules are valid");
+        // Cross-check the static plan in the discrete-event simulator.
+        verify(&wf, &platform, &s, 1e-6).expect("replay matches plan");
+
+        let m = ScheduleMetrics::of(&s, &wf, &platform);
+        let rel = RelativeMetrics::vs(&m, &base_m);
+        println!(
+            "{:>20}  {:>8.0}  {:>8.2}  {:>7}  {:>6.1}  {:>6.1}{}",
+            s.strategy,
+            m.makespan,
+            m.cost,
+            m.vm_count,
+            rel.gain_pct,
+            rel.loss_pct,
+            if rel.in_target_square() { "  <- target square" } else { "" },
+        );
+    }
+}

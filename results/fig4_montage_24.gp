@@ -1,0 +1,11 @@
+# gnuplot script reproducing Fig. 4 (montage-24)
+set terminal pngcairo size 900,700
+set output 'fig4_montage_24.png'
+set xlabel '% gain'
+set ylabel '% $ loss'
+set xrange [-100:300]
+set yrange [-100:300]
+set object 1 rect from 0,-100 to 300,0 fc rgb '#eeffee' behind
+set grid
+set key outside right
+plot 'fig4_montage_24.dat' using 2:3:1 with labels point pt 7 offset char 1,0.5 title 'montage-24'

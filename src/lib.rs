@@ -1,0 +1,86 @@
+//! # cloud-workflow-sched
+//!
+//! A from-scratch reproduction of *"Comparing Provisioning and Scheduling
+//! Strategies for Workflows on Clouds"* (Frincu, Genaud, Gossa — CloudFlow
+//! workshop, IPDPS 2013): cloud workflow scheduling where the **VM
+//! provisioning policy** (when to rent a new VM vs reuse an idle one) is
+//! studied as a first-class dimension next to the **task allocation
+//! strategy** (HEFT, CPA-Eager, Gain, level-based scheduling).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cloud_workflow_sched::prelude::*;
+//!
+//! // The paper's platform: EC2 Oct-2012 prices, BTU = 3600 s.
+//! let platform = Platform::ec2_paper();
+//!
+//! // A 24-task Montage workflow with Pareto-distributed runtimes.
+//! let wf = Scenario::Pareto { seed: 42 }.apply(&montage_24());
+//!
+//! // Run one of the paper's 19 strategies…
+//! let schedule = Strategy::parse("AllParExceed-m").unwrap().schedule(&wf, &platform);
+//! schedule.validate(&wf, &platform).unwrap();
+//!
+//! // …and measure it against the OneVMperTask-small baseline.
+//! let base = Strategy::BASELINE.schedule(&wf, &platform);
+//! let m = ScheduleMetrics::of(&schedule, &wf, &platform);
+//! let b = ScheduleMetrics::of(&base, &wf, &platform);
+//! let rel = RelativeMetrics::vs(&m, &b);
+//! assert!(rel.gain_pct > 0.0, "medium instances speed Montage up");
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`platform`] — EC2-like platform model (instances, regions, Table II
+//!   prices, BTU billing, store-and-forward network).
+//! * [`dag`] — workflow DAG substrate (levels, critical path, HEFT ranks,
+//!   structure metrics, DOT export).
+//! * [`workloads`] — Montage / CSTEM / MapReduce / Sequential generators,
+//!   the Pareto / best-case / worst-case runtime scenarios, random DAGs.
+//! * [`core`] — the paper's contribution: 5 provisioning policies ×
+//!   7 allocation strategies, schedules, metrics, adaptive selection.
+//! * [`sim`] — discrete-event simulator replaying and validating
+//!   schedules.
+//! * [`experiments`] — regenerates every figure and table of the paper.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use cws_core as core;
+pub use cws_dag as dag;
+pub use cws_experiments as experiments;
+pub use cws_platform as platform;
+pub use cws_sim as sim;
+pub use cws_workloads as workloads;
+
+/// One-line imports for the common 90% use case.
+pub mod prelude {
+    pub use cws_core::adaptive::{select_strategy, Objective};
+    pub use cws_core::alloc::{pch, sheft_deadline};
+    pub use cws_core::{
+        ProvisioningPolicy, RelativeMetrics, Schedule, ScheduleBuilder, ScheduleMetrics,
+        StaticAlloc, Strategy,
+    };
+    pub use cws_dag::{StructureMetrics, Task, TaskId, Workflow, WorkflowBuilder};
+    pub use cws_platform::{InstanceType, Platform, Region, BTU_SECONDS};
+    pub use cws_sim::{robustness, simulate, verify, JitterModel};
+    pub use cws_workloads::{
+        cstem, cybershake, epigenomics, ligo, mapreduce_default, montage_24, paper_workflows,
+        sequential, DataSizeModel, Scenario,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let platform = Platform::ec2_paper();
+        let wf = Scenario::BestCase.apply(&sequential(5));
+        let s = Strategy::BASELINE.schedule(&wf, &platform);
+        s.validate(&wf, &platform).unwrap();
+        let _ = simulate(&wf, &platform, &s);
+    }
+}

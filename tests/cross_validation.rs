@@ -1,0 +1,115 @@
+//! Full-grid cross-validation: every paper strategy on every paper
+//! workflow under every runtime scenario must (1) produce a schedule
+//! that passes the structural validator and (2) replay to identical
+//! times in the discrete-event simulator.
+
+use cloud_workflow_sched::prelude::*;
+
+fn grid() -> impl Iterator<Item = (Workflow, Scenario)> {
+    paper_workflows().into_iter().flat_map(|wf| {
+        Scenario::paper_set(42)
+            .into_iter()
+            .map(move |sc| (sc.apply(&DataSizeModel::CpuIntensive.apply(&wf)), sc))
+    })
+}
+
+#[test]
+fn every_cell_validates_and_replays() {
+    let platform = Platform::ec2_paper();
+    let mut cells = 0;
+    for (wf, scenario) in grid() {
+        for strategy in Strategy::paper_set() {
+            let s = strategy.schedule(&wf, &platform);
+            s.validate(&wf, &platform).unwrap_or_else(|e| {
+                panic!("{} / {} / {}: {e}", wf.name(), scenario.name(), strategy.label())
+            });
+            verify(&wf, &platform, &s, 1e-6).unwrap_or_else(|e| {
+                panic!("{} / {} / {}: {e}", wf.name(), scenario.name(), strategy.label())
+            });
+            cells += 1;
+        }
+    }
+    assert_eq!(cells, 4 * 3 * 19, "full grid covered");
+}
+
+#[test]
+fn data_intensive_variants_also_validate() {
+    // The same grid with Pareto-distributed edge payloads (α = 1.3),
+    // exercising the transfer arithmetic everywhere.
+    let platform = Platform::ec2_paper();
+    for wf in paper_workflows() {
+        let wf = Scenario::Pareto { seed: 7 }
+            .apply(&DataSizeModel::ParetoSizes { seed: 7 }.apply(&wf));
+        for strategy in Strategy::paper_set() {
+            let s = strategy.schedule(&wf, &platform);
+            s.validate(&wf, &platform)
+                .unwrap_or_else(|e| panic!("{} / {}: {e}", wf.name(), strategy.label()));
+            verify(&wf, &platform, &s, 1e-6)
+                .unwrap_or_else(|e| panic!("{} / {}: {e}", wf.name(), strategy.label()));
+        }
+    }
+}
+
+#[test]
+fn boot_time_platform_still_validates() {
+    // A non-zero boot time (the measured EC2 behaviour of [22]) must not
+    // break any invariant.
+    let platform = Platform::ec2_paper().with_boot_time(120.0);
+    let wf = Scenario::Pareto { seed: 3 }.apply(&montage_24());
+    for strategy in Strategy::paper_set() {
+        let s = strategy.schedule(&wf, &platform);
+        s.validate(&wf, &platform)
+            .unwrap_or_else(|e| panic!("{}: {e}", strategy.label()));
+        verify(&wf, &platform, &s, 1e-6)
+            .unwrap_or_else(|e| panic!("{}: {e}", strategy.label()));
+        assert!(s.placements.iter().all(|p| p.start >= 120.0 - 1e-9));
+    }
+}
+
+#[test]
+fn makespan_never_beats_critical_path_at_max_speed() {
+    // Physical lower bound: no schedule can finish faster than the
+    // critical path executed entirely on xlarge instances with free
+    // communication.
+    let platform = Platform::ec2_paper();
+    for (wf, _) in grid() {
+        let cp = cloud_workflow_sched::dag::critical_path(
+            &wf,
+            |t| wf.task(t).base_time / 2.7,
+            |_| 0.0,
+        );
+        for strategy in Strategy::paper_set() {
+            let s = strategy.schedule(&wf, &platform);
+            assert!(
+                s.makespan() >= cp.length - 1e-6,
+                "{} / {}: makespan {} below bound {}",
+                wf.name(),
+                strategy.label(),
+                s.makespan(),
+                cp.length
+            );
+        }
+    }
+}
+
+#[test]
+fn cost_never_beats_total_work_lower_bound() {
+    // No schedule can cost less than the total work run at the best
+    // speed-per-price point (small instances, perfectly packed).
+    let platform = Platform::ec2_paper();
+    for (wf, _) in grid() {
+        let lower = (wf.total_work() / BTU_SECONDS).floor() * platform.price(InstanceType::Small);
+        for strategy in Strategy::paper_set() {
+            let s = strategy.schedule(&wf, &platform);
+            let cost = s.total_cost(&wf, &platform);
+            assert!(
+                cost >= lower - 1e-9,
+                "{} / {}: cost {} below bound {}",
+                wf.name(),
+                strategy.label(),
+                cost,
+                lower
+            );
+        }
+    }
+}

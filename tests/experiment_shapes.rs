@@ -1,0 +1,177 @@
+//! Shape checks on the regenerated figures and tables: the qualitative
+//! claims of the paper's Sect. V must hold in our reproduction.
+
+use cloud_workflow_sched::experiments::{fig3, fig4, fig5, table3, table4, table5};
+use cloud_workflow_sched::experiments::ExperimentConfig;
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig::default()
+}
+
+#[test]
+fn fig3_cdf_matches_the_analytic_distribution() {
+    let d = fig3::fig3(42, 50_000);
+    assert!(d.max_deviation() < 0.01);
+    // The figure's visual landmarks.
+    let at = |x: f64| {
+        let i = d.points.iter().position(|&p| p == x).expect("point on axis");
+        d.analytic[i]
+    };
+    assert_eq!(at(500.0), 0.0);
+    assert!((at(1000.0) - 0.75).abs() < 1e-12);
+    assert!(at(4000.0) > 0.98);
+}
+
+#[test]
+fn fig4_one_vm_per_task_large_loses_200_to_300_pct() {
+    // "its large loss of 200-300% makes it inefficient"
+    for panel in fig4::fig4(&cfg()) {
+        let p = panel.point("OneVMperTask-l").expect("legend entry");
+        assert!(
+            (200.0..=300.0).contains(&p.loss_pct),
+            "{}: {}",
+            panel.workflow,
+            p.loss_pct
+        );
+    }
+}
+
+#[test]
+fn fig4_all_par_1lns_dyn_stays_in_target_square_everywhere() {
+    // "This SA is without doubt the only one that manages to remain in
+    // the target square for all cases."
+    for panel in fig4::fig4(&cfg()) {
+        let p = panel.point("AllPar1LnSDyn").expect("legend entry");
+        assert!(p.in_target_square, "{}: ({}, {})", panel.workflow, p.gain_pct, p.loss_pct);
+        // "it generally produces better savings then gain"
+        assert!(
+            -p.loss_pct >= p.gain_pct - 1e-6,
+            "{}: savings {} < gain {}",
+            panel.workflow,
+            -p.loss_pct,
+            p.gain_pct
+        );
+    }
+}
+
+#[test]
+fn fig4_dynamic_budgets_cap_losses_at_100pct() {
+    // Sect. V: CPA-Eager and GAIN profit loss within [45, 100]%.
+    for panel in fig4::fig4(&cfg()) {
+        for label in ["CPA-Eager", "GAIN"] {
+            let p = panel.point(label).expect("legend entry");
+            assert!(
+                p.loss_pct <= 100.0 + 1e-6,
+                "{} {}: {}",
+                panel.workflow,
+                label,
+                p.loss_pct
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4_sequential_large_instances_bring_balanced_benefits() {
+    // "The exception to this rule seems to be the case of sequential
+    // workflows where powerful VMs do bring benefits."
+    let panels = fig4::fig4(&cfg());
+    let seq = panels
+        .iter()
+        .find(|p| p.workflow.starts_with("sequential"))
+        .expect("sequential panel");
+    let p = seq.point("StartParExceed-l").expect("legend entry");
+    assert!(p.in_target_square);
+    assert!(p.gain_pct > 40.0, "gain {}", p.gain_pct);
+    assert!(p.loss_pct < 0.0, "loss {}", p.loss_pct);
+}
+
+#[test]
+fn fig5_idle_time_ordering_matches_sect_v() {
+    // "The largest idle time are produced by the OneVMperTask*, Gain and
+    // CPA-Eager policies."
+    for panel in fig5::fig5(&cfg()) {
+        let max_idle = panel
+            .bars
+            .iter()
+            .map(|b| b.idle_seconds)
+            .fold(0.0_f64, f64::max);
+        let top: Vec<&str> = panel
+            .bars
+            .iter()
+            .filter(|b| b.idle_seconds >= max_idle - 1e-6)
+            .map(|b| b.label.as_str())
+            .collect();
+        assert!(
+            top.iter().any(|l| l.starts_with("OneVMperTask") || *l == "GAIN" || *l == "CPA-Eager"),
+            "{}: top idle producers {:?}",
+            panel.workflow,
+            top
+        );
+    }
+}
+
+#[test]
+fn fig5_magnitudes_are_hours_not_seconds() {
+    // "the majority of the algorithms waste between three to 13 hours,
+    // a limit which goes up to 22 total hours in case of Montage"
+    let panels = fig5::fig5(&cfg());
+    let montage = &panels[0];
+    let max = montage
+        .bars
+        .iter()
+        .map(|b| b.idle_seconds)
+        .fold(0.0_f64, f64::max);
+    assert!(
+        max > 3.0 * 3600.0,
+        "montage max idle {} below 3 hours",
+        max
+    );
+    assert!(
+        max < 30.0 * 3600.0,
+        "montage max idle {} beyond plausible bound",
+        max
+    );
+}
+
+#[test]
+fn table3_structure_matches_paper() {
+    let cells = table3::table3(&cfg());
+    assert_eq!(cells.len(), 12);
+    // Pareto/Montage row: AllPar*-s and the 1LnS pair are savings-dominant.
+    let c = cells
+        .iter()
+        .find(|c| c.scenario == "pareto" && c.workflow == "montage-24")
+        .expect("cell exists");
+    for must in ["AllParExceed-s", "AllParNotExceed-s", "AllPar1LnS", "AllPar1LnSDyn"] {
+        assert!(
+            c.savings_dominant.iter().any(|l| l == must),
+            "missing {must} in {:?}",
+            c.savings_dominant
+        );
+    }
+}
+
+#[test]
+fn table4_stable_gain_column() {
+    let rows = table4::table4(&cfg());
+    // Paper: 0% / 37% / 52%.
+    assert!((rows[0].mean_gain - 0.0).abs() < 1.0);
+    assert!((rows[1].mean_gain - 37.5).abs() < 2.0);
+    assert!((rows[2].mean_gain - 52.4).abs() < 2.0);
+    // Fluctuating savings: the loss interval must be wide for m/l.
+    assert!(rows[1].max_interval.1 - rows[1].max_interval.0 > 50.0);
+    assert!(rows[2].max_interval.1 - rows[2].max_interval.0 > 100.0);
+}
+
+#[test]
+fn table5_rows_cover_the_four_classes() {
+    let rows = table5::table5(&cfg());
+    let classes: Vec<&str> = rows.iter().map(|r| r.class.as_str()).collect();
+    assert!(classes.contains(&"sequential"));
+    assert!(classes.iter().any(|c| c.contains("parallelism")));
+    // savings winners always save
+    for r in &rows {
+        assert!(r.savings_value > 0.0, "{}", r.workflow);
+    }
+}

@@ -1,0 +1,174 @@
+//! The paper's analytic identities (Sect. IV-B) as executable checks.
+//!
+//! "As seen in the results, for the best case we have
+//! StartParNotExceed = StartParExceed and
+//! AllParNotExceed = AllParExceed, while for the worst case
+//! StartParNotExceed = AllParNotExceed = OneVMperTask."
+//!
+//! And the cost formulas: a sequential provisioning of n best-case tasks
+//! costs 1 BTU; a parallel one costs n BTUs; in the worst case the
+//! sequential cost is ⌈n·e/BTU⌉ BTUs and the parallel cost n·⌈e/BTU⌉.
+
+use cloud_workflow_sched::prelude::*;
+
+fn metrics(wf: &Workflow, platform: &Platform, label: &str) -> ScheduleMetrics {
+    let s = Strategy::parse(label)
+        .unwrap_or_else(|| panic!("unknown strategy {label}"))
+        .schedule(wf, platform);
+    s.validate(wf, platform).expect("valid schedule");
+    ScheduleMetrics::of(&s, wf, platform)
+}
+
+fn assert_equivalent(a: &ScheduleMetrics, b: &ScheduleMetrics, ctx: &str) {
+    assert!(
+        (a.makespan - b.makespan).abs() < 1e-6,
+        "{ctx}: makespans differ: {} vs {}",
+        a.makespan,
+        b.makespan
+    );
+    assert!(
+        (a.cost - b.cost).abs() < 1e-9,
+        "{ctx}: costs differ: {} vs {}",
+        a.cost,
+        b.cost
+    );
+    assert_eq!(a.btus, b.btus, "{ctx}: BTU counts differ");
+}
+
+#[test]
+fn best_case_collapses_not_exceed_and_exceed() {
+    let platform = Platform::ec2_paper();
+    for wf in paper_workflows() {
+        let wf = Scenario::BestCase.apply(&DataSizeModel::CpuIntensive.apply(&wf));
+        for itype in ["s", "m", "l"] {
+            assert_equivalent(
+                &metrics(&wf, &platform, &format!("StartParNotExceed-{itype}")),
+                &metrics(&wf, &platform, &format!("StartParExceed-{itype}")),
+                &format!("{} StartPar*-{itype}", wf.name()),
+            );
+            assert_equivalent(
+                &metrics(&wf, &platform, &format!("AllParNotExceed-{itype}")),
+                &metrics(&wf, &platform, &format!("AllParExceed-{itype}")),
+                &format!("{} AllPar*-{itype}", wf.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn worst_case_collapses_not_exceed_to_one_vm_per_task() {
+    let platform = Platform::ec2_paper();
+    for wf in paper_workflows() {
+        let wf = Scenario::WorstCase.apply(&DataSizeModel::CpuIntensive.apply(&wf));
+        let one = metrics(&wf, &platform, "OneVMperTask-s");
+        let start = metrics(&wf, &platform, "StartParNotExceed-s");
+        let all = metrics(&wf, &platform, "AllParNotExceed-s");
+        // Every task exceeds a BTU, so neither NotExceed policy can ever
+        // reuse: identical VM counts, BTUs and costs.
+        assert_eq!(one.vm_count, wf.len());
+        assert_eq!(start.vm_count, wf.len(), "{}", wf.name());
+        assert_eq!(all.vm_count, wf.len(), "{}", wf.name());
+        assert_eq!(one.btus, start.btus);
+        assert_eq!(one.btus, all.btus);
+        assert!((one.cost - start.cost).abs() < 1e-9);
+        assert!((one.cost - all.cost).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn best_case_sequential_provisioning_costs_one_btu() {
+    // n equal tasks with n·e = BTU on a single-entry workflow: the
+    // StartParExceed heuristic packs everything on one VM = 1 BTU.
+    let platform = Platform::ec2_paper();
+    let wf = Scenario::BestCase.apply(&DataSizeModel::CpuIntensive.apply(&sequential(24)));
+    let m = metrics(&wf, &platform, "StartParExceed-s");
+    assert_eq!(m.vm_count, 1);
+    assert_eq!(m.btus, 1);
+    assert!((m.cost - 0.08).abs() < 1e-12);
+}
+
+#[test]
+fn best_case_parallel_provisioning_costs_n_btus() {
+    let platform = Platform::ec2_paper();
+    let n = 24;
+    let wf = Scenario::BestCase.apply(&DataSizeModel::CpuIntensive.apply(&sequential(n)));
+    let m = metrics(&wf, &platform, "OneVMperTask-s");
+    assert_eq!(m.vm_count, n);
+    assert_eq!(m.btus, n as u64);
+    assert!((m.cost - 0.08 * n as f64).abs() < 1e-9);
+}
+
+#[test]
+fn worst_case_cost_formulas() {
+    let platform = Platform::ec2_paper();
+    let n = 10;
+    let wf = Scenario::WorstCase.apply(&DataSizeModel::CpuIntensive.apply(&sequential(n)));
+    let e = Scenario::WORST_CASE_FACTOR * BTU_SECONDS;
+    let btu_per_task = (e / BTU_SECONDS).ceil() as u64;
+
+    // Parallel: n·⌈e/BTU⌉ BTUs.
+    let par = metrics(&wf, &platform, "OneVMperTask-s");
+    assert_eq!(par.btus, n as u64 * btu_per_task);
+
+    // Sequential: ⌈n·e/BTU⌉ BTUs (one VM, consumed billing).
+    let seq = metrics(&wf, &platform, "StartParExceed-s");
+    assert_eq!(seq.vm_count, 1);
+    assert_eq!(seq.btus, (n as f64 * e / BTU_SECONDS).ceil() as u64);
+}
+
+#[test]
+fn single_entry_start_par_exceed_serializes_everything() {
+    // "a particular case of StartParExceed in which all tasks of a
+    // workflow with a single initial task are scheduled on the same VM"
+    let platform = Platform::ec2_paper();
+    for wf in [cstem(), mapreduce_default(), sequential(20)] {
+        let wf = Scenario::Pareto { seed: 9 }.apply(&DataSizeModel::CpuIntensive.apply(&wf));
+        if wf.entries().len() != 1 {
+            continue;
+        }
+        let s = Strategy::parse("StartParExceed-s")
+            .unwrap()
+            .schedule(&wf, &platform);
+        assert_eq!(s.vm_count(), 1, "{}", wf.name());
+        assert!(
+            (s.makespan() - wf.total_work()).abs() < 1.0,
+            "{}: serial makespan",
+            wf.name()
+        );
+    }
+}
+
+#[test]
+fn one_vm_per_task_bounds_idle_and_cost() {
+    // OneVMperTask is the cost/idle upper bound among the small-instance
+    // static strategies (the paper's Fig. 4/5 structure).
+    let platform = Platform::ec2_paper();
+    for wf in paper_workflows() {
+        let wf = Scenario::Pareto { seed: 42 }.apply(&DataSizeModel::CpuIntensive.apply(&wf));
+        let one = metrics(&wf, &platform, "OneVMperTask-s");
+        for label in [
+            "StartParNotExceed-s",
+            "StartParExceed-s",
+            "AllParNotExceed-s",
+            "AllParExceed-s",
+        ] {
+            let m = metrics(&wf, &platform, label);
+            assert!(
+                m.cost <= one.cost + 1e-9,
+                "{} {}: cost {} > OneVMperTask {}",
+                wf.name(),
+                label,
+                m.cost,
+                one.cost
+            );
+            assert!(
+                m.idle_seconds <= one.idle_seconds + 1e-6,
+                "{} {}: idle {} > OneVMperTask {}",
+                wf.name(),
+                label,
+                m.idle_seconds,
+                one.idle_seconds
+            );
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Cell-level fidelity checks against the paper's Table III, for the
+//! memberships that are robust to the unpublished Pareto draw. Each
+//! assertion quotes the paper's cell it reproduces.
+
+use cloud_workflow_sched::experiments::table3::{table3, Table3Cell};
+use cloud_workflow_sched::experiments::ExperimentConfig;
+
+fn cells() -> Vec<Table3Cell> {
+    table3(&ExperimentConfig::default())
+}
+
+fn cell<'a>(cells: &'a [Table3Cell], scenario: &str, workflow: &str) -> &'a Table3Cell {
+    cells
+        .iter()
+        .find(|c| c.scenario == scenario && c.workflow == workflow)
+        .unwrap_or_else(|| panic!("cell {scenario}/{workflow} missing"))
+}
+
+fn all_of<'a>(c: &'a Table3Cell) -> Vec<&'a str> {
+    c.savings_dominant
+        .iter()
+        .chain(&c.gain_dominant)
+        .chain(&c.balanced)
+        .map(String::as_str)
+        .collect()
+}
+
+#[test]
+fn pareto_montage_row() {
+    // Paper: savings column "AllParNotExceed-s = AllParExceed-s,
+    // AllPar1LnS ≈ StartParExceed-m, AllPar1LnSDyn".
+    let cs = cells();
+    let c = cell(&cs, "pareto", "montage-24");
+    for must in ["AllParNotExceed-s", "AllParExceed-s", "AllPar1LnS", "AllPar1LnSDyn"] {
+        assert!(
+            c.savings_dominant.iter().any(|l| l == must),
+            "{must} missing from savings column: {:?}",
+            c.savings_dominant
+        );
+    }
+}
+
+#[test]
+fn pareto_cstem_row() {
+    // Paper: savings "AllPar1LnS = AllPar1LnSDyn, StartParExceed-l,
+    // AllParNotExceed-s, AllParExceed-s"; balanced includes
+    // AllParExceed-m.
+    let cs = cells();
+    let c = cell(&cs, "pareto", "cstem");
+    for must in [
+        "AllPar1LnS",
+        "AllPar1LnSDyn",
+        "StartParExceed-l",
+        "AllParNotExceed-s",
+        "AllParExceed-s",
+    ] {
+        assert!(
+            c.savings_dominant.iter().any(|l| l == must),
+            "{must} missing: {:?}",
+            c.savings_dominant
+        );
+    }
+    assert!(
+        c.balanced.iter().any(|l| l == "AllParExceed-m")
+            || c.gain_dominant.iter().any(|l| l == "AllParExceed-m"),
+        "AllParExceed-m must offer gain on CSTEM: {:?} / {:?}",
+        c.balanced,
+        c.gain_dominant
+    );
+}
+
+#[test]
+fn pareto_mapreduce_row() {
+    // Paper: savings "AllParExceed-s = AllparNotExceed-s, AllPar1LnS";
+    // gain "AllParExceed-m".
+    let cs = cells();
+    let c = cell(&cs, "pareto", "mapreduce-8x8x4");
+    for must in ["AllParExceed-s", "AllParNotExceed-s", "AllPar1LnS"] {
+        assert!(
+            c.savings_dominant.iter().any(|l| l == must),
+            "{must} missing: {:?}",
+            c.savings_dominant
+        );
+    }
+    assert!(
+        all_of(c).contains(&"AllParExceed-m"),
+        "AllParExceed-m must be in the target square: {:?}",
+        all_of(c)
+    );
+}
+
+#[test]
+fn pareto_sequential_row() {
+    // Paper: savings "*-m except OneVMperTask-m, AllPar1LnSDyn =
+    // AllPar1LnS = *-s except OneVMperTask-s"; gain "*-l except
+    // OneVMperTask-l".
+    let cs = cells();
+    let c = cell(&cs, "pareto", "sequential-20");
+    for must in [
+        "StartParNotExceed-s",
+        "StartParExceed-s",
+        "AllParExceed-s",
+        "AllParNotExceed-s",
+        "StartParExceed-m",
+        "AllParExceed-m",
+        "AllParNotExceed-m",
+        "AllPar1LnS",
+        "AllPar1LnSDyn",
+    ] {
+        assert!(
+            c.savings_dominant.iter().any(|l| l == must),
+            "{must} missing: {:?}",
+            c.savings_dominant
+        );
+    }
+    // the large instances give gain-side benefits
+    let sides = all_of(c);
+    for must in ["StartParExceed-l", "AllParExceed-l", "AllParNotExceed-l"] {
+        assert!(sides.contains(&must), "{must} missing from {sides:?}");
+    }
+    // OneVMperTask-m/-l are never in the square (they cost 100/300%)
+    assert!(!sides.contains(&"OneVMperTask-m"));
+    assert!(!sides.contains(&"OneVMperTask-l"));
+}
+
+#[test]
+fn best_case_collapsed_pairs_classify_together() {
+    // Paper best-case rows list NotExceed = Exceed pairs; the classifier
+    // must put each pair in the same column.
+    let cs = cells();
+    for wf in ["montage-24", "cstem", "mapreduce-8x8x4", "sequential-20"] {
+        let c = cell(&cs, "best-case", wf);
+        let column_of = |label: &str| -> Option<&'static str> {
+            if c.savings_dominant.iter().any(|l| l == label) {
+                Some("savings")
+            } else if c.gain_dominant.iter().any(|l| l == label) {
+                Some("gain")
+            } else if c.balanced.iter().any(|l| l == label) {
+                Some("balanced")
+            } else {
+                None
+            }
+        };
+        for size in ["s", "m", "l"] {
+            let a = column_of(&format!("StartParNotExceed-{size}"));
+            let b = column_of(&format!("StartParExceed-{size}"));
+            assert_eq!(a, b, "{wf}: StartPar pair at -{size} split columns");
+            let a = column_of(&format!("AllParNotExceed-{size}"));
+            let b = column_of(&format!("AllParExceed-{size}"));
+            assert_eq!(a, b, "{wf}: AllPar pair at -{size} split columns");
+        }
+    }
+}
+
+#[test]
+fn worst_case_zero_points_sit_at_the_origin() {
+    // Paper worst-case column 3: "StartParNotExceed-s =
+    // AllParNotExceed-s = 0" — they coincide with the baseline.
+    let cs = cells();
+    for wf in ["montage-24", "cstem", "mapreduce-8x8x4", "sequential-20"] {
+        let c = cell(&cs, "worst-case", wf);
+        for must in ["StartParNotExceed-s", "AllParNotExceed-s"] {
+            assert!(
+                c.balanced.iter().any(|l| l == must),
+                "{wf}: {must} must classify balanced-at-origin: {:?}",
+                c.balanced
+            );
+        }
+    }
+}
+
+#[test]
+fn one_lns_pair_survives_every_scenario() {
+    // Paper: AllPar1LnS[Dyn] appear in the target square in every row of
+    // Table III.
+    let cs = cells();
+    for c in &cs {
+        let sides = all_of(c);
+        assert!(
+            sides.contains(&"AllPar1LnS"),
+            "{}/{}: AllPar1LnS dropped out: {sides:?}",
+            c.scenario,
+            c.workflow
+        );
+        assert!(
+            sides.contains(&"AllPar1LnSDyn"),
+            "{}/{}: AllPar1LnSDyn dropped out",
+            c.scenario,
+            c.workflow
+        );
+    }
+}
