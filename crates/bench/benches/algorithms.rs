@@ -21,19 +21,16 @@ fn bench(c: &mut Criterion) {
         group.throughput(Throughput::Elements(wf.len() as u64));
         for label in ["OneVMperTask-s", "StartParExceed-s", "AllParExceed-s"] {
             let strategy = Strategy::parse(label).expect("known label");
-            group.bench_with_input(
-                BenchmarkId::new(label, wf.len()),
-                &wf,
-                |b, wf| b.iter(|| strategy.schedule(black_box(wf), black_box(&platform))),
-            );
+            group.bench_with_input(BenchmarkId::new(label, wf.len()), &wf, |b, wf| {
+                b.iter(|| strategy.schedule(black_box(wf), black_box(&platform)))
+            });
         }
         group.bench_with_input(BenchmarkId::new("AllPar1LnSDyn", wf.len()), &wf, |b, wf| {
             b.iter(|| Strategy::AllPar1LnSDyn.schedule(black_box(wf), black_box(&platform)))
         });
         group.bench_with_input(BenchmarkId::new("CPA-Eager", wf.len()), &wf, |b, wf| {
             b.iter(|| {
-                Strategy::CpaEager(Default::default())
-                    .schedule(black_box(wf), black_box(&platform))
+                Strategy::CpaEager(Default::default()).schedule(black_box(wf), black_box(&platform))
             })
         });
     }

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use cws_bench::{bench_config, show};
-use cws_experiments::boundaries::{
-    boundaries_report, heterogeneity_sweep, structure_sweep,
-};
+use cws_experiments::boundaries::{boundaries_report, heterogeneity_sweep, structure_sweep};
 use cws_experiments::data_intensive::{data_intensive_panel, data_report};
 use cws_experiments::energy::{energy_accounting, energy_report};
 use cws_platform::EnergyModel;

@@ -2,9 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use cws_bench::{bench_config, show};
-use cws_experiments::failures::{
-    failure_domains, failure_report, spot_economics, spot_report,
-};
+use cws_experiments::failures::{failure_domains, failure_report, spot_economics, spot_report};
 use cws_platform::SpotMarket;
 use cws_workloads::montage_24;
 use std::hint::black_box;

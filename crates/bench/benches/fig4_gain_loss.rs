@@ -15,9 +15,7 @@ fn bench(c: &mut Criterion) {
         show(&panel.to_table());
     }
 
-    c.bench_function("fig4/all_four_panels", |b| {
-        b.iter(|| fig4(black_box(&cfg)))
-    });
+    c.bench_function("fig4/all_four_panels", |b| b.iter(|| fig4(black_box(&cfg))));
     let montage = montage_24();
     c.bench_function("fig4/montage_panel", |b| {
         b.iter(|| {

@@ -13,9 +13,7 @@ fn bench(c: &mut Criterion) {
         show(&panel.to_table());
     }
 
-    c.bench_function("fig5/all_four_panels", |b| {
-        b.iter(|| fig5(black_box(&cfg)))
-    });
+    c.bench_function("fig5/all_four_panels", |b| b.iter(|| fig5(black_box(&cfg))));
     let seq = sequential(20);
     c.bench_function("fig5/sequential_panel", |b| {
         b.iter(|| {

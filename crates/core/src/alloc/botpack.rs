@@ -55,9 +55,7 @@ pub fn bot_ffd(
     let mut remaining: Vec<f64> = Vec::new();
     for task in order {
         let et = sb.exec_time(task, itype);
-        let slot = remaining
-            .iter()
-            .position(|&r| et <= r + BTU_EPSILON);
+        let slot = remaining.iter().position(|&r| et <= r + BTU_EPSILON);
         match slot {
             Some(i) => {
                 sb.place_on(task, VmId(i as u32));

@@ -63,13 +63,7 @@ pub fn cpa_eager_types(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<I
         let cp = critical_path(
             wf,
             |t| types[t.index()].execution_time(wf.task(t).base_time),
-            |e| {
-                platform.transfer_time(
-                    e.data_mb,
-                    types[e.from.index()],
-                    types[e.to.index()],
-                )
-            },
+            |e| platform.transfer_time(e.data_mb, types[e.from.index()], types[e.to.index()]),
         );
         // Candidate upgrades on the critical path, slowest task first.
         let mut candidates: Vec<TaskId> = cp
@@ -191,12 +185,7 @@ mod tests {
     fn cpa_schedule_validates_and_beats_baseline_makespan() {
         let wf = chain3();
         let p = Platform::ec2_paper();
-        let base = schedule_one_vm_per_task(
-            &wf,
-            &p,
-            &vec![InstanceType::Small; wf.len()],
-            "base",
-        );
+        let base = schedule_one_vm_per_task(&wf, &p, &vec![InstanceType::Small; wf.len()], "base");
         let s = cpa_eager(&wf, &p, 4.0);
         s.validate(&wf, &p).unwrap();
         assert!(s.makespan() < base.makespan());
@@ -210,10 +199,7 @@ mod tests {
         let p = Platform::ec2_paper();
         for mult in [1.0, 2.0, 4.0, 8.0] {
             let types = cpa_eager_types(&wf, &p, mult * baseline_cost(&wf, &p));
-            assert!(
-                one_vm_per_task_cost(&wf, &p, &types)
-                    <= mult * baseline_cost(&wf, &p) + 1e-9
-            );
+            assert!(one_vm_per_task_cost(&wf, &p, &types) <= mult * baseline_cost(&wf, &p) + 1e-9);
         }
     }
 

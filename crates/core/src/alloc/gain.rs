@@ -32,11 +32,7 @@ pub struct GainEntry {
 /// Compute the gain matrix for the current type assignment. Entries with
 /// no runtime improvement are omitted.
 #[must_use]
-pub fn gain_matrix(
-    wf: &Workflow,
-    platform: &Platform,
-    types: &[InstanceType],
-) -> Vec<GainEntry> {
+pub fn gain_matrix(wf: &Workflow, platform: &Platform, types: &[InstanceType]) -> Vec<GainEntry> {
     let mut entries = Vec::new();
     for t in wf.ids() {
         let cur = types[t.index()];
@@ -122,7 +118,7 @@ mod tests {
     fn matrix_rows_are_upgradeable_tasks() {
         let wf = two_tasks();
         let p = Platform::ec2_paper();
-        let m = gain_matrix(&wf, &p, &vec![InstanceType::Small; 2]);
+        let m = gain_matrix(&wf, &p, &[InstanceType::Small; 2]);
         // 2 tasks × 3 faster types
         assert_eq!(m.len(), 6);
         assert!(m.iter().all(|e| e.gain > 0.0));
@@ -132,7 +128,7 @@ mod tests {
     fn matrix_gain_prefers_bigger_task_at_same_price_step() {
         let wf = two_tasks();
         let p = Platform::ec2_paper();
-        let m = gain_matrix(&wf, &p, &vec![InstanceType::Small; 2]);
+        let m = gain_matrix(&wf, &p, &[InstanceType::Small; 2]);
         let g_big = m
             .iter()
             .find(|e| e.task == TaskId(0) && e.to == InstanceType::Medium)

@@ -86,8 +86,7 @@ pub fn hcoc(
     };
 
     loop {
-        let (schedule, private_vms) =
-            build(wf, platform, private, &clusters, &cluster_of, &config);
+        let (schedule, private_vms) = build(wf, platform, private, &clusters, &cluster_of, &config);
         if schedule.makespan() <= deadline {
             return outcome(schedule, private_vms, platform, &config, true);
         }
@@ -99,9 +98,7 @@ pub fn hcoc(
         let cp = critical_path(
             wf,
             |t| speed_of(t).execution_time(wf.task(t).base_time),
-            |e| {
-                platform.transfer_time(e.data_mb, speed_of(e.from), speed_of(e.to))
-            },
+            |e| platform.transfer_time(e.data_mb, speed_of(e.from), speed_of(e.to)),
         );
         let mut escalated = false;
         for &t in &cp.tasks {
@@ -158,7 +155,9 @@ fn build(
                     .iter()
                     .map(|&vm| (vm, sb.finish_time_on(task, vm)))
                     .min_by(|a, b| {
-                        a.1.partial_cmp(&b.1).expect("finite").then(a.0 .0.cmp(&b.0 .0))
+                        a.1.partial_cmp(&b.1)
+                            .expect("finite")
+                            .then(a.0 .0.cmp(&b.0 .0))
                     });
                 if private_vms.len() < private.machines {
                     // A fresh private machine is always at least as good

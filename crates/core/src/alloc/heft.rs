@@ -8,10 +8,11 @@
 //! machines) degenerates to the task's execution time on that type —
 //! which is exactly what the ranks use here.
 
+use super::ranking::rank_order_by;
 use crate::provisioning::ProvisioningPolicy;
 use crate::schedule::Schedule;
 use crate::state::ScheduleBuilder;
-use cws_dag::{upward_ranks, TaskId, Workflow};
+use cws_dag::{TaskId, Workflow};
 use cws_platform::{InstanceType, Platform};
 
 /// The HEFT priority order for `wf` when every VM has type `itype`:
@@ -20,23 +21,11 @@ use cws_platform::{InstanceType, Platform};
 /// tasks).
 #[must_use]
 pub fn heft_order(wf: &Workflow, platform: &Platform, itype: InstanceType) -> Vec<TaskId> {
-    let ranks = upward_ranks(
+    rank_order_by(
         wf,
         |t| itype.execution_time(wf.task(t).base_time),
         |e| platform.transfer_time(e.data_mb, itype, itype),
-    );
-    let mut topo_pos = vec![0usize; wf.len()];
-    for (pos, &id) in wf.topological_order().iter().enumerate() {
-        topo_pos[id.index()] = pos;
-    }
-    let mut order: Vec<TaskId> = wf.ids().collect();
-    order.sort_by(|a, b| {
-        ranks[b.index()]
-            .partial_cmp(&ranks[a.index()])
-            .expect("ranks are finite")
-            .then(topo_pos[a.index()].cmp(&topo_pos[b.index()]))
-    });
-    order
+    )
 }
 
 /// Schedule `wf` with HEFT ordering under the given provisioning policy,
@@ -95,7 +84,12 @@ mod tests {
     fn one_vm_per_task_rents_n_vms() {
         let wf = diamond();
         let p = Platform::ec2_paper();
-        let s = heft(&wf, &p, ProvisioningPolicy::OneVmPerTask, InstanceType::Small);
+        let s = heft(
+            &wf,
+            &p,
+            ProvisioningPolicy::OneVmPerTask,
+            InstanceType::Small,
+        );
         s.validate(&wf, &p).unwrap();
         assert_eq!(s.vm_count(), 4);
         assert_eq!(s.strategy, "OneVMperTask-s");
@@ -107,7 +101,12 @@ mod tests {
         // all workflow tasks" on the same VM (Sect. IV-B).
         let wf = diamond();
         let p = Platform::ec2_paper();
-        let s = heft(&wf, &p, ProvisioningPolicy::StartParExceed, InstanceType::Small);
+        let s = heft(
+            &wf,
+            &p,
+            ProvisioningPolicy::StartParExceed,
+            InstanceType::Small,
+        );
         s.validate(&wf, &p).unwrap();
         assert_eq!(s.vm_count(), 1);
         // fully serial: makespan = total work
@@ -118,8 +117,18 @@ mod tests {
     fn start_par_not_exceed_equals_exceed_when_everything_fits() {
         let wf = diamond(); // total 700s << 1 BTU
         let p = Platform::ec2_paper();
-        let a = heft(&wf, &p, ProvisioningPolicy::StartParNotExceed, InstanceType::Small);
-        let b = heft(&wf, &p, ProvisioningPolicy::StartParExceed, InstanceType::Small);
+        let a = heft(
+            &wf,
+            &p,
+            ProvisioningPolicy::StartParNotExceed,
+            InstanceType::Small,
+        );
+        let b = heft(
+            &wf,
+            &p,
+            ProvisioningPolicy::StartParExceed,
+            InstanceType::Small,
+        );
         assert_eq!(a.makespan(), b.makespan());
         assert_eq!(a.vm_count(), b.vm_count());
     }
@@ -134,8 +143,18 @@ mod tests {
         b.edge(e1, big).edge(e2, big);
         let wf = b.build().unwrap();
         let p = Platform::ec2_paper();
-        let not = heft(&wf, &p, ProvisioningPolicy::StartParNotExceed, InstanceType::Small);
-        let exc = heft(&wf, &p, ProvisioningPolicy::StartParExceed, InstanceType::Small);
+        let not = heft(
+            &wf,
+            &p,
+            ProvisioningPolicy::StartParNotExceed,
+            InstanceType::Small,
+        );
+        let exc = heft(
+            &wf,
+            &p,
+            ProvisioningPolicy::StartParExceed,
+            InstanceType::Small,
+        );
         not.validate(&wf, &p).unwrap();
         exc.validate(&wf, &p).unwrap();
         assert_eq!(not.vm_count(), 3, "big does not fit either entry VM");
@@ -148,8 +167,18 @@ mod tests {
         // (the paper's worst-case identity).
         let wf = diamond().with_uniform_time(3.0 * BTU_SECONDS);
         let p = Platform::ec2_paper();
-        let not = heft(&wf, &p, ProvisioningPolicy::StartParNotExceed, InstanceType::Small);
-        let one = heft(&wf, &p, ProvisioningPolicy::OneVmPerTask, InstanceType::Small);
+        let not = heft(
+            &wf,
+            &p,
+            ProvisioningPolicy::StartParNotExceed,
+            InstanceType::Small,
+        );
+        let one = heft(
+            &wf,
+            &p,
+            ProvisioningPolicy::OneVmPerTask,
+            InstanceType::Small,
+        );
         assert_eq!(not.vm_count(), one.vm_count());
         assert_eq!(not.total_btus(), one.total_btus());
         assert_eq!(not.makespan(), one.makespan());
@@ -159,8 +188,18 @@ mod tests {
     fn faster_instances_shrink_makespan() {
         let wf = diamond();
         let p = Platform::ec2_paper();
-        let s = heft(&wf, &p, ProvisioningPolicy::OneVmPerTask, InstanceType::Small);
-        let m = heft(&wf, &p, ProvisioningPolicy::OneVmPerTask, InstanceType::Medium);
+        let s = heft(
+            &wf,
+            &p,
+            ProvisioningPolicy::OneVmPerTask,
+            InstanceType::Small,
+        );
+        let m = heft(
+            &wf,
+            &p,
+            ProvisioningPolicy::OneVmPerTask,
+            InstanceType::Medium,
+        );
         assert!(m.makespan() < s.makespan());
         assert_eq!(m.strategy, "OneVMperTask-m");
     }

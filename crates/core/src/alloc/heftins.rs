@@ -9,6 +9,7 @@
 //! paper's append-only pairings leave on the table.
 
 use super::heft::heft_order;
+use super::ranking::best_insertion;
 use crate::schedule::Schedule;
 use crate::state::ScheduleBuilder;
 use crate::vm::VmId;
@@ -39,18 +40,8 @@ pub fn heft_insertion(
         if pool.len() < machines {
             // Compare the best existing insertion against a fresh slot.
             let fresh_ready = sb.ready_time(task, None, itype, platform.default_region);
-            let fresh_finish =
-                fresh_ready.max(platform.boot_time_s) + sb.exec_time(task, itype);
-            let best_existing = pool
-                .iter()
-                .map(|&vm| {
-                    let s = sb.insertion_start_on(task, vm);
-                    (vm, s + sb.exec_time(task, itype))
-                })
-                .min_by(|a, b| {
-                    a.1.partial_cmp(&b.1).expect("finite").then(a.0 .0.cmp(&b.0 .0))
-                });
-            match best_existing {
+            let fresh_finish = fresh_ready.max(platform.boot_time_s) + sb.exec_time(task, itype);
+            match best_insertion(&sb, task, itype, &pool) {
                 Some((vm, fe)) if fe <= fresh_finish + 1e-9 => {
                     sb.place_on_inserted(task, vm);
                 }
@@ -60,16 +51,7 @@ pub fn heft_insertion(
                 }
             }
         } else {
-            let (vm, _) = pool
-                .iter()
-                .map(|&vm| {
-                    let s = sb.insertion_start_on(task, vm);
-                    (vm, s + sb.exec_time(task, itype))
-                })
-                .min_by(|a, b| {
-                    a.1.partial_cmp(&b.1).expect("finite").then(a.0 .0.cmp(&b.0 .0))
-                })
-                .expect("pool is non-empty");
+            let (vm, _) = best_insertion(&sb, task, itype, &pool).expect("pool is non-empty");
             sb.place_on_inserted(task, vm);
         }
     }

@@ -10,10 +10,10 @@
 //! library's strategy space beyond the paper's 19 combinations and feeds
 //! the Pareto-frontier analysis in [`crate::frontier`].
 
-use super::heft::heft_order;
+use super::ranking::{min_finish, rank_order_by};
 use crate::schedule::Schedule;
 use crate::state::ScheduleBuilder;
-use cws_dag::{TaskId, Workflow};
+use cws_dag::Workflow;
 use cws_platform::{InstanceType, Platform};
 use serde::{Deserialize, Serialize};
 
@@ -75,44 +75,28 @@ pub fn heft_pool(wf: &Workflow, platform: &Platform, pool: &PoolSpec) -> Schedul
     let mean_speedup = pool.mean_speedup();
     // Rank with the mean execution cost and the slowest-link transfer
     // estimate (conservative), as classic HEFT prescribes.
-    let order = {
-        let ranks = cws_dag::upward_ranks(
-            wf,
-            |t| wf.task(t).base_time / mean_speedup,
-            |e| platform.transfer_time(e.data_mb, InstanceType::Small, InstanceType::Small),
-        );
-        let mut topo_pos = vec![0usize; wf.len()];
-        for (pos, &id) in wf.topological_order().iter().enumerate() {
-            topo_pos[id.index()] = pos;
-        }
-        let mut order: Vec<TaskId> = wf.ids().collect();
-        order.sort_by(|a, b| {
-            ranks[b.index()]
-                .partial_cmp(&ranks[a.index()])
-                .expect("finite ranks")
-                .then(topo_pos[a.index()].cmp(&topo_pos[b.index()]))
-        });
-        order
-    };
-    let _ = heft_order; // the homogeneous sibling; rank logic differs only in cost basis
+    let order = rank_order_by(
+        wf,
+        |t| wf.task(t).base_time / mean_speedup,
+        |e| platform.transfer_time(e.data_mb, InstanceType::Small, InstanceType::Small),
+    );
 
     let mut sb = ScheduleBuilder::new(wf, platform);
     for task in order {
         // Candidate 1: best existing VM by finish time.
-        let best_existing = sb
-            .vms()
-            .iter()
-            .map(|v| (v.id, sb.finish_time_on(task, v.id)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0 .0.cmp(&b.0 .0)));
+        let best_existing = min_finish(
+            sb.vms()
+                .iter()
+                .map(|v| (v.id, sb.finish_time_on(task, v.id))),
+        );
         // Candidate 2: best fresh rental by finish time (cheapest on tie).
-        let can_rent = pool.max_vms.map_or(true, |cap| sb.vms().len() < cap);
+        let can_rent = pool.max_vms.is_none_or(|cap| sb.vms().len() < cap);
         let best_new = if can_rent {
             pool.rentable
                 .iter()
                 .map(|&t| {
                     let ready = sb.ready_time(task, None, t, platform.default_region);
-                    let finish =
-                        ready.max(platform.boot_time_s) + sb.exec_time(task, t);
+                    let finish = ready.max(platform.boot_time_s) + sb.exec_time(task, t);
                     (t, finish)
                 })
                 .min_by(|a, b| {

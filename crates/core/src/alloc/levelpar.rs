@@ -99,7 +99,12 @@ mod tests {
     fn fig1_parallel_tasks_get_distinct_vms() {
         let wf = fig1();
         let p = Platform::ec2_paper();
-        let s = all_par(&wf, &p, ProvisioningPolicy::AllParExceed, InstanceType::Small);
+        let s = all_par(
+            &wf,
+            &p,
+            ProvisioningPolicy::AllParExceed,
+            InstanceType::Small,
+        );
         s.validate(&wf, &p).unwrap();
         // entry VM + 5 new VMs: one parallel task reuses the entry VM
         assert_eq!(s.vm_count(), 6);
@@ -113,8 +118,18 @@ mod tests {
     fn not_exceed_equals_exceed_when_fitting() {
         let wf = fig1(); // everything fits first BTUs
         let p = Platform::ec2_paper();
-        let a = all_par(&wf, &p, ProvisioningPolicy::AllParNotExceed, InstanceType::Small);
-        let b = all_par(&wf, &p, ProvisioningPolicy::AllParExceed, InstanceType::Small);
+        let a = all_par(
+            &wf,
+            &p,
+            ProvisioningPolicy::AllParNotExceed,
+            InstanceType::Small,
+        );
+        let b = all_par(
+            &wf,
+            &p,
+            ProvisioningPolicy::AllParExceed,
+            InstanceType::Small,
+        );
         assert_eq!(a.makespan(), b.makespan());
         assert_eq!(a.total_btus(), b.total_btus());
     }
@@ -124,7 +139,12 @@ mod tests {
         // every task exceeds one BTU => AllParNotExceed == OneVMperTask
         let wf = fig1().with_uniform_time(3.0 * BTU_SECONDS);
         let p = Platform::ec2_paper();
-        let s = all_par(&wf, &p, ProvisioningPolicy::AllParNotExceed, InstanceType::Small);
+        let s = all_par(
+            &wf,
+            &p,
+            ProvisioningPolicy::AllParNotExceed,
+            InstanceType::Small,
+        );
         s.validate(&wf, &p).unwrap();
         assert_eq!(s.vm_count(), wf.len());
     }
@@ -133,7 +153,12 @@ mod tests {
     fn worst_case_exceed_still_reuses() {
         let wf = fig1().with_uniform_time(3.0 * BTU_SECONDS);
         let p = Platform::ec2_paper();
-        let s = all_par(&wf, &p, ProvisioningPolicy::AllParExceed, InstanceType::Small);
+        let s = all_par(
+            &wf,
+            &p,
+            ProvisioningPolicy::AllParExceed,
+            InstanceType::Small,
+        );
         s.validate(&wf, &p).unwrap();
         assert_eq!(s.vm_count(), 6, "entry VM reused by one parallel task");
     }
@@ -147,7 +172,12 @@ mod tests {
         }
         let wf = b.build().unwrap();
         let p = Platform::ec2_paper();
-        let s = all_par(&wf, &p, ProvisioningPolicy::AllParExceed, InstanceType::Small);
+        let s = all_par(
+            &wf,
+            &p,
+            ProvisioningPolicy::AllParExceed,
+            InstanceType::Small,
+        );
         s.validate(&wf, &p).unwrap();
         assert_eq!(s.vm_count(), 1, "chain levels have width 1: keep packing");
     }
@@ -171,6 +201,11 @@ mod tests {
     fn rejects_non_all_par_policy() {
         let wf = fig1();
         let p = Platform::ec2_paper();
-        let _ = all_par(&wf, &p, ProvisioningPolicy::OneVmPerTask, InstanceType::Small);
+        let _ = all_par(
+            &wf,
+            &p,
+            ProvisioningPolicy::OneVmPerTask,
+            InstanceType::Small,
+        );
     }
 }

@@ -51,8 +51,7 @@ pub fn list_schedule(
     assert!(machines >= 1, "need at least one machine");
     let mut sb = ScheduleBuilder::new(wf, platform);
     let mut pool: Vec<VmId> = Vec::new();
-    let mut remaining_preds: Vec<usize> =
-        wf.ids().map(|t| wf.predecessors(t).len()).collect();
+    let mut remaining_preds: Vec<usize> = wf.ids().map(|t| wf.predecessors(t).len()).collect();
     let mut ready: Vec<TaskId> = wf
         .ids()
         .filter(|t| remaining_preds[t.index()] == 0)
@@ -62,23 +61,24 @@ pub fn list_schedule(
     while !ready.is_empty() {
         // Earliest completion per ready task over (existing pool ∪ one
         // fresh slot while the cap allows).
-        let best_for = |sb: &ScheduleBuilder<'_>, pool: &[VmId], t: TaskId| -> (Option<VmId>, f64) {
-            let mut best: (Option<VmId>, f64) = (None, f64::INFINITY);
-            for &vm in pool {
-                let f = sb.finish_time_on(t, vm);
-                if f < best.1 {
-                    best = (Some(vm), f);
+        let best_for =
+            |sb: &ScheduleBuilder<'_>, pool: &[VmId], t: TaskId| -> (Option<VmId>, f64) {
+                let mut best: (Option<VmId>, f64) = (None, f64::INFINITY);
+                for &vm in pool {
+                    let f = sb.finish_time_on(t, vm);
+                    if f < best.1 {
+                        best = (Some(vm), f);
+                    }
                 }
-            }
-            if pool.len() < machines {
-                let ready_t = sb.ready_time(t, None, itype, platform.default_region);
-                let f = ready_t.max(platform.boot_time_s) + sb.exec_time(t, itype);
-                if f < best.1 {
-                    best = (None, f);
+                if pool.len() < machines {
+                    let ready_t = sb.ready_time(t, None, itype, platform.default_region);
+                    let f = ready_t.max(platform.boot_time_s) + sb.exec_time(t, itype);
+                    if f < best.1 {
+                        best = (None, f);
+                    }
                 }
-            }
-            best
-        };
+                best
+            };
 
         let mut choice: Option<(usize, Option<VmId>, f64)> = None;
         for (i, &t) in ready.iter().enumerate() {
@@ -152,10 +152,7 @@ mod tests {
         let wf = bag(&[900.0, 100.0, 500.0]);
         let s = list_schedule(&wf, &p, ListRule::MinMin, InstanceType::Small, 1);
         // single machine: order of starts is ascending duration
-        let mut order: Vec<(f64, TaskId)> = wf
-            .ids()
-            .map(|t| (s.placement(t).start, t))
-            .collect();
+        let mut order: Vec<(f64, TaskId)> = wf.ids().map(|t| (s.placement(t).start, t)).collect();
         order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let durations: Vec<f64> = order.iter().map(|&(_, t)| wf.task(t).base_time).collect();
         assert_eq!(durations, vec![100.0, 500.0, 900.0]);
@@ -166,10 +163,7 @@ mod tests {
         let p = Platform::ec2_paper();
         let wf = bag(&[900.0, 100.0, 500.0]);
         let s = list_schedule(&wf, &p, ListRule::MaxMin, InstanceType::Small, 1);
-        let mut order: Vec<(f64, TaskId)> = wf
-            .ids()
-            .map(|t| (s.placement(t).start, t))
-            .collect();
+        let mut order: Vec<(f64, TaskId)> = wf.ids().map(|t| (s.placement(t).start, t)).collect();
         order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let durations: Vec<f64> = order.iter().map(|&(_, t)| wf.task(t).base_time).collect();
         assert_eq!(durations, vec![900.0, 500.0, 100.0]);

@@ -29,6 +29,7 @@ pub mod levelpar;
 pub mod minmin;
 pub mod onelns;
 pub mod pch;
+pub mod ranking;
 pub mod sheft;
 
 pub use botpack::bot_ffd;
@@ -42,4 +43,5 @@ pub use levelpar::all_par;
 pub use minmin::{list_schedule, ListRule};
 pub use onelns::{all_par_1lns, all_par_1lns_dyn};
 pub use pch::pch;
+pub use ranking::{best_insertion, min_finish, rank_order_by};
 pub use sheft::{sheft_deadline, DeadlineOutcome};

@@ -66,17 +66,10 @@ pub fn reduce_level_scheduled(
     reduce_level_with(wf, level, ready)
 }
 
-fn reduce_level_with(
-    wf: &Workflow,
-    level: &[TaskId],
-    ready: impl Fn(TaskId) -> f64,
-) -> Vec<Chain> {
+fn reduce_level_with(wf: &Workflow, level: &[TaskId], ready: impl Fn(TaskId) -> f64) -> Vec<Chain> {
     const EPS: f64 = 1e-9;
     let order = level_et_descending(wf, level);
-    let capacity = order
-        .first()
-        .map(|&t| wf.task(t).base_time)
-        .unwrap_or(0.0);
+    let capacity = order.first().map(|&t| wf.task(t).base_time).unwrap_or(0.0);
     let horizon = level
         .iter()
         .map(|&t| ready(t) + wf.task(t).base_time)
@@ -90,9 +83,9 @@ fn reduce_level_with(
                 .expect("finite ready times")
                 .then(a.0.cmp(&b.0))
         });
-        by_ready.iter().fold(0.0_f64, |end, &t| {
-            end.max(ready(t)) + wf.task(t).base_time
-        })
+        by_ready
+            .iter()
+            .fold(0.0_f64, |end, &t| end.max(ready(t)) + wf.task(t).base_time)
     };
     let mut chains: Vec<Chain> = Vec::new();
     for t in order {
@@ -157,16 +150,11 @@ fn place_level_chains(
                 .then(a.0.cmp(&b.0))
         });
         let first = chain_order[0];
-        let candidate = sb.earliest_start_vm_where(first, |v| {
-            v.itype == want && !used_in_level.contains(&v.id)
-        });
+        let candidate = sb
+            .earliest_start_vm_where(first, |v| v.itype == want && !used_in_level.contains(&v.id));
         let vm = match candidate {
             Some(vm) => {
-                let duration: f64 = chain
-                    .tasks
-                    .iter()
-                    .map(|&t| sb.exec_time(t, want))
-                    .sum();
+                let duration: f64 = chain.tasks.iter().map(|&t| sb.exec_time(t, want)).sum();
                 if sb.vm(vm).fits_without_new_btu(duration) {
                     vm
                 } else {
@@ -220,8 +208,7 @@ pub fn level_budget(wf: &Workflow, platform: &Platform, level: &[TaskId]) -> f64
     level
         .iter()
         .map(|&t| {
-            btus_for_span(InstanceType::Small.execution_time(wf.task(t).base_time)) as f64
-                * price
+            btus_for_span(InstanceType::Small.execution_time(wf.task(t).base_time)) as f64 * price
         })
         .sum()
 }
@@ -260,11 +247,8 @@ pub fn optimize_level_types(
     // per-task worst case.
     let mut snapshot = types.clone();
 
-    loop {
-        // Try speeding up the longest task (chain 0).
-        let Some(faster) = types[0].next_faster() else {
-            break;
-        };
+    // Try speeding up the longest task (chain 0) while one exists.
+    while let Some(faster) = types[0].next_faster() {
         let mut candidate = types.clone();
         candidate[0] = faster;
         if config_cost(platform, chains, &candidate) > budget + EPS {

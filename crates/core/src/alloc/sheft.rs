@@ -48,13 +48,7 @@ pub fn sheft_deadline(wf: &Workflow, platform: &Platform, deadline: f64) -> Dead
         let cp = critical_path(
             wf,
             |t| types[t.index()].execution_time(wf.task(t).base_time),
-            |e| {
-                platform.transfer_time(
-                    e.data_mb,
-                    types[e.from.index()],
-                    types[e.to.index()],
-                )
-            },
+            |e| platform.transfer_time(e.data_mb, types[e.from.index()], types[e.to.index()]),
         );
         let candidate = cp
             .tasks

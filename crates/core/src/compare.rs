@@ -170,7 +170,10 @@ mod tests {
         assert_eq!(c.right_label, "AllParExceed-m");
         assert!((c.left.makespan - l.makespan()).abs() < 1e-9);
         assert!((c.right.cost - r.total_cost(&wf, &p)).abs() < 1e-12);
-        assert!(c.right_vs_left.gain_pct > 0.0, "medium instances are faster");
+        assert!(
+            c.right_vs_left.gain_pct > 0.0,
+            "medium instances are faster"
+        );
     }
 
     #[test]

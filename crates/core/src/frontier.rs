@@ -206,11 +206,8 @@ mod tests {
             },
         );
         let full = pareto_front(&wf(), &p, CandidateSet::default());
-        let min = |pts: &[FrontierPoint]| {
-            pts.iter()
-                .map(|p| p.makespan)
-                .fold(f64::INFINITY, f64::min)
-        };
+        let min =
+            |pts: &[FrontierPoint]| pts.iter().map(|p| p.makespan).fold(f64::INFINITY, f64::min);
         assert!(min(&full) <= min(&paper_only) + 1e-9);
     }
 

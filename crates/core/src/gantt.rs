@@ -24,9 +24,7 @@ pub fn render(wf: &Workflow, schedule: &Schedule, width: usize) -> String {
     let makespan = schedule.makespan().max(1e-9);
     let scale = width as f64 / makespan;
     let col = |t: f64| -> usize { ((t * scale).floor() as usize).min(width - 1) };
-    let marker = |task_index: usize| -> char {
-        char::from(b'A' + (task_index % 26) as u8)
-    };
+    let marker = |task_index: usize| -> char { char::from(b'A' + (task_index % 26) as u8) };
 
     let mut out = String::new();
     let _ = writeln!(
@@ -118,10 +116,15 @@ mod tests {
     fn task_markers_appear_in_rows() {
         let w = wf();
         let p = Platform::ec2_paper();
-        let s = Strategy::parse("StartParExceed-s").unwrap().schedule(&w, &p);
+        let s = Strategy::parse("StartParExceed-s")
+            .unwrap()
+            .schedule(&w, &p);
         let g = render(&w, &s, 60);
         // single VM carries both markers
-        let vm_row = g.lines().find(|l| l.trim_start().starts_with("vm0")).unwrap();
+        let vm_row = g
+            .lines()
+            .find(|l| l.trim_start().starts_with("vm0"))
+            .unwrap();
         assert!(vm_row.contains('A'));
         assert!(vm_row.contains('B'));
     }

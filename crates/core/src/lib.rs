@@ -32,6 +32,7 @@ pub mod compare;
 pub mod frontier;
 pub mod gantt;
 pub mod metrics;
+pub mod pooled;
 pub mod provisioning;
 pub mod schedule;
 pub mod state;
@@ -40,6 +41,7 @@ pub mod vm;
 
 pub use compare::{compare, ScheduleComparison};
 pub use metrics::{RelativeMetrics, ScheduleMetrics};
+pub use pooled::{pooled_static, PooledSchedule, WarmVm};
 pub use provisioning::ProvisioningPolicy;
 pub use schedule::{Schedule, ScheduleError, TaskPlacement, VmMetrics};
 pub use state::ScheduleBuilder;

@@ -189,7 +189,10 @@ mod tests {
             Some(GainSavingsClass::Balanced)
         );
         // outside the square → None
-        assert_eq!(RelativeMetrics::vs(&m(1200.0, 0.5), &base).classify(5.0), None);
+        assert_eq!(
+            RelativeMetrics::vs(&m(1200.0, 0.5), &base).classify(5.0),
+            None
+        );
     }
 
     #[test]

@@ -211,8 +211,8 @@ mod tests {
         let mut sb = ScheduleBuilder::new(&wf, &p);
         let vm = sb.place_on_new(TaskId(0), InstanceType::Small);
         sb.place_on(TaskId(1), vm); // 600s busy now
-        // even though another task would exceed nothing here, Exceed
-        // always returns the busiest VM
+                                    // even though another task would exceed nothing here, Exceed
+                                    // always returns the busiest VM
         assert_eq!(
             ProvisioningPolicy::StartParExceed.pick_vm(&sb, TaskId(2)),
             Some(vm)

@@ -432,7 +432,8 @@ mod tests {
         s.placements[1].finish = 250.0;
         s.vms[0].tasks[1] = (TaskId(1), 50.0, 250.0);
         match s.validate(&wf, &p) {
-            Err(ScheduleError::VmOverlap { .. }) | Err(ScheduleError::PrecedenceViolation { .. }) => {}
+            Err(ScheduleError::VmOverlap { .. })
+            | Err(ScheduleError::PrecedenceViolation { .. }) => {}
             other => panic!("expected violation, got {other:?}"),
         }
     }

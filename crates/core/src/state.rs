@@ -8,9 +8,11 @@
 //! analytic schedules, the validator and the discrete-event simulator
 //! cannot drift apart.
 
+use crate::pooled::WarmVm;
 use crate::schedule::{Schedule, TaskPlacement};
 use crate::vm::{Vm, VmId};
 use cws_dag::{TaskId, Workflow};
+use cws_platform::billing::fits_in_current_btu;
 use cws_platform::{InstanceType, Platform, Region};
 
 /// Incremental schedule builder.
@@ -20,17 +22,37 @@ pub struct ScheduleBuilder<'a> {
     platform: &'a Platform,
     vms: Vec<Vm>,
     placements: Vec<Option<TaskPlacement>>,
+    /// Warm VMs offered by an online service layer (see
+    /// [`crate::pooled`]). Kept separate from `vms` so the paper's
+    /// provisioning policies only ever see machines this workflow has
+    /// actually claimed — pre-seeding `vms` would bias `busiest_vm`
+    /// with history the policies were not designed to observe.
+    warm_slots: Vec<WarmVm>,
+    warm_claimed: Vec<bool>,
+    /// For each entry of `vms`, the warm-slot index it was claimed from
+    /// (`None` = fresh rental). Maintained in lock-step with `vms`.
+    origins: Vec<Option<usize>>,
 }
 
 impl<'a> ScheduleBuilder<'a> {
     /// Start an empty schedule for `wf` on `platform`.
     #[must_use]
     pub fn new(wf: &'a Workflow, platform: &'a Platform) -> Self {
+        Self::with_warm_pool(wf, platform, &[])
+    }
+
+    /// Start an empty schedule that may claim VMs from `warm` instead of
+    /// renting fresh ones (see [`crate::pooled`] for the claiming rules).
+    #[must_use]
+    pub fn with_warm_pool(wf: &'a Workflow, platform: &'a Platform, warm: &[WarmVm]) -> Self {
         ScheduleBuilder {
             wf,
             platform,
             vms: Vec::new(),
             placements: vec![None; wf.len()],
+            warm_slots: warm.to_vec(),
+            warm_claimed: vec![false; warm.len()],
+            origins: Vec::new(),
         }
     }
 
@@ -78,7 +100,13 @@ impl<'a> ScheduleBuilder<'a> {
     /// Panics if a predecessor of `task` has not been placed yet —
     /// strategies must place tasks in a topological order.
     #[must_use]
-    pub fn ready_time(&self, task: TaskId, on_vm: Option<VmId>, itype: InstanceType, region: Region) -> f64 {
+    pub fn ready_time(
+        &self,
+        task: TaskId,
+        on_vm: Option<VmId>,
+        itype: InstanceType,
+        region: Region,
+    ) -> f64 {
         let mut ready: f64 = 0.0;
         for e in self.wf.predecessors(task) {
             let p = self.placements[e.from.index()]
@@ -137,6 +165,93 @@ impl<'a> ScheduleBuilder<'a> {
         let finish = start + self.exec_time(task, itype);
         vm.push_task(task, start, finish);
         self.vms.push(vm);
+        self.origins.push(None);
+        self.set_placement(task, id, start, finish);
+        id
+    }
+
+    /// For each rented VM (same order as [`Self::vms`]), the warm-slot
+    /// index it was claimed from — `None` for fresh rentals.
+    #[must_use]
+    pub fn vm_origins(&self) -> &[Option<usize>] {
+        &self.origins
+    }
+
+    /// The best still-unclaimed warm slot for `task`, or `None` when no
+    /// slot beats renting fresh.
+    ///
+    /// A slot is eligible when it has the requested type and `task`
+    /// could start on it no later than on a fresh rental (whose first
+    /// task waits out [`Platform::boot_time_s`] — so a longer boot delay
+    /// makes warm reuse strictly more attractive). With `require_fit`
+    /// (the NotExceed policies) the task must additionally fit in the
+    /// slot's current partially-consumed BTU. Ties prefer the earlier
+    /// start, then the slot deeper into its BTU (pack paid time), then
+    /// the lower slot index.
+    #[must_use]
+    pub fn best_warm_slot(
+        &self,
+        task: TaskId,
+        itype: InstanceType,
+        require_fit: bool,
+    ) -> Option<usize> {
+        const EPS: f64 = 1e-9;
+        let duration = self.exec_time(task, itype);
+        self.warm_slots
+            .iter()
+            .enumerate()
+            .filter(|&(i, slot)| !self.warm_claimed[i] && slot.itype == itype)
+            .filter_map(|(i, slot)| {
+                let ready = self.ready_time(task, None, itype, slot.region);
+                let start = ready.max(slot.available_rel);
+                let fresh_start = ready.max(self.platform.boot_time_s);
+                let beats_fresh = start <= fresh_start + EPS;
+                let fits = !require_fit || fits_in_current_btu(slot.btu_elapsed, duration);
+                (beats_fresh && fits).then_some((i, slot, start))
+            })
+            .min_by(|(ia, sa, ta), (ib, sb, tb)| {
+                ta.partial_cmp(tb)
+                    .expect("start times are finite")
+                    .then(
+                        sb.btu_elapsed
+                            .partial_cmp(&sa.btu_elapsed)
+                            .expect("btu elapsed is finite"),
+                    )
+                    .then(ia.cmp(ib))
+            })
+            .map(|(i, _, _)| i)
+    }
+
+    /// Claim warm slot `slot` for `task`: the slot becomes a rented VM
+    /// whose meter carries the slot's already-consumed BTU seconds, so
+    /// later `NotExceed` fit tests keep seeing the machine's true
+    /// position in its billing unit.
+    ///
+    /// # Panics
+    /// Panics if the slot was already claimed.
+    pub fn claim_warm(&mut self, task: TaskId, slot: usize) -> VmId {
+        assert!(!self.warm_claimed[slot], "warm slot {slot} claimed twice");
+        self.warm_claimed[slot] = true;
+        let WarmVm {
+            itype,
+            region,
+            available_rel,
+            btu_elapsed,
+        } = self.warm_slots[slot];
+        let id = VmId(self.vms.len() as u32);
+        let ready = self.ready_time(task, None, itype, region);
+        let start = ready.max(available_rel);
+        let mut vm = Vm::new(id, itype, region, start);
+        // Carried busy time: `fits_on` and `busiest_vm` observe the
+        // machine's whole current-BTU history, which is exactly what an
+        // online provisioner can see. Schedule-level cost metrics stop
+        // being meaningful for pooled schedules — the service layer
+        // bills pool VMs by wall clock instead.
+        vm.meter.busy = btu_elapsed;
+        let finish = start + self.exec_time(task, itype);
+        vm.push_task(task, start, finish);
+        self.vms.push(vm);
+        self.origins.push(Some(slot));
         self.set_placement(task, id, start, finish);
         id
     }
@@ -348,10 +463,7 @@ mod tests {
         sb.place_on_new(TaskId(0), InstanceType::Small);
         sb.place_on_new(TaskId(1), InstanceType::Small);
         assert_eq!(sb.busiest_vm(), Some(VmId(1)));
-        assert_eq!(
-            sb.busiest_vm_where(|v| v.id == VmId(0)),
-            Some(VmId(0))
-        );
+        assert_eq!(sb.busiest_vm_where(|v| v.id == VmId(0)), Some(VmId(0)));
     }
 
     #[test]
@@ -420,12 +532,7 @@ mod tests {
         let wf = chain2();
         let p = Platform::ec2_paper();
         let sb = ScheduleBuilder::new(&wf, &p);
-        let _ = sb.ready_time(
-            TaskId(1),
-            None,
-            InstanceType::Small,
-            Region::UsEastVirginia,
-        );
+        let _ = sb.ready_time(TaskId(1), None, InstanceType::Small, Region::UsEastVirginia);
     }
 
     #[test]

@@ -138,7 +138,11 @@ impl Strategy {
     #[must_use]
     pub fn paper_set() -> Vec<Strategy> {
         let mut v = Vec::with_capacity(19);
-        for itype in [InstanceType::Small, InstanceType::Medium, InstanceType::Large] {
+        for itype in [
+            InstanceType::Small,
+            InstanceType::Medium,
+            InstanceType::Large,
+        ] {
             for alloc in StaticAlloc::LEGEND_ORDER {
                 v.push(Strategy::Static { alloc, itype });
             }
@@ -316,7 +320,10 @@ mod tests {
         assert_eq!(labels[4], "OneVMperTask-s");
         assert_eq!(labels[5], "StartParNotExceed-m");
         assert_eq!(labels[14], "OneVMperTask-l");
-        assert_eq!(&labels[15..], &["CPA-Eager", "GAIN", "AllPar1LnS", "AllPar1LnSDyn"]);
+        assert_eq!(
+            &labels[15..],
+            &["CPA-Eager", "GAIN", "AllPar1LnS", "AllPar1LnSDyn"]
+        );
     }
 
     #[test]

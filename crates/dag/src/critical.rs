@@ -214,7 +214,9 @@ mod tests {
     #[test]
     fn chain_rank_is_suffix_sum() {
         let mut b = WorkflowBuilder::new("chain");
-        let ids: Vec<_> = (0..5).map(|i| b.task(format!("t{i}"), (i + 1) as f64)).collect();
+        let ids: Vec<_> = (0..5)
+            .map(|i| b.task(format!("t{i}"), (i + 1) as f64))
+            .collect();
         for pair in ids.windows(2) {
             b.edge(pair[0], pair[1]);
         }

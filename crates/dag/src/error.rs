@@ -47,7 +47,10 @@ mod tests {
             DagError::UnknownTask(TaskId(3)).to_string(),
             "edge references unknown task t3"
         );
-        assert_eq!(DagError::SelfLoop(TaskId(1)).to_string(), "self-loop on task t1");
+        assert_eq!(
+            DagError::SelfLoop(TaskId(1)).to_string(),
+            "self-loop on task t1"
+        );
         assert_eq!(
             DagError::DuplicateEdge(TaskId(0), TaskId(2)).to_string(),
             "duplicate edge t0 -> t2"

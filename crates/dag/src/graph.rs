@@ -392,8 +392,7 @@ mod tests {
     fn topological_order_respects_edges() {
         let w = diamond();
         let topo = w.topological_order();
-        let pos =
-            |id: TaskId| topo.iter().position(|&t| t == id).expect("task in topo");
+        let pos = |id: TaskId| topo.iter().position(|&t| t == id).expect("task in topo");
         for e in w.edges() {
             assert!(pos(e.from) < pos(e.to), "{} before {}", e.from, e.to);
         }

@@ -110,9 +110,7 @@ impl std::fmt::Display for WorkflowClass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
             WorkflowClass::HighlyParallel => "much parallelism",
-            WorkflowClass::ParallelInterdependent => {
-                "much parallelism + many interdependencies"
-            }
+            WorkflowClass::ParallelInterdependent => "much parallelism + many interdependencies",
             WorkflowClass::SomeParallelism => "some parallelism",
             WorkflowClass::Sequential => "sequential",
         };

@@ -170,9 +170,9 @@ mod tests {
     fn reachability_on_chain_is_upper_triangle() {
         let w = chain_wf(4);
         let r = reachability(&w);
-        for i in 0..4 {
-            for j in 0..4 {
-                assert_eq!(r[i][j], i < j, "reach[{i}][{j}]");
+        for (i, row) in r.iter().enumerate() {
+            for (j, &reach) in row.iter().enumerate() {
+                assert_eq!(reach, i < j, "reach[{i}][{j}]");
             }
         }
     }

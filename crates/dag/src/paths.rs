@@ -80,15 +80,12 @@ pub fn path_clusters(
     let mut clusters = Vec::new();
     loop {
         // Highest-b-level unclustered task starts the next path.
-        let start = wf
-            .ids()
-            .filter(|id| !clustered[id.index()])
-            .max_by(|a, c| {
-                b[a.index()]
-                    .partial_cmp(&b[c.index()])
-                    .expect("finite b-levels")
-                    .then(c.0.cmp(&a.0))
-            });
+        let start = wf.ids().filter(|id| !clustered[id.index()]).max_by(|a, c| {
+            b[a.index()]
+                .partial_cmp(&b[c.index()])
+                .expect("finite b-levels")
+                .then(c.0.cmp(&a.0))
+        });
         let Some(start) = start else { break };
         let mut path = vec![start];
         clustered[start.index()] = true;
@@ -160,7 +157,11 @@ mod tests {
         let cp = crate::critical::critical_path(&w, exec(&w), no_comm);
         for id in w.ids() {
             if cp.contains(id) {
-                assert!(s[id.index()].abs() < 1e-9, "{id} on CP has slack {}", s[id.index()]);
+                assert!(
+                    s[id.index()].abs() < 1e-9,
+                    "{id} on CP has slack {}",
+                    s[id.index()]
+                );
             } else {
                 assert!(s[id.index()] > 0.0, "{id} off CP has zero slack");
             }

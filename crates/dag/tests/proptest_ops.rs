@@ -42,8 +42,7 @@ fn random_dag(levels: usize, max_width: usize, edge_prob: f64, seed: u64) -> Wor
 }
 
 fn arb_dag() -> impl Strategy<Value = Workflow> {
-    (2usize..6, 1usize..5, 0.1f64..0.9, 0u64..500)
-        .prop_map(|(l, w, p, s)| random_dag(l, w, p, s))
+    (2usize..6, 1usize..5, 0.1f64..0.9, 0u64..500).prop_map(|(l, w, p, s)| random_dag(l, w, p, s))
 }
 
 fn exec(wf: &Workflow) -> impl Fn(TaskId) -> f64 + Copy + '_ {

@@ -51,7 +51,11 @@ pub fn task_scale_ablation(
     let mut out = Vec::new();
     for &scale in scales {
         assert!(scale > 0.0, "scale must be positive");
-        let times: Vec<f64> = base_wf.tasks().iter().map(|t| t.base_time * scale).collect();
+        let times: Vec<f64> = base_wf
+            .tasks()
+            .iter()
+            .map(|t| t.base_time * scale)
+            .collect();
         let scaled = base_wf.with_base_times(&times);
         let mean = scaled.total_work() / scaled.len() as f64;
         let base = baseline_metrics(config, &scaled);
@@ -170,7 +174,13 @@ pub fn tolerance_ablation(config: &ExperimentConfig, tolerances: &[f64]) -> Vec<
 pub fn scale_report(points: &[ScalePoint]) -> Table {
     let mut t = Table::new(
         "Ablation — task-size / BTU ratio",
-        &["scale", "task_btu_ratio", "strategy", "gain_pct", "loss_pct"],
+        &[
+            "scale",
+            "task_btu_ratio",
+            "strategy",
+            "gain_pct",
+            "loss_pct",
+        ],
     );
     for p in points {
         t.row(vec![
@@ -207,7 +217,12 @@ pub fn budget_report(points: &[BudgetPoint]) -> Table {
 pub fn tolerance_report(points: &[TolerancePoint]) -> Table {
     let mut t = Table::new(
         "Ablation — Table III balance tolerance",
-        &["tolerance_pp", "savings_dominant", "gain_dominant", "balanced"],
+        &[
+            "tolerance_pp",
+            "savings_dominant",
+            "gain_dominant",
+            "balanced",
+        ],
     );
     for p in points {
         t.row(vec![
@@ -249,12 +264,7 @@ mod tests {
     fn large_tasks_erase_not_exceed_reuse() {
         // As tasks grow past a BTU, AllParExceed's savings advantage over
         // the baseline shrinks (reuse buys proportionally less).
-        let pts = task_scale_ablation(
-            &cfg(),
-            &montage_24(),
-            &["AllParExceed-s"],
-            &[0.25, 16.0],
-        );
+        let pts = task_scale_ablation(&cfg(), &montage_24(), &["AllParExceed-s"], &[0.25, 16.0]);
         let small_tasks = -pts[0].loss_pct;
         let big_tasks = -pts[1].loss_pct;
         assert!(
@@ -283,7 +293,13 @@ mod tests {
         let pts = budget_ablation(&cfg(), &montage_24(), &[2.0, 4.0]);
         for p in &pts {
             let cap = (p.multiplier - 1.0) * 100.0;
-            assert!(p.loss_pct <= cap + 1e-6, "{}: {} > {}", p.label, p.loss_pct, cap);
+            assert!(
+                p.loss_pct <= cap + 1e-6,
+                "{}: {} > {}",
+                p.label,
+                p.loss_pct,
+                cap
+            );
         }
     }
 
@@ -292,8 +308,7 @@ mod tests {
         let pts = tolerance_ablation(&cfg(), &[0.0, 10.0, 50.0]);
         assert!(pts[2].balanced >= pts[0].balanced);
         // total classified is invariant
-        let total =
-            |p: &TolerancePoint| p.savings + p.gain + p.balanced;
+        let total = |p: &TolerancePoint| p.savings + p.gain + p.balanced;
         assert_eq!(total(&pts[0]), total(&pts[2]));
     }
 

@@ -12,10 +12,9 @@
 
 use cws_experiments::report::Table;
 use cws_experiments::{
-    ablation, boundaries, characterize, corent, data_intensive, energy, failures, fig3, fig4,
-    fig5, fleet,
-    frontier, robustness, sensitivity, summary, table3, table4, table5, tables,
-    ExperimentConfig,
+    ablation, boundaries, characterize, corent, data_intensive, energy, failures, fig3, fig4, fig5,
+    fleet, frontier, robustness, sensitivity, service_sweep, summary, table3, table4, table5,
+    tables, ExperimentConfig,
 };
 use cws_workloads::{montage_24, Scenario};
 use std::path::{Path, PathBuf};
@@ -32,13 +31,15 @@ struct Args {
     seed: u64,
     out: Option<PathBuf>,
     format: Format,
+    threads: usize,
+    json: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: cws-exp <fig3|fig4|fig5|table3|table4|table5|corent|catalog|prices\
-         |frontier|ablation|boundaries|grid|workloads|fleet|gantt|sensitivity|robustness|failures|energy|data|summary|all> \
-         [--seed N] [--out DIR] [--format ascii|csv|gnuplot]"
+         |frontier|ablation|boundaries|grid|workloads|fleet|gantt|sensitivity|robustness|failures|energy|data|summary|service|all> \
+         [--seed N] [--out DIR] [--format ascii|csv|gnuplot] [--threads N] [--json]"
     );
     std::process::exit(2);
 }
@@ -51,6 +52,8 @@ fn parse_args() -> Args {
         seed: 42,
         out: None,
         format: Format::Ascii,
+        threads: 4,
+        json: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -71,6 +74,14 @@ fn parse_args() -> Args {
                     _ => usage(),
                 };
             }
+            "--threads" => {
+                parsed.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--json" => parsed.json = true,
             _ => usage(),
         }
     }
@@ -90,10 +101,8 @@ fn emit(table: &Table, name: &str, args: &Args) {
 
 fn write_files(table: &Table, name: &str, dir: &Path) {
     std::fs::create_dir_all(dir).expect("create output directory");
-    std::fs::write(dir.join(format!("{name}.csv")), table.to_csv())
-        .expect("write csv");
-    std::fs::write(dir.join(format!("{name}.dat")), table.to_gnuplot())
-        .expect("write dat");
+    std::fs::write(dir.join(format!("{name}.csv")), table.to_csv()).expect("write csv");
+    std::fs::write(dir.join(format!("{name}.dat")), table.to_gnuplot()).expect("write dat");
 }
 
 fn main() {
@@ -142,7 +151,11 @@ fn main() {
         "corent" => {
             let wf = montage_24();
             let entries = corent::corent(&config, &wf, Scenario::Pareto { seed: config.seed }, 0.3);
-            emit(&corent::corent_report("montage-24", &entries), "corent_montage", args);
+            emit(
+                &corent::corent_report("montage-24", &entries),
+                "corent_montage",
+                args,
+            );
         }
         "frontier" => {
             let quiet = ExperimentConfig {
@@ -167,8 +180,17 @@ fn main() {
                 cws_experiments::sweep::run_grid(&quiet, &workflows, &scenarios, &strategies, 0);
             let mut t = Table::new(
                 "Full grid — every (workflow, scenario, strategy) cell",
-                &["workflow", "scenario", "strategy", "makespan_s", "cost_usd",
-                  "idle_s", "vms", "gain_pct", "loss_pct"],
+                &[
+                    "workflow",
+                    "scenario",
+                    "strategy",
+                    "makespan_s",
+                    "cost_usd",
+                    "idle_s",
+                    "vms",
+                    "gain_pct",
+                    "loss_pct",
+                ],
             );
             for c in cells {
                 t.row(vec![
@@ -192,13 +214,19 @@ fn main() {
             };
             let structure = boundaries::structure_sweep(&quiet, 6, &[1, 2, 4, 8, 16]);
             emit(
-                &boundaries::boundaries_report("Boundaries — structure (layered width)", &structure),
+                &boundaries::boundaries_report(
+                    "Boundaries — structure (layered width)",
+                    &structure,
+                ),
                 "boundaries_structure",
                 args,
             );
             let het = boundaries::heterogeneity_sweep(&quiet, &[1.1, 1.3, 2.0, 3.0, 5.0, 10.0]);
             emit(
-                &boundaries::boundaries_report("Boundaries — runtime heterogeneity (Pareto alpha)", &het),
+                &boundaries::boundaries_report(
+                    "Boundaries — runtime heterogeneity (Pareto alpha)",
+                    &het,
+                ),
                 "boundaries_heterogeneity",
                 args,
             );
@@ -207,7 +235,12 @@ fn main() {
             // ASCII Gantt of a handful of representative plans.
             let wf = Scenario::Pareto { seed: config.seed }
                 .apply(&cws_workloads::DataSizeModel::CpuIntensive.apply(&montage_24()));
-            for label in ["OneVMperTask-s", "StartParExceed-s", "AllParExceed-m", "AllPar1LnSDyn"] {
+            for label in [
+                "OneVMperTask-s",
+                "StartParExceed-s",
+                "AllParExceed-m",
+                "AllPar1LnSDyn",
+            ] {
                 let s = cws_core::Strategy::parse(label)
                     .expect("known label")
                     .schedule(&wf, &config.platform);
@@ -227,7 +260,11 @@ fn main() {
         }
         "workloads" => {
             let profiles = characterize::characterize_all();
-            emit(&characterize::characterize_report(&profiles), "workload_profiles", args);
+            emit(
+                &characterize::characterize_report(&profiles),
+                "workload_profiles",
+                args,
+            );
         }
         "failures" => {
             let quiet = ExperimentConfig {
@@ -237,12 +274,20 @@ fn main() {
             for wf in cws_workloads::paper_workflows() {
                 let rows = failures::failure_domains(&quiet, &wf, 0.5);
                 let name = format!("failures_{}", wf.name().replace('-', "_"));
-                emit(&failures::failure_report(wf.name(), 0.5, &rows), &name, args);
+                emit(
+                    &failures::failure_report(wf.name(), 0.5, &rows),
+                    &name,
+                    args,
+                );
             }
             let market = cws_platform::SpotMarket::default();
             let wf = montage_24();
             let rows = failures::spot_economics(&quiet, &wf, market, 50);
-            emit(&failures::spot_report("montage-24", market, &rows), "spot_montage", args);
+            emit(
+                &failures::spot_report("montage-24", market, &rows),
+                "spot_montage",
+                args,
+            );
         }
         "energy" => {
             let quiet = ExperimentConfig {
@@ -250,7 +295,8 @@ fn main() {
                 ..config.clone()
             };
             for wf in cws_workloads::paper_workflows() {
-                let rows = energy::energy_accounting(&quiet, &wf, cws_platform::EnergyModel::default());
+                let rows =
+                    energy::energy_accounting(&quiet, &wf, cws_platform::EnergyModel::default());
                 let name = format!("energy_{}", wf.name().replace('-', "_"));
                 emit(&energy::energy_report(wf.name(), &rows), &name, args);
             }
@@ -279,6 +325,26 @@ fn main() {
                     .expect("write reproduction report");
             }
         }
+        "service" => {
+            // The online multi-tenant sweep (cws-service): Poisson
+            // arrivals against a shared warm-VM pool. The JSON is
+            // byte-identical for a fixed seed at any --threads value.
+            let report = service_sweep::service_sweep(&config.platform, config.seed, args.threads);
+            if args.json {
+                println!("{}", report.to_json());
+            } else {
+                emit(
+                    &service_sweep::service_report(&report),
+                    "service_sweep",
+                    args,
+                );
+            }
+            if let Some(dir) = &args.out {
+                std::fs::create_dir_all(dir).expect("create output directory");
+                std::fs::write(dir.join("service_sweep.json"), report.to_json())
+                    .expect("write service sweep json");
+            }
+        }
         "catalog" => emit(&tables::table1(), "table1_catalog", args),
         "prices" => emit(&tables::table2(), "table2_prices", args),
         "ablation" => {
@@ -297,7 +363,11 @@ fn main() {
             let budget = ablation::budget_ablation(&quiet, &wf, &[1.0, 1.5, 2.0, 3.0, 4.0, 8.0]);
             emit(&ablation::budget_report(&budget), "ablation_budget", args);
             let tol = ablation::tolerance_ablation(&quiet, &[0.0, 2.0, 5.0, 10.0, 20.0, 50.0]);
-            emit(&ablation::tolerance_report(&tol), "ablation_tolerance", args);
+            emit(
+                &ablation::tolerance_report(&tol),
+                "ablation_tolerance",
+                args,
+            );
         }
         "sensitivity" => {
             let quiet = ExperimentConfig {
@@ -308,7 +378,11 @@ fn main() {
             for wf in cws_workloads::paper_workflows() {
                 let rows = sensitivity::seed_sensitivity(&quiet, &wf, &seeds);
                 let name = format!("sensitivity_{}", wf.name().replace('-', "_"));
-                emit(&sensitivity::sensitivity_report(wf.name(), &rows), &name, args);
+                emit(
+                    &sensitivity::sensitivity_report(wf.name(), &rows),
+                    &name,
+                    args,
+                );
             }
         }
         "robustness" => {
@@ -352,6 +426,7 @@ fn main() {
             "failures",
             "energy",
             "data",
+            "service",
             "summary",
         ] {
             run_one(cmd, &args);

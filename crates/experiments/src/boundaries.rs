@@ -122,7 +122,14 @@ pub fn heterogeneity_sweep(config: &ExperimentConfig, alphas: &[f64]) -> Vec<Bou
 pub fn boundaries_report(title: &str, points: &[BoundaryPoint]) -> Table {
     let mut t = Table::new(
         title.to_string(),
-        &["coordinate", "parallelism", "runtime_cv", "savings", "gain", "balanced"],
+        &[
+            "coordinate",
+            "parallelism",
+            "runtime_cv",
+            "savings",
+            "gain",
+            "balanced",
+        ],
     );
     for p in points {
         t.row(vec![
@@ -181,7 +188,11 @@ mod tests {
     #[test]
     fn gain_winner_is_in_the_target_square_or_baseline() {
         for p in structure_sweep(&cfg(), 4, &[3]) {
-            assert!(Strategy::parse(&p.gain_winner).is_some(), "{}", p.gain_winner);
+            assert!(
+                Strategy::parse(&p.gain_winner).is_some(),
+                "{}",
+                p.gain_winner
+            );
         }
     }
 

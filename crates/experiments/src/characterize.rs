@@ -76,7 +76,17 @@ pub fn characterize_all() -> Vec<WorkloadProfile> {
 pub fn characterize_report(profiles: &[WorkloadProfile]) -> Table {
     let mut t = Table::new(
         "Workload characterization (the structure behind Fig. 2)",
-        &["workflow", "tasks", "edges", "depth", "max_width", "parallelism", "density", "cp_fraction", "class"],
+        &[
+            "workflow",
+            "tasks",
+            "edges",
+            "depth",
+            "max_width",
+            "parallelism",
+            "density",
+            "cp_fraction",
+            "class",
+        ],
     );
     for p in profiles {
         t.row(vec![

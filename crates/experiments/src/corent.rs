@@ -71,7 +71,13 @@ pub fn corent(
 pub fn corent_report(workflow: &str, entries: &[CoRentEntry]) -> Table {
     let mut t = Table::new(
         format!("Co-rent analysis — {workflow}"),
-        &["strategy", "cost_usd", "idle_hours", "reimbursement_usd", "effective_cost_usd"],
+        &[
+            "strategy",
+            "cost_usd",
+            "idle_hours",
+            "reimbursement_usd",
+            "effective_cost_usd",
+        ],
     );
     for e in entries {
         t.row(vec![

@@ -123,7 +123,11 @@ mod tests {
         // relative to the baseline (its gain improves or at least does
         // not degrade).
         let p = panel();
-        let sp = p.shifts.iter().find(|s| s.label == "StartParExceed-s").unwrap();
+        let sp = p
+            .shifts
+            .iter()
+            .find(|s| s.label == "StartParExceed-s")
+            .unwrap();
         assert!(
             sp.data_gain >= sp.cpu_gain - 1e-9,
             "co-location should pay off with data: cpu {} vs data {}",
@@ -135,7 +139,11 @@ mod tests {
     #[test]
     fn baseline_stays_the_origin_in_both_settings() {
         let p = panel();
-        let b = p.shifts.iter().find(|s| s.label == "OneVMperTask-s").unwrap();
+        let b = p
+            .shifts
+            .iter()
+            .find(|s| s.label == "OneVMperTask-s")
+            .unwrap();
         assert!(b.cpu_gain.abs() < 1e-9);
         assert!(b.data_gain.abs() < 1e-9);
         assert!(b.cpu_loss.abs() < 1e-9);

@@ -69,7 +69,13 @@ pub fn energy_accounting(
 pub fn energy_report(workflow: &str, rows: &[EnergyRow]) -> Table {
     let mut t = Table::new(
         format!("Energy accounting — {workflow}"),
-        &["strategy", "total_kwh", "busy_kwh", "idle_kwh", "waste_fraction"],
+        &[
+            "strategy",
+            "total_kwh",
+            "busy_kwh",
+            "idle_kwh",
+            "waste_fraction",
+        ],
     );
     for r in rows {
         t.row(vec![

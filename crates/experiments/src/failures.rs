@@ -38,11 +38,7 @@ pub struct FailureRow {
 /// Crash the busiest VM of each strategy's plan at `fraction` of its
 /// makespan and account for recovery.
 #[must_use]
-pub fn failure_domains(
-    config: &ExperimentConfig,
-    wf: &Workflow,
-    fraction: f64,
-) -> Vec<FailureRow> {
+pub fn failure_domains(config: &ExperimentConfig, wf: &Workflow, fraction: f64) -> Vec<FailureRow> {
     assert!(
         (0.0..=1.0).contains(&fraction),
         "crash fraction must be in [0, 1], got {fraction}"
@@ -131,10 +127,7 @@ pub fn spot_economics(
             for trial in 0..trials {
                 let any = s.vms.iter().enumerate().any(|(i, vm)| {
                     market
-                        .sample_interruption(
-                            vm.meter.busy,
-                            config.seed ^ (trial << 16) ^ i as u64,
-                        )
+                        .sample_interruption(vm.meter.busy, config.seed ^ (trial << 16) ^ i as u64)
                         .is_some()
                 });
                 if any {
@@ -159,7 +152,13 @@ pub fn failure_report(workflow: &str, fraction: f64, rows: &[FailureRow]) -> Tab
             "Failure domains — {workflow}, busiest VM crashed at {:.0}% of makespan",
             fraction * 100.0
         ),
-        &["strategy", "vms", "survival_rate", "recovered_makespan_s", "recovery_cost_usd"],
+        &[
+            "strategy",
+            "vms",
+            "survival_rate",
+            "recovered_makespan_s",
+            "recovery_cost_usd",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -182,7 +181,12 @@ pub fn spot_report(workflow: &str, market: SpotMarket, rows: &[SpotRow]) -> Tabl
             (market.price_fraction * 100.0) as u32,
             market.hourly_interruption_prob * 100.0
         ),
-        &["strategy", "on_demand_usd", "expected_spot_usd", "interruption_rate"],
+        &[
+            "strategy",
+            "on_demand_usd",
+            "expected_spot_usd",
+            "interruption_rate",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -249,7 +253,12 @@ mod tests {
         let f = failure_domains(&cfg(), &montage_24(), 0.5);
         assert_eq!(failure_report("montage-24", 0.5, &f).rows.len(), 19);
         let s = spot_economics(&cfg(), &montage_24(), SpotMarket::default(), 3);
-        assert_eq!(spot_report("montage-24", SpotMarket::default(), &s).rows.len(), 19);
+        assert_eq!(
+            spot_report("montage-24", SpotMarket::default(), &s)
+                .rows
+                .len(),
+            19
+        );
     }
 
     #[test]

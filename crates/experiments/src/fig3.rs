@@ -52,12 +52,7 @@ impl Fig3Data {
             ),
             &["exec_time_s", "cdf_empirical", "cdf_analytic"],
         );
-        for ((&x, &e), &a) in self
-            .points
-            .iter()
-            .zip(&self.empirical)
-            .zip(&self.analytic)
-        {
+        for ((&x, &e), &a) in self.points.iter().zip(&self.empirical).zip(&self.analytic) {
             t.row(vec![fmt_f(x, 0), fmt_f(e, 4), fmt_f(a, 4)]);
         }
         t

@@ -120,7 +120,12 @@ mod tests {
         for panel in fig4(&cfg()) {
             let p = panel.point("OneVMperTask-l").unwrap();
             assert!(p.gain_pct > 0.0, "{}", panel.workflow);
-            assert!(p.loss_pct > 100.0, "{}: loss {}", panel.workflow, p.loss_pct);
+            assert!(
+                p.loss_pct > 100.0,
+                "{}: loss {}",
+                panel.workflow,
+                p.loss_pct
+            );
         }
     }
 
@@ -130,7 +135,12 @@ mod tests {
         // VM per task.
         for panel in fig4(&cfg()) {
             let p = panel.point("StartParExceed-s").unwrap();
-            assert!(p.loss_pct <= 1e-9, "{}: loss {}", panel.workflow, p.loss_pct);
+            assert!(
+                p.loss_pct <= 1e-9,
+                "{}: loss {}",
+                panel.workflow,
+                p.loss_pct
+            );
         }
     }
 

@@ -116,7 +116,10 @@ mod tests {
         // nature is the reason why for most methods there is no
         // significant idle time visible."
         let panels = fig5(&cfg());
-        let seq = panels.iter().find(|p| p.workflow == "sequential-20").unwrap();
+        let seq = panels
+            .iter()
+            .find(|p| p.workflow == "sequential-20")
+            .unwrap();
         let packed = seq.idle("StartParExceed-s").unwrap();
         let one = seq.idle("OneVMperTask-s").unwrap();
         assert!(packed < one / 4.0, "packed {packed} vs one-per-task {one}");

@@ -14,8 +14,10 @@
 //! parallel grid runner (crossbeam scoped threads), and [`report`] the
 //! ASCII/CSV/gnuplot emitters. Beyond the paper: [`ablation`] sweeps the
 //! design knobs DESIGN.md calls out, [`sensitivity`] re-draws the Pareto
-//! runtimes across seeds, and [`robustness`] replays every plan under
-//! runtime jitter.
+//! runtimes across seeds, [`robustness`] replays every plan under
+//! runtime jitter, and [`service_sweep`] runs the strategies as an
+//! online multi-tenant service with a shared warm-VM pool
+//! (`cws-service`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,11 +38,12 @@ pub mod report;
 pub mod robustness;
 pub mod run;
 pub mod sensitivity;
+pub mod service_sweep;
 pub mod summary;
 pub mod sweep;
 pub mod table3;
-pub mod tables;
 pub mod table4;
 pub mod table5;
+pub mod tables;
 
 pub use run::{run_all_strategies, run_strategy, ExperimentConfig, StrategyResult};

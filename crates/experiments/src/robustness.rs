@@ -57,8 +57,16 @@ pub fn strategy_robustness(
 #[must_use]
 pub fn robustness_report(workflow: &str, jitter: f64, rows: &[RobustnessRow]) -> Table {
     let mut t = Table::new(
-        format!("Plan robustness under ±{:.0}% runtime jitter — {workflow}", jitter * 100.0),
-        &["strategy", "planned_makespan_s", "mean_inflation_pct", "max_inflation_pct"],
+        format!(
+            "Plan robustness under ±{:.0}% runtime jitter — {workflow}",
+            jitter * 100.0
+        ),
+        &[
+            "strategy",
+            "planned_makespan_s",
+            "mean_inflation_pct",
+            "max_inflation_pct",
+        ],
     );
     for r in rows {
         t.row(vec![

@@ -91,7 +91,14 @@ pub fn seed_sensitivity(
 pub fn sensitivity_report(workflow: &str, rows: &[SensitivityRow]) -> Table {
     let mut t = Table::new(
         format!("Seed sensitivity — {workflow}"),
-        &["strategy", "gain_mean", "gain_std", "loss_mean", "loss_std", "target_square_rate"],
+        &[
+            "strategy",
+            "gain_mean",
+            "gain_std",
+            "loss_mean",
+            "loss_std",
+            "target_square_rate",
+        ],
     );
     for r in rows {
         t.row(vec![

@@ -52,7 +52,9 @@ pub fn headline_claims(config: &ExperimentConfig) -> Vec<Claim> {
     });
 
     let dyn_square = f4.iter().all(|p| {
-        p.point("AllPar1LnSDyn").expect("legend entry").in_target_square
+        p.point("AllPar1LnSDyn")
+            .expect("legend entry")
+            .in_target_square
     });
     claims.push(Claim {
         paper: "AllPar1LnSDyn stays in the target square for every workflow".into(),
@@ -105,10 +107,7 @@ pub fn headline_claims(config: &ExperimentConfig) -> Vec<Claim> {
         && (gains[2] - 52.4).abs() < 2.0;
     claims.push(Claim {
         paper: "AllPar[Not]Exceed stable gain is 0/37/52% by instance size".into(),
-        measured: format!(
-            "{:.1}% / {:.1}% / {:.1}%",
-            gains[0], gains[1], gains[2]
-        ),
+        measured: format!("{:.1}% / {:.1}% / {:.1}%", gains[0], gains[1], gains[2]),
         holds: stable_ok,
     });
 
@@ -119,7 +118,12 @@ pub fn headline_claims(config: &ExperimentConfig) -> Vec<Claim> {
         paper: "a savings-oriented strategy exists for every workflow".into(),
         measured: t5
             .iter()
-            .map(|r| format!("{}: {} ({:.0}%)", r.workflow, r.savings_winner, r.savings_value))
+            .map(|r| {
+                format!(
+                    "{}: {} ({:.0}%)",
+                    r.workflow, r.savings_winner, r.savings_value
+                )
+            })
             .collect::<Vec<_>>()
             .join("; "),
         holds: savers,
@@ -172,7 +176,11 @@ mod tests {
         let claims = headline_claims(&cfg());
         assert_eq!(claims.len(), 7);
         for c in &claims {
-            assert!(c.holds, "claim failed: {} — measured {}", c.paper, c.measured);
+            assert!(
+                c.holds,
+                "claim failed: {} — measured {}",
+                c.paper, c.measured
+            );
         }
     }
 

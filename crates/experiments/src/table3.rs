@@ -81,7 +81,13 @@ pub fn table3(config: &ExperimentConfig) -> Vec<Table3Cell> {
 pub fn table3_report(cells: &[Table3Cell]) -> Table {
     let mut t = Table::new(
         "Table III — policies offering gain or profit (savings | gain | balanced)",
-        &["scenario", "workflow", "savings_dominant", "gain_dominant", "balanced"],
+        &[
+            "scenario",
+            "workflow",
+            "savings_dominant",
+            "gain_dominant",
+            "balanced",
+        ],
     );
     for c in cells {
         t.row(vec![

@@ -49,54 +49,54 @@ pub struct Table4Row {
 #[must_use]
 pub fn table4(config: &ExperimentConfig) -> Vec<Table4Row> {
     let variants = [StaticAlloc::AllParExceed, StaticAlloc::AllParNotExceed];
-    [InstanceType::Small, InstanceType::Medium, InstanceType::Large]
-        .into_iter()
-        .map(|itype| {
-            let mut per_workflow = Vec::new();
-            let mut gains = Vec::new();
-            for wf in paper_workflows() {
-                let mut losses = Vec::new();
-                let mut pareto_loss = 0.0;
-                for scenario in config.scenarios() {
-                    let m = config.materialize(&wf, scenario);
-                    let base = baseline_metrics(config, &m);
-                    for alloc in variants {
-                        let r = run_strategy(
-                            config,
-                            &m,
-                            Strategy::Static { alloc, itype },
-                            &base,
-                        );
-                        losses.push(r.relative.loss_pct);
-                        gains.push(r.relative.gain_pct);
-                        if scenario.name() == "pareto" && alloc == StaticAlloc::AllParExceed {
-                            pareto_loss = r.relative.loss_pct;
-                        }
+    [
+        InstanceType::Small,
+        InstanceType::Medium,
+        InstanceType::Large,
+    ]
+    .into_iter()
+    .map(|itype| {
+        let mut per_workflow = Vec::new();
+        let mut gains = Vec::new();
+        for wf in paper_workflows() {
+            let mut losses = Vec::new();
+            let mut pareto_loss = 0.0;
+            for scenario in config.scenarios() {
+                let m = config.materialize(&wf, scenario);
+                let base = baseline_metrics(config, &m);
+                for alloc in variants {
+                    let r = run_strategy(config, &m, Strategy::Static { alloc, itype }, &base);
+                    losses.push(r.relative.loss_pct);
+                    gains.push(r.relative.gain_pct);
+                    if scenario.name() == "pareto" && alloc == StaticAlloc::AllParExceed {
+                        pareto_loss = r.relative.loss_pct;
                     }
                 }
-                let loss_min = losses.iter().cloned().fold(f64::INFINITY, f64::min);
-                let loss_max = losses.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                per_workflow.push(WorkflowLoss {
-                    workflow: wf.name().to_string(),
-                    loss_min,
-                    loss_max,
-                    pareto_loss,
-                });
             }
-            let max_interval = per_workflow.iter().fold(
-                (f64::INFINITY, f64::NEG_INFINITY),
-                |(lo, hi), w| (lo.min(w.loss_min), hi.max(w.loss_max)),
-            );
-            let mean_gain = gains.iter().sum::<f64>() / gains.len() as f64;
-            Table4Row {
-                itype,
-                per_workflow,
-                max_interval,
-                mean_gain,
-                stable_gain: 100.0 * (1.0 - 1.0 / itype.speedup()),
-            }
-        })
-        .collect()
+            let loss_min = losses.iter().cloned().fold(f64::INFINITY, f64::min);
+            let loss_max = losses.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            per_workflow.push(WorkflowLoss {
+                workflow: wf.name().to_string(),
+                loss_min,
+                loss_max,
+                pareto_loss,
+            });
+        }
+        let max_interval = per_workflow
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), w| {
+                (lo.min(w.loss_min), hi.max(w.loss_max))
+            });
+        let mean_gain = gains.iter().sum::<f64>() / gains.len() as f64;
+        Table4Row {
+            itype,
+            per_workflow,
+            max_interval,
+            mean_gain,
+            stable_gain: 100.0 * (1.0 - 1.0 / itype.speedup()),
+        }
+    })
+    .collect()
 }
 
 /// Render the rows as one table.
@@ -108,7 +108,11 @@ pub fn table4_report(rows: &[Table4Row]) -> Table {
             headers.push(format!("{}_loss", w.workflow));
         }
     }
-    headers.extend(["max_loss_interval".to_string(), "mean_gain".to_string(), "stable_gain".to_string()]);
+    headers.extend([
+        "max_loss_interval".to_string(),
+        "mean_gain".to_string(),
+        "stable_gain".to_string(),
+    ]);
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut t = Table::new(
         "Table IV — savings fluctuation vs stable gain for AllPar[Not]Exceed",
@@ -158,7 +162,10 @@ mod tests {
         let r = rows();
         assert_eq!(r[0].stable_gain, 0.0);
         assert!((r[1].stable_gain - 37.5).abs() < 1e-9, "paper quotes 37%");
-        assert!((r[2].stable_gain - 52.380_952_380_952_38).abs() < 1e-9, "paper quotes 52%");
+        assert!(
+            (r[2].stable_gain - 52.380_952_380_952_38).abs() < 1e-9,
+            "paper quotes 52%"
+        );
     }
 
     #[test]

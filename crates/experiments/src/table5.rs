@@ -39,10 +39,10 @@ pub struct Table5Row {
     pub adaptive: [String; 3],
 }
 
-fn best_by<'a>(
-    results: &'a [StrategyResult],
+fn best_by(
+    results: &[StrategyResult],
     mut key: impl FnMut(&StrategyResult) -> f64,
-) -> &'a StrategyResult {
+) -> &StrategyResult {
     results
         .iter()
         .max_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite scores"))

@@ -8,14 +8,24 @@ use cws_platform::{InstanceType, PriceCatalog, Region};
 pub fn table1() -> Table {
     let mut t = Table::new(
         "Table I — provisioning and allocation policies",
-        &["provisioning", "task_ordering", "allocation", "parallelism_reduction"],
+        &[
+            "provisioning",
+            "task_ordering",
+            "allocation",
+            "parallelism_reduction",
+        ],
     );
     for row in cws_core::strategy::table_i() {
         t.row(vec![
             row.provisioning.to_string(),
             row.ordering.to_string(),
             row.allocation.to_string(),
-            if row.parallelism_reduction { "yes" } else { "no" }.to_string(),
+            if row.parallelism_reduction {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     t
@@ -27,7 +37,14 @@ pub fn table2() -> Table {
     let cat = PriceCatalog::ec2_oct_2012();
     let mut t = Table::new(
         "Table II — Amazon EC2 prices, October 31st 2012 (USD)",
-        &["region", "small", "medium", "large", "xlarge", "transfer_out_per_gb"],
+        &[
+            "region",
+            "small",
+            "medium",
+            "large",
+            "xlarge",
+            "transfer_out_per_gb",
+        ],
     );
     for r in Region::ALL {
         t.row(vec![

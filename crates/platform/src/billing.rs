@@ -45,7 +45,10 @@ pub fn btus_for_span(span: f64) -> u64 {
 /// reproduce the paper's degenerate-case identities (see DESIGN.md §3).
 #[must_use]
 pub fn remaining_in_btu(elapsed: f64) -> f64 {
-    assert!(elapsed >= 0.0, "elapsed must be non-negative, got {elapsed}");
+    assert!(
+        elapsed >= 0.0,
+        "elapsed must be non-negative, got {elapsed}"
+    );
     let rem = elapsed % BTU_SECONDS;
     if rem <= BTU_EPSILON || (BTU_SECONDS - rem) <= BTU_EPSILON {
         0.0

@@ -35,5 +35,5 @@ pub use instance::InstanceType;
 pub use network::{NetworkModel, TransferSpec};
 pub use platform::Platform;
 pub use pricing::{PriceCatalog, TransferBracket};
-pub use spot::SpotMarket;
 pub use region::Region;
+pub use spot::SpotMarket;

@@ -37,18 +37,10 @@ impl TransferBracket {
 ///
 /// Prices are US dollars per BTU (hour) for on-demand instances, plus the
 /// per-GB price for data transferred out of the region.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct PriceCatalog {
     /// The bracket within which outbound transfer volume is billed.
     pub transfer_bracket: TransferBracket,
-}
-
-impl Default for PriceCatalog {
-    fn default() -> Self {
-        PriceCatalog {
-            transfer_bracket: TransferBracket::default(),
-        }
-    }
 }
 
 impl PriceCatalog {

@@ -72,10 +72,14 @@ impl SpotMarket {
     /// model). With survival probability `s` per hour, each wall-clock
     /// hour of useful work costs on average `1/s` attempted hours.
     #[must_use]
-    pub fn expected_cost(&self, itype: InstanceType, on_demand_small: f64, busy_seconds: f64) -> f64 {
+    pub fn expected_cost(
+        &self,
+        itype: InstanceType,
+        on_demand_small: f64,
+        busy_seconds: f64,
+    ) -> f64 {
         let hours = (busy_seconds / 3600.0).ceil().max(1.0);
-        let per_hour =
-            self.price(on_demand_small * f64::from(itype.price_multiplier()));
+        let per_hour = self.price(on_demand_small * f64::from(itype.price_multiplier()));
         let survival = 1.0 - self.hourly_interruption_prob;
         per_hour * hours / survival
     }

@@ -1,0 +1,287 @@
+//! Tenant arrival processes: who submits what, when.
+//!
+//! Each tenant owns an independent RNG stream derived from the service
+//! seed, so adding a tenant (or changing its rate) never perturbs the
+//! arrivals of the others — the property that makes campaign cells
+//! comparable across the grid.
+
+use crate::mix_seed;
+use cws_dag::Workflow;
+use cws_workloads::{bag_of_tasks, cstem, mapreduce_default, montage_24, Scenario};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which `cws-workloads` generator a tenant submits.
+///
+/// The DAG *shape* is fixed per kind; task runtimes are re-drawn per
+/// arrival from the paper's Pareto(α=2, scale=500) scenario so no two
+/// submissions are identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// The paper's Montage workflow (24 tasks).
+    Montage24,
+    /// The paper's CSTEM workflow.
+    CStem,
+    /// The paper's MapReduce workflow (default shape).
+    MapReduce,
+    /// A bag of `n` independent tasks.
+    BagOfTasks(usize),
+}
+
+impl WorkloadKind {
+    /// Short label for reports.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadKind::Montage24 => "montage24".to_string(),
+            WorkloadKind::CStem => "cstem".to_string(),
+            WorkloadKind::MapReduce => "mapreduce".to_string(),
+            WorkloadKind::BagOfTasks(n) => format!("bot{n}"),
+        }
+    }
+
+    /// Materialize one submission: the kind's DAG with Pareto runtimes
+    /// drawn from `seed`.
+    #[must_use]
+    pub fn realize(&self, seed: u64) -> Workflow {
+        let shape = match *self {
+            WorkloadKind::Montage24 => montage_24(),
+            WorkloadKind::CStem => cstem(),
+            WorkloadKind::MapReduce => mapreduce_default(),
+            WorkloadKind::BagOfTasks(n) => bag_of_tasks(n),
+        };
+        Scenario::Pareto { seed }.apply(&shape)
+    }
+}
+
+/// One tenant of the service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Display name, used in per-tenant reports.
+    pub name: String,
+    /// The workload the tenant submits.
+    pub kind: WorkloadKind,
+    /// Mean Poisson arrival rate in workflows per hour (ignored for
+    /// trace-driven models). Zero means the tenant never submits.
+    pub rate_per_hour: f64,
+}
+
+/// How arrival times are produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalModel {
+    /// Independent Poisson processes, one per tenant, truncated at the
+    /// horizon (seconds).
+    Poisson {
+        /// Observation window in seconds; arrivals past it are dropped.
+        horizon_s: f64,
+    },
+    /// Replay explicit submission times (seconds), one list per tenant
+    /// (same order as the tenant list; missing tails mean no arrivals).
+    Trace(Vec<Vec<f64>>),
+}
+
+/// One workflow submission.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Index into the tenant list.
+    pub tenant: usize,
+    /// Submission number within the tenant (0-based).
+    pub seq: usize,
+    /// Wall-clock submission time in seconds.
+    pub time: f64,
+    /// The materialized workflow.
+    pub wf: Workflow,
+}
+
+/// Generate the full, time-sorted arrival list for a service run.
+///
+/// Deterministic: tenant `i` draws inter-arrival gaps and workflow
+/// runtimes from the stream `mix_seed(seed, i)`, so the result is a pure
+/// function of `(tenants, model, seed)`. Ties in time order break by
+/// tenant index, then submission number.
+///
+/// # Panics
+/// Panics if a rate is negative, the horizon is not finite, or a trace
+/// contains a negative or non-finite time.
+#[must_use]
+pub fn generate_arrivals(tenants: &[TenantSpec], model: &ArrivalModel, seed: u64) -> Vec<Arrival> {
+    let mut arrivals: Vec<Arrival> = Vec::new();
+    for (ti, tenant) in tenants.iter().enumerate() {
+        let stream = mix_seed(seed, ti as u64);
+        let times: Vec<f64> = match model {
+            ArrivalModel::Poisson { horizon_s } => {
+                assert!(
+                    horizon_s.is_finite() && *horizon_s >= 0.0,
+                    "horizon must be finite and non-negative"
+                );
+                assert!(
+                    tenant.rate_per_hour.is_finite() && tenant.rate_per_hour >= 0.0,
+                    "rate must be finite and non-negative"
+                );
+                poisson_times(stream, tenant.rate_per_hour / 3600.0, *horizon_s)
+            }
+            ArrivalModel::Trace(per_tenant) => per_tenant
+                .get(ti)
+                .map(|ts| {
+                    for &t in ts {
+                        assert!(t.is_finite() && t >= 0.0, "trace times must be >= 0");
+                    }
+                    ts.clone()
+                })
+                .unwrap_or_default(),
+        };
+        for (seq, &time) in times.iter().enumerate() {
+            let wf_seed = mix_seed(stream, 0x5743_0000 | seq as u64);
+            arrivals.push(Arrival {
+                tenant: ti,
+                seq,
+                time,
+                wf: tenant.kind.realize(wf_seed),
+            });
+        }
+    }
+    arrivals.sort_by(|a, b| {
+        a.time
+            .partial_cmp(&b.time)
+            .expect("arrival times are finite")
+            .then(a.tenant.cmp(&b.tenant))
+            .then(a.seq.cmp(&b.seq))
+    });
+    arrivals
+}
+
+/// Poisson arrival times in `[0, horizon_s)` with rate `lambda` per
+/// second, via exponential inter-arrival gaps.
+fn poisson_times(stream_seed: u64, lambda: f64, horizon_s: f64) -> Vec<f64> {
+    if lambda <= 0.0 || horizon_s <= 0.0 {
+        return Vec::new();
+    }
+    let mut rng = SmallRng::seed_from_u64(stream_seed);
+    let mut t = 0.0_f64;
+    let mut out = Vec::new();
+    loop {
+        let u: f64 = rng.gen(); // [0, 1): 1 - u is in (0, 1], ln is finite
+        t += -(1.0 - u).ln() / lambda;
+        if t >= horizon_s {
+            return out;
+        }
+        out.push(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tenants(rate: f64) -> Vec<TenantSpec> {
+        vec![
+            TenantSpec {
+                name: "astro".to_string(),
+                kind: WorkloadKind::Montage24,
+                rate_per_hour: rate,
+            },
+            TenantSpec {
+                name: "climate".to_string(),
+                kind: WorkloadKind::CStem,
+                rate_per_hour: rate,
+            },
+        ]
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_and_sorted() {
+        let tenants = two_tenants(6.0);
+        let model = ArrivalModel::Poisson {
+            horizon_s: 4.0 * 3600.0,
+        };
+        let a = generate_arrivals(&tenants, &model, 7);
+        let b = generate_arrivals(&tenants, &model, 7);
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                (x.tenant, x.seq, x.time.to_bits()),
+                (y.tenant, y.seq, y.time.to_bits())
+            );
+            assert_eq!(x.wf.len(), y.wf.len());
+        }
+        assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn zero_rate_means_zero_arrivals() {
+        let tenants = two_tenants(0.0);
+        let model = ArrivalModel::Poisson { horizon_s: 3600.0 };
+        assert!(generate_arrivals(&tenants, &model, 1).is_empty());
+    }
+
+    #[test]
+    fn tenant_streams_are_independent() {
+        // Doubling tenant 1's rate must not move tenant 0's arrivals.
+        let mut t1 = two_tenants(6.0);
+        let mut t2 = two_tenants(6.0);
+        t2[1].rate_per_hour = 12.0;
+        t1.truncate(2);
+        let model = ArrivalModel::Poisson {
+            horizon_s: 2.0 * 3600.0,
+        };
+        let a = generate_arrivals(&t1, &model, 3);
+        let b = generate_arrivals(&t2, &model, 3);
+        let times = |v: &[Arrival], tenant| -> Vec<u64> {
+            v.iter()
+                .filter(|x| x.tenant == tenant)
+                .map(|x| x.time.to_bits())
+                .collect()
+        };
+        assert_eq!(times(&a, 0), times(&b, 0));
+    }
+
+    #[test]
+    fn trace_model_replays_given_times() {
+        let tenants = two_tenants(99.0); // rate ignored
+        let model = ArrivalModel::Trace(vec![vec![10.0, 400.0], vec![30.0]]);
+        let a = generate_arrivals(&tenants, &model, 5);
+        let seq: Vec<(usize, u64)> = a.iter().map(|x| (x.tenant, x.time.to_bits())).collect();
+        assert_eq!(
+            seq,
+            vec![
+                (0, 10.0_f64.to_bits()),
+                (1, 30.0_f64.to_bits()),
+                (0, 400.0_f64.to_bits())
+            ]
+        );
+    }
+
+    #[test]
+    fn per_arrival_runtimes_differ() {
+        let tenants = two_tenants(30.0);
+        let model = ArrivalModel::Poisson { horizon_s: 3600.0 };
+        let a = generate_arrivals(&tenants, &model, 11);
+        let first: Vec<_> = a.iter().filter(|x| x.tenant == 0).take(2).collect();
+        assert_eq!(first.len(), 2, "need two montage arrivals");
+        let t0: f64 = first[0]
+            .wf
+            .ids()
+            .map(|t| first[0].wf.task(t).base_time)
+            .sum();
+        let t1: f64 = first[1]
+            .wf
+            .ids()
+            .map(|t| first[1].wf.task(t).base_time)
+            .sum();
+        assert_ne!(t0.to_bits(), t1.to_bits(), "Pareto redraw per arrival");
+    }
+
+    #[test]
+    fn workload_kinds_realize() {
+        for kind in [
+            WorkloadKind::Montage24,
+            WorkloadKind::CStem,
+            WorkloadKind::MapReduce,
+            WorkloadKind::BagOfTasks(7),
+        ] {
+            let wf = kind.realize(3);
+            assert!(!wf.is_empty(), "{} is non-empty", kind.name());
+        }
+    }
+}

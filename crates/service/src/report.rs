@@ -1,0 +1,302 @@
+//! Per-tenant and fleet-wide service metrics, with deterministic JSON.
+//!
+//! The JSON renderer is hand-rolled on purpose: field order is fixed,
+//! floats print through Rust's shortest-roundtrip `Display`, and there
+//! is no map iteration anywhere — so byte-identical reports across runs
+//! and thread counts are a structural property, not an accident.
+
+use crate::engine::{ServiceConfig, WorkflowRecord};
+use crate::pool::VmPool;
+use cws_platform::Platform;
+use std::fmt::Write as _;
+
+/// Aggregated outcome for one tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Number of workflows submitted.
+    pub workflows: usize,
+    /// Mean makespan against the shared pool (s).
+    pub mean_makespan_s: f64,
+    /// Mean makespan of the cold one-shot reference (s).
+    pub mean_cold_makespan_s: f64,
+    /// Mean makespan gain over the cold reference, in percent
+    /// (positive = the pool made workflows faster).
+    pub mean_gain_pct: f64,
+    /// Mean delay until the first task starts (s).
+    pub mean_queue_delay_s: f64,
+    /// Machines claimed warm.
+    pub pool_hits: usize,
+    /// Fresh rentals.
+    pub cold_rentals: usize,
+    /// `pool_hits / (pool_hits + cold_rentals)`; 0 with no rentals.
+    pub hit_rate: f64,
+    /// Wall-clock cost attributed to the tenant: each machine's bill is
+    /// split across tenants proportionally to their busy seconds on it.
+    pub cost_usd: f64,
+}
+
+/// Fleet-wide outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Workflows served across all tenants.
+    pub workflows: usize,
+    /// Machines ever rented.
+    pub vms: usize,
+    /// Warm claims across all submissions.
+    pub pool_hits: usize,
+    /// Fresh rentals across all submissions.
+    pub cold_rentals: usize,
+    /// `pool_hits / (pool_hits + cold_rentals)`; 0 with no rentals.
+    pub hit_rate: f64,
+    /// Wall-clock BTUs billed.
+    pub billed_btus: u64,
+    /// Wall-clock cost in USD.
+    pub cost_usd: f64,
+    /// Task execution seconds across all machines.
+    pub busy_s: f64,
+    /// Billed wall-clock seconds (`billed_btus × BTU`).
+    pub billed_s: f64,
+    /// `1 − busy / billed`: the fraction of paid time spent idle.
+    pub idle_ratio: f64,
+    /// Mean delay until first task start, across all submissions (s).
+    pub mean_queue_delay_s: f64,
+    /// Mean per-workflow makespan gain over the cold reference (%).
+    pub mean_gain_pct: f64,
+}
+
+/// The full report of one service run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Strategy label, e.g. `StartParExceed-s`.
+    pub strategy: String,
+    /// Reclaim policy label.
+    pub reclaim: String,
+    /// Boot delay in force (s).
+    pub boot_time_s: f64,
+    /// Seed of the run.
+    pub seed: u64,
+    /// Per-tenant aggregates, in tenant order.
+    pub tenants: Vec<TenantReport>,
+    /// Fleet-wide aggregates.
+    pub fleet: FleetReport,
+}
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for x in xs {
+        sum += x;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+fn gain_pct(r: &WorkflowRecord) -> f64 {
+    if r.cold_makespan_s > 0.0 {
+        (r.cold_makespan_s - r.makespan_s) / r.cold_makespan_s * 100.0
+    } else {
+        0.0
+    }
+}
+
+fn rate(hits: usize, cold: usize) -> f64 {
+    let total = hits + cold;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+impl ServiceReport {
+    /// Aggregate a finished run (every pool machine must be terminated).
+    #[must_use]
+    pub fn assemble(
+        platform: &Platform,
+        cfg: &ServiceConfig,
+        records: &[WorkflowRecord],
+        pool: &VmPool,
+    ) -> ServiceReport {
+        // Cost attribution: split each machine's bill by busy share.
+        let mut tenant_cost = vec![0.0_f64; cfg.tenants.len()];
+        for vm in &pool.vms {
+            let bill = vm.billed_btus() as f64 * platform.price_in(vm.region, vm.itype);
+            let total_busy: f64 = vm.busy_by_tenant.iter().map(|(_, s)| s).sum();
+            if total_busy <= 0.0 {
+                continue;
+            }
+            for &(tenant, busy) in &vm.busy_by_tenant {
+                tenant_cost[tenant] += bill * busy / total_busy;
+            }
+        }
+
+        let tenants: Vec<TenantReport> = cfg
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(ti, spec)| {
+                let mine: Vec<&WorkflowRecord> =
+                    records.iter().filter(|r| r.tenant == ti).collect();
+                let hits: usize = mine.iter().map(|r| r.pool_hits).sum();
+                let cold: usize = mine.iter().map(|r| r.cold_rentals).sum();
+                TenantReport {
+                    name: spec.name.clone(),
+                    workflows: mine.len(),
+                    mean_makespan_s: mean(mine.iter().map(|r| r.makespan_s)),
+                    mean_cold_makespan_s: mean(mine.iter().map(|r| r.cold_makespan_s)),
+                    mean_gain_pct: mean(mine.iter().map(|r| gain_pct(r))),
+                    mean_queue_delay_s: mean(mine.iter().map(|r| r.queue_delay_s)),
+                    pool_hits: hits,
+                    cold_rentals: cold,
+                    hit_rate: rate(hits, cold),
+                    cost_usd: tenant_cost[ti],
+                }
+            })
+            .collect();
+
+        let hits: usize = records.iter().map(|r| r.pool_hits).sum();
+        let cold: usize = records.iter().map(|r| r.cold_rentals).sum();
+        let billed_btus = pool.billed_btus();
+        let billed_s = billed_btus as f64 * cws_platform::BTU_SECONDS;
+        let busy_s = pool.busy_seconds();
+        let fleet = FleetReport {
+            workflows: records.len(),
+            vms: pool.vms.len(),
+            pool_hits: hits,
+            cold_rentals: cold,
+            hit_rate: rate(hits, cold),
+            billed_btus,
+            cost_usd: pool.cost_usd(platform),
+            busy_s,
+            billed_s,
+            idle_ratio: if billed_s > 0.0 {
+                1.0 - busy_s / billed_s
+            } else {
+                0.0
+            },
+            mean_queue_delay_s: mean(records.iter().map(|r| r.queue_delay_s)),
+            mean_gain_pct: mean(records.iter().map(gain_pct)),
+        };
+
+        ServiceReport {
+            strategy: format!("{}-{}", cfg.alloc.provisioning().name(), cfg.itype.suffix()),
+            reclaim: cfg.reclaim.name().to_string(),
+            boot_time_s: cfg.boot_time_s,
+            seed: cfg.seed,
+            tenants,
+            fleet,
+        }
+    }
+
+    /// Render as deterministic JSON (fixed field order, shortest
+    /// round-trip floats, no trailing whitespace).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    pub(crate) fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"strategy\":{},\"reclaim\":{},\"boot_time_s\":{},\"seed\":{},\"tenants\":[",
+            json_str(&self.strategy),
+            json_str(&self.reclaim),
+            json_f64(self.boot_time_s),
+            self.seed
+        );
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"workflows\":{},\"mean_makespan_s\":{},\
+                 \"mean_cold_makespan_s\":{},\"mean_gain_pct\":{},\"mean_queue_delay_s\":{},\
+                 \"pool_hits\":{},\"cold_rentals\":{},\"hit_rate\":{},\"cost_usd\":{}}}",
+                json_str(&t.name),
+                t.workflows,
+                json_f64(t.mean_makespan_s),
+                json_f64(t.mean_cold_makespan_s),
+                json_f64(t.mean_gain_pct),
+                json_f64(t.mean_queue_delay_s),
+                t.pool_hits,
+                t.cold_rentals,
+                json_f64(t.hit_rate),
+                json_f64(t.cost_usd)
+            );
+        }
+        let f = &self.fleet;
+        let _ = write!(
+            out,
+            "],\"fleet\":{{\"workflows\":{},\"vms\":{},\"pool_hits\":{},\"cold_rentals\":{},\
+             \"hit_rate\":{},\"billed_btus\":{},\"cost_usd\":{},\"busy_s\":{},\"billed_s\":{},\
+             \"idle_ratio\":{},\"mean_queue_delay_s\":{},\"mean_gain_pct\":{}}}}}",
+            f.workflows,
+            f.vms,
+            f.pool_hits,
+            f.cold_rentals,
+            json_f64(f.hit_rate),
+            f.billed_btus,
+            json_f64(f.cost_usd),
+            json_f64(f.busy_s),
+            json_f64(f.billed_s),
+            json_f64(f.idle_ratio),
+            json_f64(f.mean_queue_delay_s),
+            json_f64(f.mean_gain_pct)
+        );
+    }
+}
+
+/// A JSON string literal (escapes quotes, backslashes and control
+/// characters — tenant names are the only free-form input).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number: finite floats via shortest-roundtrip `Display`
+/// (deterministic), non-finite values as `null`.
+pub(crate) fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_strings_escape() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\u000ay\"");
+    }
+
+    #[test]
+    fn json_floats_are_shortest_roundtrip() {
+        assert_eq!(json_f64(0.1), "0.1");
+        assert_eq!(json_f64(3600.0), "3600");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

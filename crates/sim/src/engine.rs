@@ -55,10 +55,7 @@ impl<'a> Simulator<'a> {
     /// schedule behaves when reality diverges from the estimates, the
     /// robustness question behind [`crate::jitter`].
     #[must_use]
-    pub fn run_perturbed(
-        &self,
-        perturb: impl Fn(cws_dag::TaskId, f64) -> f64,
-    ) -> SimReport {
+    pub fn run_perturbed(&self, perturb: impl Fn(cws_dag::TaskId, f64) -> f64) -> SimReport {
         let n = self.wf.len();
         let vm_count = self.schedule.vms.len();
 
@@ -89,8 +86,11 @@ impl<'a> Simulator<'a> {
         }
 
         // Inputs still missing per task.
-        let mut missing_inputs: Vec<usize> =
-            self.wf.ids().map(|t| self.wf.predecessors(t).len()).collect();
+        let mut missing_inputs: Vec<usize> = self
+            .wf
+            .ids()
+            .map(|t| self.wf.predecessors(t).len())
+            .collect();
         let mut vm_busy = vec![false; vm_count];
         let mut vm_booted = vec![false; vm_count];
         let mut observed: Vec<Option<ObservedTask>> = vec![None; n];
@@ -210,10 +210,13 @@ impl<'a> Simulator<'a> {
                 })
             })
             .collect();
-        let makespan = tasks
-            .iter()
-            .map(|t| t.finish)
-            .fold(0.0f64, |acc, x| if x.is_nan() { f64::NAN } else { acc.max(x) });
+        let makespan = tasks.iter().map(|t| t.finish).fold(0.0f64, |acc, x| {
+            if x.is_nan() {
+                f64::NAN
+            } else {
+                acc.max(x)
+            }
+        });
 
         SimReport {
             tasks,
@@ -338,6 +341,45 @@ mod tests {
         let report = simulate(&wf, &p, &sched);
         report.verify_against(&sched, 1e-6).unwrap();
         assert!(report.tasks[0].start >= 120.0);
+    }
+
+    #[test]
+    fn boot_time_shifts_and_never_shortens_replay() {
+        // The service layer's premise: a cold rental pays the boot delay.
+        // Replay under growing boot times must agree with the analytic
+        // plan at every setting and makespans must be non-decreasing;
+        // a fully serial plan shifts by exactly the boot delay.
+        let wf = diamond();
+        let mut last = 0.0f64;
+        for boot in [0.0, 60.0, 300.0] {
+            let p = Platform::ec2_paper().with_boot_time(boot);
+            for s in Strategy::paper_set() {
+                let sched = s.schedule(&wf, &p);
+                let report = simulate(&wf, &p, &sched);
+                report
+                    .verify_against(&sched, 1e-6)
+                    .unwrap_or_else(|e| panic!("boot {boot}, {}: {e}", s.label()));
+            }
+            let one_vm = cws_core::alloc::heft(
+                &wf,
+                &p,
+                ProvisioningPolicy::OneVmPerTask,
+                InstanceType::Small,
+            );
+            let mk = simulate(&wf, &p, &one_vm).makespan;
+            assert!(mk >= last - 1e-9, "boot {boot} shortened the replay");
+            last = mk;
+        }
+        let base = simulate(
+            &diamond().clone(),
+            &Platform::ec2_paper(),
+            &Strategy::BASELINE.schedule(&wf, &Platform::ec2_paper()),
+        )
+        .makespan;
+        assert!(
+            (last - (base + 300.0)).abs() < 1e-6,
+            "serial plan shifts by the boot delay"
+        );
     }
 
     #[test]

@@ -186,7 +186,15 @@ mod tests {
         let (wf, p, s) = setup();
         // kill the VM of the first entry task before anything finishes
         let entry_vm = s.placement(wf.entries()[0]).vm;
-        let impact = failure_impact(&wf, &p, &s, &[VmFailure { vm: entry_vm, at: 0.0 }]);
+        let impact = failure_impact(
+            &wf,
+            &p,
+            &s,
+            &[VmFailure {
+                vm: entry_vm,
+                at: 0.0,
+            }],
+        );
         assert!(!impact.lost.is_empty());
         // the entry itself is lost, so every task depending on it is too
         assert!(!impact.completed[wf.entries()[0].index()]);
@@ -197,10 +205,20 @@ mod tests {
     fn serial_plan_loses_everything_after_the_crash() {
         let p = Platform::ec2_paper();
         let wf = Scenario::BestCase.apply(&sequential(10)); // 360s tasks
-        let s = Strategy::parse("StartParExceed-s").unwrap().schedule(&wf, &p);
+        let s = Strategy::parse("StartParExceed-s")
+            .unwrap()
+            .schedule(&wf, &p);
         assert_eq!(s.vm_count(), 1);
         // crash after the 3rd task (~1080s)
-        let impact = failure_impact(&wf, &p, &s, &[VmFailure { vm: cws_core::VmId(0), at: 1100.0 }]);
+        let impact = failure_impact(
+            &wf,
+            &p,
+            &s,
+            &[VmFailure {
+                vm: cws_core::VmId(0),
+                at: 1100.0,
+            }],
+        );
         assert_eq!(impact.lost.len(), 7);
         assert!((impact.completion_rate() - 0.3).abs() < 1e-9);
         assert!((impact.completed_makespan - 1080.0).abs() < 1.0);
@@ -225,8 +243,18 @@ mod tests {
     fn recovery_finishes_the_workflow_at_extra_cost() {
         let p = Platform::ec2_paper();
         let wf = Scenario::BestCase.apply(&sequential(10));
-        let s = Strategy::parse("StartParExceed-s").unwrap().schedule(&wf, &p);
-        let impact = failure_impact(&wf, &p, &s, &[VmFailure { vm: cws_core::VmId(0), at: 1100.0 }]);
+        let s = Strategy::parse("StartParExceed-s")
+            .unwrap()
+            .schedule(&wf, &p);
+        let impact = failure_impact(
+            &wf,
+            &p,
+            &s,
+            &[VmFailure {
+                vm: cws_core::VmId(0),
+                at: 1100.0,
+            }],
+        );
         let rec = recover(&wf, &p, &s, &impact, 1100.0, InstanceType::Small);
         assert_eq!(rec.recovery_vms, 7);
         assert!(rec.extra_cost > 0.0);
@@ -241,12 +269,28 @@ mod tests {
         let _ = wf;
         let wf = Scenario::Pareto { seed: 9 }.apply(&cws_workloads::mapreduce_default());
         let spread = Strategy::BASELINE.schedule(&wf, &p);
-        let packed = Strategy::parse("StartParExceed-s").unwrap().schedule(&wf, &p);
+        let packed = Strategy::parse("StartParExceed-s")
+            .unwrap()
+            .schedule(&wf, &p);
         let mid = packed.makespan() / 4.0;
-        let spread_impact =
-            failure_impact(&wf, &p, &spread, &[VmFailure { vm: cws_core::VmId(0), at: mid }]);
-        let packed_impact =
-            failure_impact(&wf, &p, &packed, &[VmFailure { vm: cws_core::VmId(0), at: mid }]);
+        let spread_impact = failure_impact(
+            &wf,
+            &p,
+            &spread,
+            &[VmFailure {
+                vm: cws_core::VmId(0),
+                at: mid,
+            }],
+        );
+        let packed_impact = failure_impact(
+            &wf,
+            &p,
+            &packed,
+            &[VmFailure {
+                vm: cws_core::VmId(0),
+                at: mid,
+            }],
+        );
         assert!(
             spread_impact.completion_rate() >= packed_impact.completion_rate(),
             "one VM holding everything is the worst failure domain"

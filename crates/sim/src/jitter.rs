@@ -158,7 +158,9 @@ mod tests {
         // jitter bound (sums of independent factors concentrate).
         let p = Platform::ec2_paper();
         let wf = Scenario::Pareto { seed: 5 }.apply(&cws_workloads::sequential(20));
-        let s = Strategy::parse("StartParExceed-s").unwrap().schedule(&wf, &p);
+        let s = Strategy::parse("StartParExceed-s")
+            .unwrap()
+            .schedule(&wf, &p);
         let r = robustness(&wf, &p, &s, JitterModel::new(0.2, 3), 20);
         assert!(
             r.max_inflation <= 0.2 + 1e-9,

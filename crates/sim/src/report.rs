@@ -136,15 +136,10 @@ impl SimReport {
     ///
     /// # Errors
     /// Returns the first diverging task or a makespan mismatch.
-    pub fn verify_against(
-        &self,
-        schedule: &Schedule,
-        tolerance: f64,
-    ) -> Result<(), VerifyError> {
+    pub fn verify_against(&self, schedule: &Schedule, tolerance: f64) -> Result<(), VerifyError> {
         for (i, obs) in self.tasks.iter().enumerate() {
             let p = schedule.placements[i];
-            if (obs.start - p.start).abs() > tolerance
-                || (obs.finish - p.finish).abs() > tolerance
+            if (obs.start - p.start).abs() > tolerance || (obs.finish - p.finish).abs() > tolerance
             {
                 return Err(VerifyError::TaskMismatch {
                     task: TaskId(i as u32),
@@ -180,8 +175,8 @@ impl SimReport {
         self.vm_busy_seconds(vm_count)
             .into_iter()
             .map(|busy| {
-                let billed = cws_platform::billing::btus_for_span(busy) as f64
-                    * cws_platform::BTU_SECONDS;
+                let billed =
+                    cws_platform::billing::btus_for_span(busy) as f64 * cws_platform::BTU_SECONDS;
                 busy / billed
             })
             .collect()
@@ -195,9 +190,7 @@ impl SimReport {
         let total_busy: f64 = busy.iter().sum();
         let total_billed: f64 = busy
             .iter()
-            .map(|&b| {
-                cws_platform::billing::btus_for_span(b) as f64 * cws_platform::BTU_SECONDS
-            })
+            .map(|&b| cws_platform::billing::btus_for_span(b) as f64 * cws_platform::BTU_SECONDS)
             .sum();
         if total_billed == 0.0 {
             0.0

@@ -48,12 +48,7 @@ use cws_dag::Workflow;
 /// by the figures: Montage, CSTEM, MapReduce, Sequential.
 #[must_use]
 pub fn paper_workflows() -> Vec<Workflow> {
-    vec![
-        montage_24(),
-        cstem(),
-        mapreduce_default(),
-        sequential(20),
-    ]
+    vec![montage_24(), cstem(), mapreduce_default(), sequential(20)]
 }
 
 #[cfg(test)]
@@ -65,6 +60,9 @@ mod tests {
         let wfs = paper_workflows();
         assert_eq!(wfs.len(), 4);
         let names: Vec<_> = wfs.iter().map(|w| w.name().to_string()).collect();
-        assert_eq!(names, vec!["montage-24", "cstem", "mapreduce-8x8x4", "sequential-20"]);
+        assert_eq!(
+            names,
+            vec!["montage-24", "cstem", "mapreduce-8x8x4", "sequential-20"]
+        );
     }
 }

@@ -130,7 +130,11 @@ mod tests {
     fn shuffle_is_all_to_all() {
         let w = mapreduce_default();
         for t in w.tasks().iter().filter(|t| t.name.starts_with("reduce")) {
-            assert_eq!(w.predecessors(t.id).len(), 8, "every map2 feeds every reducer");
+            assert_eq!(
+                w.predecessors(t.id).len(),
+                8,
+                "every map2 feeds every reducer"
+            );
         }
     }
 

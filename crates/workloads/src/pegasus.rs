@@ -38,7 +38,10 @@ pub struct EpigenomicsShape {
 #[must_use]
 pub fn epigenomics(shape: EpigenomicsShape) -> Workflow {
     assert!(shape.lanes >= 1, "need at least one lane");
-    assert!(shape.chunks_per_lane >= 1, "need at least one chunk per lane");
+    assert!(
+        shape.chunks_per_lane >= 1,
+        "need at least one chunk per lane"
+    );
     const CHUNK_MB: f64 = 30.0;
     let mut b = WorkflowBuilder::new(format!(
         "epigenomics-{}x{}",
@@ -125,12 +128,12 @@ pub struct LigoShape {
 #[must_use]
 pub fn ligo(shape: LigoShape) -> Workflow {
     assert!(shape.groups >= 1, "need at least one group");
-    assert!(shape.banks_per_group >= 1, "need at least one bank per group");
+    assert!(
+        shape.banks_per_group >= 1,
+        "need at least one bank per group"
+    );
     const FRAME_MB: f64 = 10.0;
-    let mut b = WorkflowBuilder::new(format!(
-        "ligo-{}x{}",
-        shape.groups, shape.banks_per_group
-    ));
+    let mut b = WorkflowBuilder::new(format!("ligo-{}x{}", shape.groups, shape.banks_per_group));
     for g in 0..shape.groups {
         let thinca = b.task(format!("thinca_{g}"), 60.0);
         let mut inspirals = Vec::new();

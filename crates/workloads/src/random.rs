@@ -188,7 +188,10 @@ mod tests {
 
     #[test]
     fn fork_join_structure() {
-        let w = fork_join(ForkJoinShape { stages: 3, fanout: 4 });
+        let w = fork_join(ForkJoinShape {
+            stages: 3,
+            fanout: 4,
+        });
         assert_eq!(w.len(), 3 * (1 + 4 + 1));
         assert_eq!(w.depth(), 9);
         assert_eq!(w.max_width(), 4);
@@ -198,7 +201,10 @@ mod tests {
 
     #[test]
     fn fork_join_fanout_one_is_a_chain() {
-        let w = fork_join(ForkJoinShape { stages: 2, fanout: 1 });
+        let w = fork_join(ForkJoinShape {
+            stages: 2,
+            fanout: 1,
+        });
         assert_eq!(w.max_width(), 1);
         assert_eq!(StructureMetrics::compute(&w).parallelism, 0.0);
     }
@@ -206,7 +212,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one stage")]
     fn zero_stages_rejected() {
-        let _ = fork_join(ForkJoinShape { stages: 0, fanout: 1 });
+        let _ = fork_join(ForkJoinShape {
+            stages: 0,
+            fanout: 1,
+        });
     }
 
     #[test]

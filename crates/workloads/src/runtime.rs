@@ -131,18 +131,13 @@ impl DataSizeModel {
                 let mut rng = SmallRng::seed_from_u64(seed);
                 let sizes: Vec<f64> = Pareto::DATA_SIZES.sample_n(&mut rng, wf.edge_count());
                 let mut it = sizes.into_iter();
-                rebuild_with_payloads(wf, move |_| {
-                    it.next().expect("one sample per edge")
-                })
+                rebuild_with_payloads(wf, move |_| it.next().expect("one sample per edge"))
             }
         }
     }
 }
 
-fn rebuild_with_payloads(
-    wf: &Workflow,
-    mut payload: impl FnMut(usize) -> f64,
-) -> Workflow {
+fn rebuild_with_payloads(wf: &Workflow, mut payload: impl FnMut(usize) -> f64) -> Workflow {
     let mut b = cws_dag::WorkflowBuilder::new(wf.name());
     for t in wf.tasks() {
         let id = b.task(t.name.clone(), t.base_time);
@@ -248,6 +243,6 @@ mod tests {
 
     #[test]
     fn worst_case_factor_exceeds_xlarge_speedup() {
-        assert!(Scenario::WORST_CASE_FACTOR > 2.7);
+        const { assert!(Scenario::WORST_CASE_FACTOR > 2.7) };
     }
 }

@@ -15,9 +15,7 @@ use cws_dag::{Workflow, WorkflowBuilder};
 pub fn sequential(n: usize) -> Workflow {
     assert!(n >= 1, "a sequential workflow needs at least one task");
     let mut b = WorkflowBuilder::new(format!("sequential-{n}"));
-    let ids: Vec<_> = (0..n)
-        .map(|i| b.task(format!("step_{i}"), 100.0))
-        .collect();
+    let ids: Vec<_> = (0..n).map(|i| b.task(format!("step_{i}"), 100.0)).collect();
     for w in ids.windows(2) {
         b.data_edge(w[0], w[1], 5.0);
     }

@@ -230,7 +230,9 @@ mod tests {
     #[test]
     fn non_dense_task_ids_rejected() {
         match from_text("workflow w\ntask 1 a 5\n").unwrap_err() {
-            TraceError::BadTaskId { expected, found, .. } => {
+            TraceError::BadTaskId {
+                expected, found, ..
+            } => {
                 assert_eq!(expected, 0);
                 assert_eq!(found, 1);
             }

@@ -11,7 +11,9 @@
 //! ```
 
 use cloud_workflow_sched::prelude::*;
-use cloud_workflow_sched::workloads::random::{fork_join, layered_dag, ForkJoinShape, LayeredShape};
+use cloud_workflow_sched::workloads::random::{
+    fork_join, layered_dag, ForkJoinShape, LayeredShape,
+};
 
 fn main() {
     let platform = Platform::ec2_paper();
@@ -23,7 +25,10 @@ fn main() {
         Scenario::Pareto { seed: 4 }.apply(&sequential(20)),
         // beyond the paper: custom random workflows (its future work)
         Scenario::Pareto { seed: 5 }.apply(&layered_dag(LayeredShape::default())),
-        Scenario::Pareto { seed: 6 }.apply(&fork_join(ForkJoinShape { stages: 4, fanout: 6 })),
+        Scenario::Pareto { seed: 6 }.apply(&fork_join(ForkJoinShape {
+            stages: 4,
+            fanout: 6,
+        })),
     ];
 
     for wf in &workflows {
@@ -38,8 +43,7 @@ fn main() {
             m.runtime_cv
         );
 
-        let base =
-            ScheduleMetrics::of(&Strategy::BASELINE.schedule(wf, &platform), wf, &platform);
+        let base = ScheduleMetrics::of(&Strategy::BASELINE.schedule(wf, &platform), wf, &platform);
 
         for objective in [Objective::Savings, Objective::Gain, Objective::Balanced] {
             let picked = select_strategy(wf, objective);

@@ -19,12 +19,9 @@ fn main() {
     let wf = Scenario::Pareto { seed: 13 }.apply(&cstem());
 
     // The physical floor: critical path at xlarge speed.
-    let floor = cloud_workflow_sched::dag::critical_path(
-        &wf,
-        |t| wf.task(t).base_time / 2.7,
-        |_| 0.0,
-    )
-    .length;
+    let floor =
+        cloud_workflow_sched::dag::critical_path(&wf, |t| wf.task(t).base_time / 2.7, |_| 0.0)
+            .length;
     println!(
         "workflow {} — total work {:.0}s, deadline floor ≈ {:.0}s\n",
         wf.name(),

@@ -48,7 +48,9 @@ fn main() {
             "AllParExceed-s",
             "AllPar1LnS",
         ] {
-            let s = Strategy::parse(label).expect("known label").schedule(&ensemble, &platform);
+            let s = Strategy::parse(label)
+                .expect("known label")
+                .schedule(&ensemble, &platform);
             s.validate(&ensemble, &platform).expect("valid schedule");
             let report = simulate(&ensemble, &platform, &s);
             let m = ScheduleMetrics::of(&s, &ensemble, &platform);

@@ -34,7 +34,9 @@ fn main() {
         "AllPar1LnS",
         "CPA-Eager",
     ] {
-        let s = Strategy::parse(label).expect("known label").schedule(&wf, &platform);
+        let s = Strategy::parse(label)
+            .expect("known label")
+            .schedule(&wf, &platform);
         let busiest = s
             .vms
             .iter()

@@ -27,7 +27,8 @@ fn main() {
         };
         let wf = Scenario::Pareto { seed: 7 }.apply(&montage(shape));
 
-        let base = ScheduleMetrics::of(&Strategy::BASELINE.schedule(&wf, &platform), &wf, &platform);
+        let base =
+            ScheduleMetrics::of(&Strategy::BASELINE.schedule(&wf, &platform), &wf, &platform);
 
         let mut best_savings: Option<(String, RelativeMetrics)> = None;
         let mut best_gain: Option<(String, RelativeMetrics)> = None;

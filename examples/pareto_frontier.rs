@@ -30,8 +30,16 @@ fn main() {
     let points = pareto_front(&wf, &platform, CandidateSet::default());
     let front = frontier_only(&points);
 
-    println!("{} — {} candidates, {} Pareto-optimal\n", wf.name(), points.len(), front.len());
-    println!("{:<24} {:>10} {:>9}  optimal", "strategy", "makespan_s", "cost_usd");
+    println!(
+        "{} — {} candidates, {} Pareto-optimal\n",
+        wf.name(),
+        points.len(),
+        front.len()
+    );
+    println!(
+        "{:<24} {:>10} {:>9}  optimal",
+        "strategy", "makespan_s", "cost_usd"
+    );
     for p in &points {
         println!(
             "{:<24} {:>10.0} {:>9.3}  {}",
@@ -52,7 +60,11 @@ fn main() {
         let schedule = if let Some(s) = Strategy::parse(label) {
             s.schedule(&wf, &platform)
         } else if let Some(suffix) = label.strip_prefix("PCH-") {
-            pch(&wf, &platform, InstanceType::parse(suffix).expect("known suffix"))
+            pch(
+                &wf,
+                &platform,
+                InstanceType::parse(suffix).expect("known suffix"),
+            )
         } else {
             cloud_workflow_sched::core::alloc::heft_pool(
                 &wf,

@@ -28,7 +28,10 @@ fn main() {
         base.strategy, base_m.makespan, base_m.cost, base_m.idle_seconds
     );
 
-    println!("\n{:>20}  {:>8}  {:>8}  {:>7}  {:>6}  {:>6}", "strategy", "makespan", "cost_usd", "vms", "gain%", "loss%");
+    println!(
+        "\n{:>20}  {:>8}  {:>8}  {:>7}  {:>6}  {:>6}",
+        "strategy", "makespan", "cost_usd", "vms", "gain%", "loss%"
+    );
     for strategy in Strategy::paper_set() {
         let s = strategy.schedule(&wf, &platform);
         s.validate(&wf, &platform).expect("schedules are valid");
@@ -45,7 +48,11 @@ fn main() {
             m.vm_count,
             rel.gain_pct,
             rel.loss_pct,
-            if rel.in_target_square() { "  <- target square" } else { "" },
+            if rel.in_target_square() {
+                "  <- target square"
+            } else {
+                ""
+            },
         );
     }
 }

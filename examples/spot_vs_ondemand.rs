@@ -10,14 +10,16 @@
 //! cargo run --example spot_vs_ondemand
 //! ```
 
-use cloud_workflow_sched::prelude::*;
 use cloud_workflow_sched::platform::SpotMarket;
+use cloud_workflow_sched::prelude::*;
 use cloud_workflow_sched::sim::{failure_impact, VmFailure};
 
 fn main() {
     let platform = Platform::ec2_paper();
     let wf = Scenario::Pareto { seed: 51 }.apply(&montage_24());
-    let plan = Strategy::parse("AllParExceed-s").unwrap().schedule(&wf, &platform);
+    let plan = Strategy::parse("AllParExceed-s")
+        .unwrap()
+        .schedule(&wf, &platform);
     let on_demand = plan.total_cost(&wf, &platform);
     let small = platform.price(InstanceType::Small);
 

@@ -42,6 +42,9 @@
 //!   7 allocation strategies, schedules, metrics, adaptive selection.
 //! * [`sim`] — discrete-event simulator replaying and validating
 //!   schedules.
+//! * [`service`] — online multi-tenant service layer: Poisson/trace
+//!   workflow arrivals against a shared warm-VM pool, wall-clock
+//!   billing, and a parallel campaign driver.
 //! * [`experiments`] — regenerates every figure and table of the paper.
 
 #![warn(missing_docs)]
@@ -51,6 +54,7 @@ pub use cws_core as core;
 pub use cws_dag as dag;
 pub use cws_experiments as experiments;
 pub use cws_platform as platform;
+pub use cws_service as service;
 pub use cws_sim as sim;
 pub use cws_workloads as workloads;
 

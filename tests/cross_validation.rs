@@ -21,10 +21,20 @@ fn every_cell_validates_and_replays() {
         for strategy in Strategy::paper_set() {
             let s = strategy.schedule(&wf, &platform);
             s.validate(&wf, &platform).unwrap_or_else(|e| {
-                panic!("{} / {} / {}: {e}", wf.name(), scenario.name(), strategy.label())
+                panic!(
+                    "{} / {} / {}: {e}",
+                    wf.name(),
+                    scenario.name(),
+                    strategy.label()
+                )
             });
             verify(&wf, &platform, &s, 1e-6).unwrap_or_else(|e| {
-                panic!("{} / {} / {}: {e}", wf.name(), scenario.name(), strategy.label())
+                panic!(
+                    "{} / {} / {}: {e}",
+                    wf.name(),
+                    scenario.name(),
+                    strategy.label()
+                )
             });
             cells += 1;
         }
@@ -38,8 +48,8 @@ fn data_intensive_variants_also_validate() {
     // exercising the transfer arithmetic everywhere.
     let platform = Platform::ec2_paper();
     for wf in paper_workflows() {
-        let wf = Scenario::Pareto { seed: 7 }
-            .apply(&DataSizeModel::ParetoSizes { seed: 7 }.apply(&wf));
+        let wf =
+            Scenario::Pareto { seed: 7 }.apply(&DataSizeModel::ParetoSizes { seed: 7 }.apply(&wf));
         for strategy in Strategy::paper_set() {
             let s = strategy.schedule(&wf, &platform);
             s.validate(&wf, &platform)
@@ -60,8 +70,7 @@ fn boot_time_platform_still_validates() {
         let s = strategy.schedule(&wf, &platform);
         s.validate(&wf, &platform)
             .unwrap_or_else(|e| panic!("{}: {e}", strategy.label()));
-        verify(&wf, &platform, &s, 1e-6)
-            .unwrap_or_else(|e| panic!("{}: {e}", strategy.label()));
+        verify(&wf, &platform, &s, 1e-6).unwrap_or_else(|e| panic!("{}: {e}", strategy.label()));
         assert!(s.placements.iter().all(|p| p.start >= 120.0 - 1e-9));
     }
 }
@@ -73,11 +82,8 @@ fn makespan_never_beats_critical_path_at_max_speed() {
     // communication.
     let platform = Platform::ec2_paper();
     for (wf, _) in grid() {
-        let cp = cloud_workflow_sched::dag::critical_path(
-            &wf,
-            |t| wf.task(t).base_time / 2.7,
-            |_| 0.0,
-        );
+        let cp =
+            cloud_workflow_sched::dag::critical_path(&wf, |t| wf.task(t).base_time / 2.7, |_| 0.0);
         for strategy in Strategy::paper_set() {
             let s = strategy.schedule(&wf, &platform);
             assert!(

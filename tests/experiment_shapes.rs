@@ -1,8 +1,8 @@
 //! Shape checks on the regenerated figures and tables: the qualitative
 //! claims of the paper's Sect. V must hold in our reproduction.
 
-use cloud_workflow_sched::experiments::{fig3, fig4, fig5, table3, table4, table5};
 use cloud_workflow_sched::experiments::ExperimentConfig;
+use cloud_workflow_sched::experiments::{fig3, fig4, fig5, table3, table4, table5};
 
 fn cfg() -> ExperimentConfig {
     ExperimentConfig::default()
@@ -14,7 +14,11 @@ fn fig3_cdf_matches_the_analytic_distribution() {
     assert!(d.max_deviation() < 0.01);
     // The figure's visual landmarks.
     let at = |x: f64| {
-        let i = d.points.iter().position(|&p| p == x).expect("point on axis");
+        let i = d
+            .points
+            .iter()
+            .position(|&p| p == x)
+            .expect("point on axis");
         d.analytic[i]
     };
     assert_eq!(at(500.0), 0.0);
@@ -42,7 +46,11 @@ fn fig4_all_par_1lns_dyn_stays_in_target_square_everywhere() {
     // the target square for all cases."
     for panel in fig4::fig4(&cfg()) {
         let p = panel.point("AllPar1LnSDyn").expect("legend entry");
-        assert!(p.in_target_square, "{}: ({}, {})", panel.workflow, p.gain_pct, p.loss_pct);
+        assert!(
+            p.in_target_square,
+            "{}: ({}, {})",
+            panel.workflow, p.gain_pct, p.loss_pct
+        );
         // "it generally produces better savings then gain"
         assert!(
             -p.loss_pct >= p.gain_pct - 1e-6,
@@ -103,7 +111,8 @@ fn fig5_idle_time_ordering_matches_sect_v() {
             .map(|b| b.label.as_str())
             .collect();
         assert!(
-            top.iter().any(|l| l.starts_with("OneVMperTask") || *l == "GAIN" || *l == "CPA-Eager"),
+            top.iter()
+                .any(|l| l.starts_with("OneVMperTask") || *l == "GAIN" || *l == "CPA-Eager"),
             "{}: top idle producers {:?}",
             panel.workflow,
             top
@@ -122,11 +131,7 @@ fn fig5_magnitudes_are_hours_not_seconds() {
         .iter()
         .map(|b| b.idle_seconds)
         .fold(0.0_f64, f64::max);
-    assert!(
-        max > 3.0 * 3600.0,
-        "montage max idle {} below 3 hours",
-        max
-    );
+    assert!(max > 3.0 * 3600.0, "montage max idle {} below 3 hours", max);
     assert!(
         max < 30.0 * 3600.0,
         "montage max idle {} beyond plausible bound",
@@ -143,7 +148,12 @@ fn table3_structure_matches_paper() {
         .iter()
         .find(|c| c.scenario == "pareto" && c.workflow == "montage-24")
         .expect("cell exists");
-    for must in ["AllParExceed-s", "AllParNotExceed-s", "AllPar1LnS", "AllPar1LnSDyn"] {
+    for must in [
+        "AllParExceed-s",
+        "AllParNotExceed-s",
+        "AllPar1LnS",
+        "AllPar1LnSDyn",
+    ] {
         assert!(
             c.savings_dominant.iter().any(|l| l == must),
             "missing {must} in {:?}",

@@ -144,7 +144,13 @@ fn frontier_holds_across_pegasus_workflows() {
                 let dominates = a.makespan <= b.makespan + 1e-9
                     && a.cost <= b.cost + 1e-9
                     && (a.makespan < b.makespan - 1e-9 || a.cost < b.cost - 1e-9);
-                assert!(!dominates, "{}: {} dominates {}", wf.name(), a.label, b.label);
+                assert!(
+                    !dominates,
+                    "{}: {} dominates {}",
+                    wf.name(),
+                    a.label,
+                    b.label
+                );
             }
         }
     }
@@ -184,7 +190,9 @@ fn jitter_replays_stay_precedence_consistent() {
     // every task starts at or after each predecessor's observed finish.
     let platform = Platform::ec2_paper();
     let wf = Scenario::Pareto { seed: 4 }.apply(&cstem());
-    let plan = Strategy::parse("AllParExceed-s").unwrap().schedule(&wf, &platform);
+    let plan = Strategy::parse("AllParExceed-s")
+        .unwrap()
+        .schedule(&wf, &platform);
     let sim = cloud_workflow_sched::sim::Simulator::new(&wf, &platform, &plan);
     let factors = JitterModel::new(0.3, 77).factors(wf.len(), 0);
     let report = sim.run_perturbed(|t, d| d * factors[t.index()]);

@@ -16,7 +16,7 @@ fn cell<'a>(cells: &'a [Table3Cell], scenario: &str, workflow: &str) -> &'a Tabl
         .unwrap_or_else(|| panic!("cell {scenario}/{workflow} missing"))
 }
 
-fn all_of<'a>(c: &'a Table3Cell) -> Vec<&'a str> {
+fn all_of(c: &Table3Cell) -> Vec<&str> {
     c.savings_dominant
         .iter()
         .chain(&c.gain_dominant)
@@ -31,7 +31,12 @@ fn pareto_montage_row() {
     // AllPar1LnS ≈ StartParExceed-m, AllPar1LnSDyn".
     let cs = cells();
     let c = cell(&cs, "pareto", "montage-24");
-    for must in ["AllParNotExceed-s", "AllParExceed-s", "AllPar1LnS", "AllPar1LnSDyn"] {
+    for must in [
+        "AllParNotExceed-s",
+        "AllParExceed-s",
+        "AllPar1LnS",
+        "AllPar1LnSDyn",
+    ] {
         assert!(
             c.savings_dominant.iter().any(|l| l == must),
             "{must} missing from savings column: {:?}",

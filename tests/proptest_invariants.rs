@@ -9,8 +9,9 @@ use cloud_workflow_sched::prelude::*;
 use cloud_workflow_sched::workloads::random::{layered_dag, LayeredShape};
 use cloud_workflow_sched::workloads::Pareto;
 use proptest::prelude::*;
-// The facade prelude exports the scheduling `Strategy` enum, which would
-// otherwise shadow proptest's `Strategy` trait under the glob imports.
+// Both globs export a `Strategy` name (the scheduling enum and proptest's
+// trait); the explicit import pins the unqualified name to the enum.
+use cloud_workflow_sched::core::Strategy;
 use proptest::strategy::Strategy as _;
 
 /// A random layered DAG with random Pareto-ish runtimes.

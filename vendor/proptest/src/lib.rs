@@ -1,0 +1,231 @@
+//! Offline-vendored subset of the `proptest` 1.x API.
+//!
+//! The workspace's property tests use a narrow slice of proptest:
+//! `proptest! { #![proptest_config(..)] #[test] fn f(x in strategy) {..} }`
+//! with range and tuple strategies composed through `prop_map`, checked
+//! via `prop_assert!`/`prop_assert_eq!`. This stub keeps that surface
+//! compiling and *running*: each test draws `cases` pseudo-random inputs
+//! from a seed derived from the test name (deterministic across runs and
+//! machines) and panics on the first violated assertion.
+//!
+//! Differences from real proptest, by design: no shrinking (a failure
+//! reports the raw counterexample via the panic message), no persisted
+//! failure seeds, and strategies are sampled uniformly rather than with
+//! proptest's bias towards edge cases.
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Matches real proptest's default case count.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Value-generation strategies (`proptest::strategy`).
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adaptor returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(usize, u64, u32, i64, i32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Macro runtime support; not part of the public proptest API.
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::SmallRng;
+    pub use rand::SeedableRng;
+
+    /// FNV-1a over the test name: a stable per-test seed.
+    #[must_use]
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Common imports (`proptest::prelude`).
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Property assertion; panics (failing the case) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Define property tests: each `fn name(x in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($param:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = <$crate::__rt::SmallRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                $crate::__rt::seed_for(stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $param =
+                    $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                let _ = __case;
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(n in 1usize..30, x in 0.25f64..0.75) {
+            prop_assert!((1..30).contains(&n));
+            prop_assert!((0.25..0.75).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_prop_map_compose(
+            v in (1usize..4, 10u64..20).prop_map(|(a, b)| a as u64 * b),
+        ) {
+            prop_assert!((10..60).contains(&v));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(seed in 0u64..100,) {
+            prop_assert!(seed < 100);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        use crate::__rt::seed_for;
+        assert_eq!(seed_for("abc"), seed_for("abc"));
+        assert_ne!(seed_for("abc"), seed_for("abd"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Derive macros for the vendored `serde` marker traits.
+//!
+//! The real `serde_derive` generates visitor-based (de)serializers; the
+//! vendored traits have no methods, so these derives only need the type
+//! name to emit an empty impl. Works for any non-generic `struct` or
+//! `enum`, which covers every derive site in the workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the identifier following the first top-level `struct`/`enum`
+/// keyword. Panics (a compile error at the derive site) on generics,
+/// which this stub does not support.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde stub derive: expected type name, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = iter.next() {
+                    assert!(
+                        p.as_char() != '<',
+                        "serde stub derive: generic type `{name}` is not supported"
+                    );
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde stub derive: no struct/enum found in input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
