@@ -1,0 +1,162 @@
+//! `cws-bench` — fixed-workload perf baseline for the scheduling kernel.
+//!
+//! Runs the four paper workflows (Montage, CSTEM, MapReduce, Sequential)
+//! plus a 1000-task random layered DAG through all 19 paper pairings,
+//! first on the fast kernel (cached exec/transfer tables + per-VM gap
+//! index, see `cws_core::state`) and then on the naive reference kernel
+//! (`cws_core::state::naive`, compiled in via the `naive` feature), and
+//! writes wall-clock seconds, schedules/sec and the fast-vs-naive
+//! speedup to `BENCH_kernel.json`.
+//!
+//! Both passes accumulate a makespan checksum that must match exactly —
+//! the equivalence claim the property tests make is re-proven on every
+//! bench run, on the real workloads being timed.
+//!
+//! ```text
+//! cws-bench [--quick] [--out PATH]
+//! ```
+
+use cws_core::state::naive;
+use cws_core::Strategy;
+use cws_dag::Workflow;
+use cws_platform::Platform;
+use cws_workloads::random::{layered_dag, LayeredShape};
+use cws_workloads::{paper_workflows, DataSizeModel, Scenario};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct WorkloadReport {
+    name: String,
+    tasks: usize,
+    fast_s: f64,
+    naive_s: f64,
+    schedules: usize,
+}
+
+impl WorkloadReport {
+    fn speedup(&self) -> f64 {
+        self.naive_s / self.fast_s
+    }
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"tasks\":{},\"schedules\":{},\"fast_s\":{},\"naive_s\":{},\
+             \"fast_schedules_per_s\":{},\"naive_schedules_per_s\":{},\"speedup\":{}}}",
+            self.name,
+            self.tasks,
+            self.schedules,
+            self.fast_s,
+            self.naive_s,
+            self.schedules as f64 / self.fast_s,
+            self.schedules as f64 / self.naive_s,
+            self.speedup()
+        )
+    }
+}
+
+/// Time `reps` full 19-pairing sweeps over `wf`, returning wall-clock
+/// seconds and a makespan checksum for cross-kernel comparison.
+fn sweep(wf: &Workflow, platform: &Platform, strategies: &[Strategy], reps: usize) -> (f64, f64) {
+    let mut checksum = 0.0;
+    let start = Instant::now();
+    for _ in 0..reps {
+        for s in strategies {
+            let t = Instant::now();
+            checksum += s.schedule(wf, platform).makespan();
+            if std::env::var_os("CWS_BENCH_TRACE").is_some() {
+                eprintln!("  {:<24} {:>9.4}s", s.label(), t.elapsed().as_secs_f64());
+            }
+        }
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: cws-bench [--quick] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_kernel.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let reps = if quick { 1 } else { 3 };
+
+    let platform = Platform::ec2_paper();
+    let strategies = Strategy::paper_set();
+    let scenario = Scenario::Pareto { seed: 42 };
+
+    let mut workloads: Vec<Workflow> = paper_workflows()
+        .iter()
+        .map(|wf| scenario.apply(&DataSizeModel::CpuIntensive.apply(wf)))
+        .collect();
+    workloads.push(scenario.apply(&layered_dag(LayeredShape {
+        levels: 10,
+        min_width: 100,
+        max_width: 100,
+        edge_prob: 0.3,
+        seed: 42,
+    })));
+
+    let mut reports = Vec::new();
+    for wf in &workloads {
+        let (fast_s, fast_sum) = sweep(wf, &platform, &strategies, reps);
+        naive::set_reference_kernel(true);
+        let (naive_s, naive_sum) = sweep(wf, &platform, &strategies, reps);
+        naive::set_reference_kernel(false);
+        assert_eq!(
+            fast_sum,
+            naive_sum,
+            "{}: fast kernel diverged from the naive reference",
+            wf.name()
+        );
+        let r = WorkloadReport {
+            name: wf.name().to_string(),
+            tasks: wf.len(),
+            fast_s,
+            naive_s,
+            schedules: strategies.len() * reps,
+        };
+        println!(
+            "{:<24} {:>5} tasks  fast {:>8.3}s  naive {:>8.3}s  {:>6.2}x  ({:.0} schedules/s)",
+            r.name,
+            r.tasks,
+            r.fast_s,
+            r.naive_s,
+            r.speedup(),
+            r.schedules as f64 / r.fast_s
+        );
+        reports.push(r);
+    }
+
+    let fast_total: f64 = reports.iter().map(|r| r.fast_s).sum();
+    let naive_total: f64 = reports.iter().map(|r| r.naive_s).sum();
+    println!(
+        "overall: fast {fast_total:.3}s, naive {naive_total:.3}s, speedup {:.2}x",
+        naive_total / fast_total
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"kernel\",\n  \"quick\": {},\n  \"reps\": {},\n  \"pairings\": {},\n  \
+         \"workloads\": [\n    {}\n  ],\n  \"overall\": {{\"fast_s\":{},\"naive_s\":{},\"speedup\":{}}}\n}}\n",
+        quick,
+        reps,
+        strategies.len(),
+        reports
+            .iter()
+            .map(WorkloadReport::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+        fast_total,
+        naive_total,
+        naive_total / fast_total
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
+    println!("wrote {}", out.display());
+}

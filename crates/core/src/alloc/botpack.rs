@@ -45,8 +45,7 @@ pub fn bot_ffd(
     order.sort_by(|a, b| {
         wf.task(*b)
             .base_time
-            .partial_cmp(&wf.task(*a).base_time)
-            .expect("finite base times")
+            .total_cmp(&wf.task(*a).base_time)
             .then(a.0.cmp(&b.0))
     });
 

@@ -13,6 +13,8 @@ use crate::state::ScheduleBuilder;
 use cws_dag::{critical_path, TaskId, Workflow};
 use cws_platform::{billing::btus_for_span, InstanceType, Platform};
 
+const N_TYPES: usize = InstanceType::ALL.len();
+
 /// Per-task rental cost of a one-VM-per-task assignment: each task rents
 /// its own VM for `ceil(exec / BTU)` BTUs at its type's price.
 #[must_use]
@@ -58,12 +60,54 @@ pub fn baseline_cost(wf: &Workflow, platform: &Platform) -> f64 {
 /// stays within `budget`.
 #[must_use]
 pub fn cpa_eager_types(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<InstanceType> {
+    #[cfg(any(test, feature = "naive"))]
+    if crate::state::naive::reference_kernel_enabled() {
+        return cpa_eager_types_reference(wf, platform, budget);
+    }
+    // Per-(task, type) execution time and BTU rent plus the per-type-pair
+    // bandwidth, hoisted out of the upgrade loop. Every value below is
+    // computed exactly as the direct `execution_time` / `transfer_time` /
+    // `one_vm_per_task_cost` calls compute it, so the loop's decisions
+    // are unchanged.
+    let et: Vec<[f64; N_TYPES]> = wf
+        .ids()
+        .map(|t| {
+            let base = wf.task(t).base_time;
+            let mut row = [0.0; N_TYPES];
+            for (j, it) in InstanceType::ALL.iter().enumerate() {
+                row[j] = it.execution_time(base);
+            }
+            row
+        })
+        .collect();
+    let term: Vec<[f64; N_TYPES]> = et
+        .iter()
+        .map(|row| {
+            let mut out = [0.0; N_TYPES];
+            for (j, &it) in InstanceType::ALL.iter().enumerate() {
+                out[j] = btus_for_span(row[j]) as f64 * platform.price(it);
+            }
+            out
+        })
+        .collect();
+    let mut bw = [[0.0; N_TYPES]; N_TYPES];
+    for (i, &a) in InstanceType::ALL.iter().enumerate() {
+        for (j, &b) in InstanceType::ALL.iter().enumerate() {
+            bw[i][j] = platform.network.path_bandwidth_mbps(a, b);
+        }
+    }
+    let lat = platform
+        .network
+        .path_latency_s(platform.default_region, platform.default_region);
+
     let mut types = vec![InstanceType::Small; wf.len()];
+    let mut terms: Vec<f64> = term.iter().map(|row| row[0]).collect();
+    let mut prefix = vec![0.0; wf.len()];
     loop {
         let cp = critical_path(
             wf,
-            |t| types[t.index()].execution_time(wf.task(t).base_time),
-            |e| platform.transfer_time(e.data_mb, types[e.from.index()], types[e.to.index()]),
+            |t| et[t.index()][types[t.index()] as usize],
+            |e| e.data_mb / bw[types[e.from.index()] as usize][types[e.to.index()] as usize] + lat,
         );
         // Candidate upgrades on the critical path, slowest task first.
         let mut candidates: Vec<TaskId> = cp
@@ -73,11 +117,66 @@ pub fn cpa_eager_types(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<I
             .filter(|t| types[t.index()].next_faster().is_some())
             .collect();
         candidates.sort_by(|a, b| {
+            let ea = et[a.index()][types[a.index()] as usize];
+            let eb = et[b.index()][types[b.index()] as usize];
+            eb.total_cmp(&ea).then(a.0.cmp(&b.0))
+        });
+        // prefix[i] = the rent sum over tasks 0..i, accumulated left to
+        // right exactly as `one_vm_per_task_cost` does.
+        let mut acc = 0.0;
+        for (p, &x) in prefix.iter_mut().zip(&terms) {
+            *p = acc;
+            acc += x;
+        }
+        let mut upgraded = false;
+        for t in candidates {
+            let faster = types[t.index()]
+                .next_faster()
+                .expect("filtered to upgradeable");
+            let i = t.index();
+            // Total rent with the trial type in slot i, in the exact
+            // task order of `one_vm_per_task_cost`.
+            let mut cost = prefix[i] + term[i][faster as usize];
+            for &x in &terms[i + 1..] {
+                cost += x;
+            }
+            if cost <= budget + 1e-9 {
+                types[i] = faster;
+                terms[i] = term[i][faster as usize];
+                upgraded = true;
+                break;
+            }
+        }
+        if !upgraded {
+            return types;
+        }
+    }
+}
+
+/// The original upgrade loop, kept as the reference implementation:
+/// direct `execution_time` / `transfer_time` calls and a from-scratch
+/// `one_vm_per_task_cost` re-sum on every budget trial. The
+/// `fastpath_tests` property suite proves [`cpa_eager_types`] equal to
+/// this, and `cws-bench` measures the speedup against it.
+#[cfg(any(test, feature = "naive"))]
+fn cpa_eager_types_reference(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<InstanceType> {
+    let mut types = vec![InstanceType::Small; wf.len()];
+    loop {
+        let cp = critical_path(
+            wf,
+            |t| types[t.index()].execution_time(wf.task(t).base_time),
+            |e| platform.transfer_time(e.data_mb, types[e.from.index()], types[e.to.index()]),
+        );
+        let mut candidates: Vec<TaskId> = cp
+            .tasks
+            .iter()
+            .copied()
+            .filter(|t| types[t.index()].next_faster().is_some())
+            .collect();
+        candidates.sort_by(|a, b| {
             let ea = types[a.index()].execution_time(wf.task(*a).base_time);
             let eb = types[b.index()].execution_time(wf.task(*b).base_time);
-            eb.partial_cmp(&ea)
-                .expect("finite execution times")
-                .then(a.0.cmp(&b.0))
+            eb.total_cmp(&ea).then(a.0.cmp(&b.0))
         });
         let mut upgraded = false;
         for t in candidates {

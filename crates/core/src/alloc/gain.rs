@@ -10,10 +10,14 @@
 //! gain." (Sect. III-B). The budget is twice the HEFT + OneVMperTask
 //! small-instance cost, per Sect. IV.
 
-use super::cpa::{baseline_cost, one_vm_per_task_cost, schedule_one_vm_per_task};
+use super::cpa::{baseline_cost, schedule_one_vm_per_task};
 use crate::schedule::Schedule;
-use cws_dag::Workflow;
+use cws_dag::{TaskId, Workflow};
 use cws_platform::{billing::btus_for_span, InstanceType, Platform};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+const N_TYPES: usize = InstanceType::ALL.len();
 
 /// One entry of the gain matrix: upgrading `task` to `to` yields
 /// `gain` seconds of speed-up per extra dollar.
@@ -56,22 +60,190 @@ pub fn gain_matrix(wf: &Workflow, platform: &Platform, types: &[InstanceType]) -
     entries
 }
 
+/// A [`GainEntry`] plus the version of its task's row, ordered exactly
+/// as the sorted matrix scan visits entries: descending gain, then
+/// ascending task id, then ascending target speedup. A max-heap of these
+/// therefore pops candidates in the same sequence a fresh
+/// sort-the-whole-matrix pass would, and entries whose task has been
+/// upgraded since they were pushed are recognized (and dropped) by their
+/// stale version.
+struct RankedEntry {
+    gain: f64,
+    task: TaskId,
+    to: InstanceType,
+    version: u32,
+}
+
+impl PartialEq for RankedEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for RankedEntry {}
+impl PartialOrd for RankedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RankedEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .total_cmp(&other.gain)
+            .then(other.task.0.cmp(&self.task.0))
+            .then(other.to.speedup().total_cmp(&self.to.speedup()))
+    }
+}
+
+/// Push the gain-matrix row of one task (at its current type `cur`)
+/// computed from the hoisted per-type tables — the same entries, in the
+/// same float arithmetic, as [`gain_matrix`] emits for that task.
+fn push_row(
+    heap: &mut BinaryHeap<RankedEntry>,
+    task: TaskId,
+    cur: InstanceType,
+    et_row: &[f64; N_TYPES],
+    term_row: &[f64; N_TYPES],
+    version: u32,
+) {
+    let et_cur = et_row[cur as usize];
+    let cost_cur = term_row[cur as usize];
+    for to in InstanceType::ALL {
+        if to.speedup() <= cur.speedup() {
+            continue;
+        }
+        let dt = et_cur - et_row[to as usize];
+        if dt <= 0.0 {
+            continue;
+        }
+        let dc = term_row[to as usize] - cost_cur;
+        let gain = if dc <= 0.0 { f64::INFINITY } else { dt / dc };
+        heap.push(RankedEntry {
+            gain,
+            task,
+            to,
+            version,
+        });
+    }
+}
+
 /// Run the Gain upgrade loop and return per-task instance types. Each
-/// iteration recomputes the matrix, takes the highest-gain applicable
-/// upgrade (ties towards the smaller task id, then the slower target
-/// type — spend as little as possible for the same gain) and applies it
-/// if the total one-VM-per-task rent stays within `budget`.
+/// iteration takes the highest-gain applicable upgrade (ties towards the
+/// smaller task id, then the slower target type — spend as little as
+/// possible for the same gain) and applies it if the total
+/// one-VM-per-task rent stays within `budget`.
+///
+/// Equivalent to recomputing and sorting the full [`gain_matrix`] every
+/// iteration (the rows of unchanged tasks are bit-identical across
+/// iterations, so a heap keyed on the sort order pops the same
+/// sequence), but only the upgraded task's row is recomputed and the
+/// budget check reuses the exact left-to-right prefix of the rent sum
+/// that the changed slot cannot affect.
 #[must_use]
 pub fn gain_types(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<InstanceType> {
+    #[cfg(any(test, feature = "naive"))]
+    if crate::state::naive::reference_kernel_enabled() {
+        return gain_types_reference(wf, platform, budget);
+    }
+    // Per-(task, type) execution time and BTU rent, hoisted out of the
+    // loop. Values are computed exactly as `gain_matrix` and
+    // `one_vm_per_task_cost` compute them.
+    let et: Vec<[f64; N_TYPES]> = wf
+        .ids()
+        .map(|t| {
+            let base = wf.task(t).base_time;
+            let mut row = [0.0; N_TYPES];
+            for (j, it) in InstanceType::ALL.iter().enumerate() {
+                row[j] = it.execution_time(base);
+            }
+            row
+        })
+        .collect();
+    let term: Vec<[f64; N_TYPES]> = et
+        .iter()
+        .map(|row| {
+            let mut out = [0.0; N_TYPES];
+            for (j, &it) in InstanceType::ALL.iter().enumerate() {
+                out[j] = btus_for_span(row[j]) as f64 * platform.price(it);
+            }
+            out
+        })
+        .collect();
+
+    let mut types = vec![InstanceType::Small; wf.len()];
+    let mut terms: Vec<f64> = term.iter().map(|row| row[0]).collect();
+    let mut versions = vec![0u32; wf.len()];
+    let mut heap = BinaryHeap::with_capacity((N_TYPES - 1) * wf.len());
+    for t in wf.ids() {
+        push_row(
+            &mut heap,
+            t,
+            InstanceType::Small,
+            &et[t.index()],
+            &term[t.index()],
+            0,
+        );
+    }
+    let mut prefix = vec![0.0; wf.len()];
+    let mut tried: Vec<RankedEntry> = Vec::new();
+    loop {
+        // prefix[i] = the rent sum over tasks 0..i, accumulated left to
+        // right exactly as `one_vm_per_task_cost` does.
+        let mut acc = 0.0;
+        for (p, &x) in prefix.iter_mut().zip(&terms) {
+            *p = acc;
+            acc += x;
+        }
+        tried.clear();
+        let mut applied = None;
+        while let Some(e) = heap.pop() {
+            let i = e.task.index();
+            if versions[i] != e.version {
+                continue;
+            }
+            // Total rent with the trial type in slot i, in the exact
+            // task order of `one_vm_per_task_cost`.
+            let mut cost = prefix[i] + term[i][e.to as usize];
+            for &x in &terms[i + 1..] {
+                cost += x;
+            }
+            if cost <= budget + 1e-9 {
+                applied = Some(e);
+                break;
+            }
+            tried.push(e);
+        }
+        let Some(e) = applied else { return types };
+        let i = e.task.index();
+        types[i] = e.to;
+        terms[i] = term[i][e.to as usize];
+        versions[i] += 1;
+        // Failed candidates stay candidates next iteration — except the
+        // upgraded task's, whose row is recomputed at its new type.
+        for t in tried.drain(..) {
+            if versions[t.task.index()] == t.version {
+                heap.push(t);
+            }
+        }
+        push_row(&mut heap, e.task, e.to, &et[i], &term[i], versions[i]);
+    }
+}
+
+/// The original upgrade loop, kept as the reference implementation:
+/// recompute and sort the whole matrix every iteration and re-sum the
+/// one-VM-per-task rent from scratch on every budget trial. The
+/// `fastpath_tests` property suite proves [`gain_types`] equal to this,
+/// and `cws-bench` measures the speedup against it.
+#[cfg(any(test, feature = "naive"))]
+fn gain_types_reference(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<InstanceType> {
+    use super::cpa::one_vm_per_task_cost;
     let mut types = vec![InstanceType::Small; wf.len()];
     loop {
         let mut entries = gain_matrix(wf, platform, &types);
         entries.sort_by(|a, b| {
             b.gain
-                .partial_cmp(&a.gain)
-                .expect("gains are not NaN")
+                .total_cmp(&a.gain)
                 .then(a.task.0.cmp(&b.task.0))
-                .then(a.to.speedup().partial_cmp(&b.to.speedup()).expect("finite"))
+                .then(a.to.speedup().total_cmp(&b.to.speedup()))
         });
         let mut applied = false;
         for e in entries {

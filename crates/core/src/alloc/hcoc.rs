@@ -149,16 +149,16 @@ fn build(
                 }
             },
             None => {
-                // Private pool: min-EFT over owned machines, renting
-                // (for free) until the pool cap is reached.
-                let best_existing = private_vms
-                    .iter()
-                    .map(|&vm| (vm, sb.finish_time_on(task, vm)))
-                    .min_by(|a, b| {
-                        a.1.partial_cmp(&b.1)
-                            .expect("finite")
-                            .then(a.0 .0.cmp(&b.0 .0))
-                    });
+                // Private pool: min-EFT over owned machines (one probe
+                // for the whole pool), renting (for free) until the
+                // pool cap is reached.
+                let best_existing = {
+                    let mut probe = sb.probe(task);
+                    private_vms
+                        .iter()
+                        .map(|&vm| (vm, probe.finish_on(vm)))
+                        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0 .0.cmp(&b.0 .0)))
+                };
                 if private_vms.len() < private.machines {
                     // A fresh private machine is always at least as good
                     // as queueing behind one.

@@ -83,25 +83,22 @@ pub fn heft_pool(wf: &Workflow, platform: &Platform, pool: &PoolSpec) -> Schedul
 
     let mut sb = ScheduleBuilder::new(wf, platform);
     for task in order {
-        // Candidate 1: best existing VM by finish time.
-        let best_existing = min_finish(
-            sb.vms()
-                .iter()
-                .map(|v| (v.id, sb.finish_time_on(task, v.id))),
-        );
+        // Candidate 1: best existing VM by finish time, over the
+        // builder's fast candidate stream.
+        let best_existing = min_finish(sb.candidates_for(task).map(|c| (c.vm, c.finish)));
         // Candidate 2: best fresh rental by finish time (cheapest on tie).
         let can_rent = pool.max_vms.is_none_or(|cap| sb.vms().len() < cap);
         let best_new = if can_rent {
+            let mut probe = sb.probe(task);
             pool.rentable
                 .iter()
                 .map(|&t| {
-                    let ready = sb.ready_time(task, None, t, platform.default_region);
+                    let ready = probe.ready_fresh(t, platform.default_region);
                     let finish = ready.max(platform.boot_time_s) + sb.exec_time(task, t);
                     (t, finish)
                 })
                 .min_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .expect("finite")
+                    a.1.total_cmp(&b.1)
                         .then(a.0.price_multiplier().cmp(&b.0.price_multiplier()))
                 })
         } else {

@@ -21,8 +21,7 @@ pub fn level_et_descending(wf: &Workflow, level: &[TaskId]) -> Vec<TaskId> {
     order.sort_by(|a, b| {
         wf.task(*b)
             .base_time
-            .partial_cmp(&wf.task(*a).base_time)
-            .expect("base times are finite")
+            .total_cmp(&wf.task(*a).base_time)
             .then(a.0.cmp(&b.0))
     });
     order

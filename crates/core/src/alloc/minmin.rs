@@ -63,15 +63,18 @@ pub fn list_schedule(
         // fresh slot while the cap allows).
         let best_for =
             |sb: &ScheduleBuilder<'_>, pool: &[VmId], t: TaskId| -> (Option<VmId>, f64) {
+                // One probe per (round, task): the ready reduction over
+                // `t`'s predecessors is paid once for the whole pool.
+                let mut probe = sb.probe(t);
                 let mut best: (Option<VmId>, f64) = (None, f64::INFINITY);
                 for &vm in pool {
-                    let f = sb.finish_time_on(t, vm);
+                    let f = probe.finish_on(vm);
                     if f < best.1 {
                         best = (Some(vm), f);
                     }
                 }
                 if pool.len() < machines {
-                    let ready_t = sb.ready_time(t, None, itype, platform.default_region);
+                    let ready_t = probe.ready_fresh(itype, platform.default_region);
                     let f = ready_t.max(platform.boot_time_s) + sb.exec_time(t, itype);
                     if f < best.1 {
                         best = (None, f);
@@ -153,7 +156,7 @@ mod tests {
         let s = list_schedule(&wf, &p, ListRule::MinMin, InstanceType::Small, 1);
         // single machine: order of starts is ascending duration
         let mut order: Vec<(f64, TaskId)> = wf.ids().map(|t| (s.placement(t).start, t)).collect();
-        order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        order.sort_by(|a, b| a.0.total_cmp(&b.0));
         let durations: Vec<f64> = order.iter().map(|&(_, t)| wf.task(t).base_time).collect();
         assert_eq!(durations, vec![100.0, 500.0, 900.0]);
     }
@@ -164,7 +167,7 @@ mod tests {
         let wf = bag(&[900.0, 100.0, 500.0]);
         let s = list_schedule(&wf, &p, ListRule::MaxMin, InstanceType::Small, 1);
         let mut order: Vec<(f64, TaskId)> = wf.ids().map(|t| (s.placement(t).start, t)).collect();
-        order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        order.sort_by(|a, b| a.0.total_cmp(&b.0));
         let durations: Vec<f64> = order.iter().map(|&(_, t)| wf.task(t).base_time).collect();
         assert_eq!(durations, vec![900.0, 500.0, 100.0]);
     }

@@ -77,12 +77,7 @@ fn reduce_level_with(wf: &Workflow, level: &[TaskId], ready: impl Fn(TaskId) -> 
     // Serialized end of a chain executed in readiness order.
     let chain_end = |tasks: &[TaskId]| -> f64 {
         let mut by_ready = tasks.to_vec();
-        by_ready.sort_by(|&a, &b| {
-            ready(a)
-                .partial_cmp(&ready(b))
-                .expect("finite ready times")
-                .then(a.0.cmp(&b.0))
-        });
+        by_ready.sort_by(|&a, &b| ready(a).total_cmp(&ready(b)).then(a.0.cmp(&b.0)));
         by_ready
             .iter()
             .fold(0.0_f64, |end, &t| end.max(ready(t)) + wf.task(t).base_time)
@@ -144,10 +139,7 @@ fn place_level_chains(
                     })
                     .fold(0.0_f64, f64::max)
             };
-            ready(a)
-                .partial_cmp(&ready(b))
-                .expect("finite times")
-                .then(a.0.cmp(&b.0))
+            ready(a).total_cmp(&ready(b)).then(a.0.cmp(&b.0))
         });
         let first = chain_order[0];
         let candidate = sb
@@ -264,7 +256,7 @@ pub fn optimize_level_types(
             let worst = (1..chains.len())
                 .map(|c| (c, chain_duration(chains, &types, c)))
                 .filter(|&(_, d)| d > d0 + EPS)
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite durations"));
+                .max_by(|a, b| a.1.total_cmp(&b.1));
             let Some((c, _)) = worst else { break };
             match types[c].next_faster() {
                 Some(f) => {

@@ -29,8 +29,7 @@ pub fn rank_order_by(
     let mut order: Vec<TaskId> = wf.ids().collect();
     order.sort_by(|a, b| {
         ranks[b.index()]
-            .partial_cmp(&ranks[a.index()])
-            .expect("ranks are finite")
+            .total_cmp(&ranks[a.index()])
             .then(topo_pos[a.index()].cmp(&topo_pos[b.index()]))
     });
     order
@@ -40,15 +39,13 @@ pub fn rank_order_by(
 /// towards the lower VM id, keeping every HEFT variant deterministic.
 #[must_use]
 pub fn min_finish(candidates: impl Iterator<Item = (VmId, f64)>) -> Option<(VmId, f64)> {
-    candidates.min_by(|a, b| {
-        a.1.partial_cmp(&b.1)
-            .expect("finish times are finite")
-            .then(a.0 .0.cmp(&b.0 .0))
-    })
+    candidates.min_by(|a, b| a.1.total_cmp(&b.1).then(a.0 .0.cmp(&b.0 .0)))
 }
 
 /// Best insertion slot for `task` across `pool`: the VM (and resulting
-/// finish time) where gap-insertion finishes the task earliest.
+/// finish time) where gap-insertion finishes the task earliest. One
+/// [`ScheduleBuilder::probe`] serves every pool member, so the ready
+/// reduction over `task`'s predecessors is paid once, not per VM.
 #[must_use]
 pub fn best_insertion(
     sb: &ScheduleBuilder<'_>,
@@ -56,8 +53,9 @@ pub fn best_insertion(
     itype: InstanceType,
     pool: &[VmId],
 ) -> Option<(VmId, f64)> {
+    let mut probe = sb.probe(task);
     min_finish(pool.iter().map(|&vm| {
-        let start = sb.insertion_start_on(task, vm);
+        let start = probe.insertion_start_on(vm);
         (vm, start + sb.exec_time(task, itype))
     }))
 }

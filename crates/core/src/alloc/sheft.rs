@@ -58,7 +58,7 @@ pub fn sheft_deadline(wf: &Workflow, platform: &Platform, deadline: f64) -> Dead
             .max_by(|a, b| {
                 let ea = types[a.index()].execution_time(wf.task(*a).base_time);
                 let eb = types[b.index()].execution_time(wf.task(*b).base_time);
-                ea.partial_cmp(&eb).expect("finite").then(b.0.cmp(&a.0))
+                ea.total_cmp(&eb).then(b.0.cmp(&a.0))
             });
         match candidate {
             Some(t) => {

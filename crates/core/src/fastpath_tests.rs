@@ -1,0 +1,121 @@
+//! Property tests proving the fast scheduling kernel (cached exec and
+//! bandwidth/latency tables, per-VM gap index, incremental busiest
+//! tracking — see
+//! [`crate::state`]) is *bit-identical* to the naive reference kernel
+//! kept in [`crate::state::naive`].
+//!
+//! Every paper strategy plus the extended allocators (heterogeneous-pool
+//! HEFT, insertion HEFT, Min-Min/Max-Min) is run twice on the same
+//! workflow — once with the fast path, once with the thread-local
+//! reference switch flipped — and the resulting [`Schedule`]s are
+//! compared with `==` (exact f64 equality on every start/finish time, VM
+//! meter and placement).
+
+use crate::alloc::{heft_insertion, heft_pool, list_schedule, ListRule, PoolSpec};
+use crate::schedule::Schedule;
+use crate::state::naive;
+use crate::strategy::Strategy;
+use cws_dag::Workflow;
+use cws_platform::{InstanceType, Platform};
+use cws_workloads::random::{fork_join, layered_dag, ForkJoinShape, LayeredShape};
+use cws_workloads::Scenario;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+
+/// Flip the thread-local reference switch for the duration of `f`,
+/// restoring it even on panic so a failing case cannot poison later
+/// cases on the same proptest worker thread.
+fn with_reference_kernel<T>(f: impl FnOnce() -> T) -> T {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            naive::set_reference_kernel(false);
+        }
+    }
+    naive::set_reference_kernel(true);
+    let _reset = Reset;
+    f()
+}
+
+fn assert_kernels_agree(
+    wf: &Workflow,
+    platform: &Platform,
+    label: &str,
+    run: impl Fn() -> Schedule,
+) {
+    let fast = run();
+    let reference = with_reference_kernel(&run);
+    prop_assert!(
+        fast == reference,
+        "{label}: fast kernel diverged from the naive reference on {} \
+         (fast makespan {}, reference makespan {})",
+        wf.name(),
+        fast.makespan(),
+        reference.makespan()
+    );
+    fast.validate(wf, platform)
+        .unwrap_or_else(|e| panic!("{label}: invalid schedule: {e}"));
+}
+
+fn arb_layered() -> impl proptest::strategy::Strategy<Value = Workflow> {
+    (2usize..6, 1usize..5, 0.05f64..0.9, 0u64..1000).prop_map(|(l, w, p, s)| {
+        let wf = layered_dag(LayeredShape {
+            levels: l,
+            min_width: 1,
+            max_width: w,
+            edge_prob: p,
+            seed: s,
+        });
+        Scenario::Pareto { seed: s }.apply(&wf)
+    })
+}
+
+fn arb_fork_join() -> impl proptest::strategy::Strategy<Value = Workflow> {
+    (1usize..4, 1usize..5, 0u64..1000).prop_map(|(stages, fanout, seed)| {
+        let wf = fork_join(ForkJoinShape { stages, fanout });
+        Scenario::Pareto { seed }.apply(&wf)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All 19 paper pairings, random layered DAGs.
+    #[test]
+    fn paper_set_is_bit_identical_on_layered_dags(wf in arb_layered()) {
+        let p = Platform::ec2_paper();
+        for strategy in Strategy::paper_set() {
+            assert_kernels_agree(&wf, &p, &strategy.label(), || strategy.schedule(&wf, &p));
+        }
+    }
+
+    /// All 19 paper pairings, fork-join DAGs (deep join fan-ins stress
+    /// the ready-time reduction; repeated stages stress gap reuse).
+    #[test]
+    fn paper_set_is_bit_identical_on_fork_join_dags(wf in arb_fork_join()) {
+        let p = Platform::ec2_paper();
+        for strategy in Strategy::paper_set() {
+            assert_kernels_agree(&wf, &p, &strategy.label(), || strategy.schedule(&wf, &p));
+        }
+    }
+
+    /// Extended allocators that consume the candidate/probe API directly.
+    #[test]
+    fn extended_allocators_are_bit_identical(
+        wf in arb_layered(),
+        machines in 1usize..4,
+    ) {
+        let p = Platform::ec2_paper();
+        assert_kernels_agree(&wf, &p, "HEFT-pool", || {
+            heft_pool(&wf, &p, &PoolSpec::default())
+        });
+        assert_kernels_agree(&wf, &p, "HEFT-ins", || {
+            heft_insertion(&wf, &p, InstanceType::Medium, machines)
+        });
+        for rule in [ListRule::MinMin, ListRule::MaxMin] {
+            assert_kernels_agree(&wf, &p, rule.name(), || {
+                list_schedule(&wf, &p, rule, InstanceType::Small, machines)
+            });
+        }
+    }
+}

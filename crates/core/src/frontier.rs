@@ -85,48 +85,57 @@ pub fn pareto_front(
         schedules.push(heft_pool(wf, platform, &PoolSpec::default()));
     }
 
-    let mut points: Vec<FrontierPoint> = schedules
+    // Dominance runs on bare (makespan, cost) pairs; the points are then
+    // assembled by *moving* each schedule's label out — no string clones.
+    let metrics: Vec<(f64, f64)> = schedules
         .iter()
-        .map(|s| FrontierPoint {
-            label: s.strategy.clone(),
-            makespan: s.makespan(),
-            cost: s.total_cost(wf, platform),
-            on_frontier: false,
-        })
+        .map(|s| (s.makespan(), s.total_cost(wf, platform)))
         .collect();
 
     // O(n²) dominance test — n is tens of points.
     const EPS: f64 = 1e-9;
-    for i in 0..points.len() {
-        let dominated = points.iter().enumerate().any(|(j, q)| {
-            j != i
-                && q.makespan <= points[i].makespan + EPS
-                && q.cost <= points[i].cost + EPS
-                && (q.makespan < points[i].makespan - EPS || q.cost < points[i].cost - EPS)
-        });
-        points[i].on_frontier = !dominated;
-    }
+    let on_frontier: Vec<bool> = metrics
+        .iter()
+        .enumerate()
+        .map(|(i, &(mi, ci))| {
+            !metrics.iter().enumerate().any(|(j, &(mj, cj))| {
+                j != i && mj <= mi + EPS && cj <= ci + EPS && (mj < mi - EPS || cj < ci - EPS)
+            })
+        })
+        .collect();
+
+    let mut points: Vec<FrontierPoint> = schedules
+        .into_iter()
+        .zip(metrics)
+        .zip(on_frontier)
+        .map(|((s, (makespan, cost)), on_frontier)| FrontierPoint {
+            label: s.strategy,
+            makespan,
+            cost,
+            on_frontier,
+        })
+        .collect();
     points.sort_by(|a, b| {
         a.makespan
-            .partial_cmp(&b.makespan)
-            .expect("finite makespans")
-            .then(a.cost.partial_cmp(&b.cost).expect("finite costs"))
+            .total_cmp(&b.makespan)
+            .then(a.cost.total_cmp(&b.cost))
     });
     points
 }
 
 /// Only the Pareto-optimal points, deduplicated by (makespan, cost) to
-/// one representative label each.
+/// one representative label each. Borrows from `points` rather than
+/// cloning labels.
 #[must_use]
-pub fn frontier_only(points: &[FrontierPoint]) -> Vec<FrontierPoint> {
-    let mut out: Vec<FrontierPoint> = Vec::new();
+pub fn frontier_only(points: &[FrontierPoint]) -> Vec<&FrontierPoint> {
+    let mut out: Vec<&FrontierPoint> = Vec::new();
     for p in points.iter().filter(|p| p.on_frontier) {
         if let Some(last) = out.last() {
             if (last.makespan - p.makespan).abs() < 1e-9 && (last.cost - p.cost).abs() < 1e-9 {
                 continue;
             }
         }
-        out.push(p.clone());
+        out.push(p);
     }
     out
 }
@@ -180,11 +189,11 @@ mod tests {
         let points = pareto_front(&wf(), &p, CandidateSet::default());
         let cheapest = points
             .iter()
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap())
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
             .unwrap();
         let fastest = points
             .iter()
-            .min_by(|a, b| a.makespan.partial_cmp(&b.makespan).unwrap())
+            .min_by(|a, b| a.makespan.total_cmp(&b.makespan))
             .unwrap();
         assert!(cheapest.on_frontier, "{}", cheapest.label);
         assert!(fastest.on_frontier, "{}", fastest.label);

@@ -39,6 +39,9 @@ pub mod state;
 pub mod strategy;
 pub mod vm;
 
+#[cfg(test)]
+mod fastpath_tests;
+
 pub use compare::{compare, ScheduleComparison};
 pub use metrics::{RelativeMetrics, ScheduleMetrics};
 pub use pooled::{pooled_static, PooledSchedule, WarmVm};

@@ -302,7 +302,7 @@ impl Schedule {
                     (id, p.start, p.finish)
                 })
                 .collect();
-            placed.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+            placed.sort_by(|a, b| a.1.total_cmp(&b.1));
             for w in placed.windows(2) {
                 if w[1].1 < w[0].2 - EPS {
                     return Err(ScheduleError::VmOverlap {
@@ -313,7 +313,7 @@ impl Schedule {
                 }
             }
             let mut recorded = vm.tasks.clone();
-            recorded.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+            recorded.sort_by(|a, b| a.1.total_cmp(&b.1));
             if recorded.len() != placed.len()
                 || recorded
                     .iter()

@@ -7,6 +7,45 @@
 //! *which VM* they pick; all timing arithmetic funnels through here, so
 //! analytic schedules, the validator and the discrete-event simulator
 //! cannot drift apart.
+//!
+//! # Fast path
+//!
+//! Every probe (`ready_time`, `start_time_on`, `insertion_start_on`, …)
+//! used to recompute execution times, per-edge transfer times and gap
+//! scans from scratch, making each allocation pass O(T·V·preds) with
+//! heavily redundant work. The builder now precomputes at construction:
+//!
+//! * a task × instance-type **execution-time table** (`exec`), and
+//! * the two independent factors of every transfer time — path
+//!   bandwidth per (from-type, to-type) pair (`bw`) and path latency
+//!   per (from-region, to-region) pair (`lat`) — so a transfer time
+//!   costs one division and one add of table entries, with no
+//!   per-platform-call region/type dispatch;
+//!
+//! and maintains incrementally at every placement:
+//!
+//! * a per-VM **gap index** (`gaps`: chronological idle windows plus the
+//!   busy tail), so insertion probes stop rescanning [`Vm::tasks`], and
+//! * the running **busiest-VM argmax** (`busiest`), so the
+//!   StartPar/AllPar policies' `busiest_vm` query is O(1).
+//!
+//! [`ScheduleBuilder::probe`] hoists the per-task part of `ready_time`
+//! out of VM scans: it buckets the placed predecessors by host VM once,
+//! then answers per-candidate ready/start/finish/insertion queries in
+//! O(1) via a lazily-built top-2 reduction per (region, itype) key.
+//! [`ScheduleBuilder::candidates_for`] exposes the resulting candidate
+//! stream to the allocation strategies in place of hand-rolled scans.
+//!
+//! The fast path performs the *same floating-point operations* as the
+//! naive code: `f64::max` is exact, so regrouping the ready-time
+//! max-reduction per host VM is bit-identical, and the cached transfer
+//! factors are added in the original `size/bw + latency` order. The
+//! [`naive`] module keeps the original implementations (compiled only
+//! for tests and under the `naive` feature) and the `fastpath_tests`
+//! property suite proves schedule-level equality on random DAGs across
+//! every strategy pairing. The single documented deviation: idle gaps
+//! narrower than 1e-9 s are not indexed, which can only change the
+//! placement of tasks shorter than 2e-9 s.
 
 use crate::pooled::WarmVm;
 use crate::schedule::{Schedule, TaskPlacement};
@@ -14,6 +53,87 @@ use crate::vm::{Vm, VmId};
 use cws_dag::{TaskId, Workflow};
 use cws_platform::billing::fits_in_current_btu;
 use cws_platform::{InstanceType, Platform, Region};
+
+const EPS: f64 = 1e-9;
+const N_TYPES: usize = InstanceType::ALL.len();
+const N_REGIONS: usize = Region::ALL.len();
+const N_KEYS: usize = N_REGIONS * N_TYPES;
+const N_PAIRS: usize = N_TYPES * N_TYPES;
+
+/// Index of an (instance-type, instance-type) pair in a transfer row.
+#[inline]
+fn pair_idx(from: InstanceType, to: InstanceType) -> usize {
+    (from as usize) * N_TYPES + (to as usize)
+}
+
+/// Index of a (region, instance-type) candidate key.
+#[inline]
+fn key_idx(region: Region, itype: InstanceType) -> usize {
+    (region as usize) * N_TYPES + (itype as usize)
+}
+
+/// Per-VM idle-window index: the gaps an insertion-policy task may fill
+/// and the busy tail appends land on. Gaps no wider than [`EPS`] are
+/// dropped — they could only host tasks shorter than 2·EPS.
+#[derive(Debug, Clone)]
+struct VmGaps {
+    /// Idle `[start, end)` windows in chronological order.
+    gaps: Vec<(f64, f64)>,
+    /// Maximum of the rental open and every appended task end — the
+    /// cursor the naive gap scan would hold after the last task.
+    tail: f64,
+}
+
+impl VmGaps {
+    fn new(open: f64) -> Self {
+        VmGaps {
+            gaps: Vec::new(),
+            tail: open,
+        }
+    }
+
+    /// Record a task appended at the tail.
+    fn note_append(&mut self, start: f64, finish: f64) {
+        if start - self.tail > EPS {
+            self.gaps.push((self.tail, start));
+        }
+        self.tail = self.tail.max(finish);
+    }
+
+    /// Record a task placed by the insertion policy: split the gap it
+    /// landed in (tail placements fall back to [`Self::note_append`]).
+    fn note_insert(&mut self, start: f64, finish: f64) {
+        let containing = self
+            .gaps
+            .iter()
+            .position(|&(gs, ge)| gs <= start + EPS && finish <= ge + EPS);
+        match containing {
+            Some(i) => {
+                let (gs, ge) = self.gaps[i];
+                self.gaps.remove(i);
+                if ge - finish > EPS {
+                    self.gaps.insert(i, (finish, ge));
+                }
+                if start - gs > EPS {
+                    self.gaps.insert(i, (gs, start));
+                }
+            }
+            None => self.note_append(start, finish),
+        }
+    }
+
+    /// Earliest start for a task of `duration` that is ready at `ready`:
+    /// the first indexed gap that fits, else the tail.
+    fn earliest_fit(&self, ready: f64, duration: f64) -> f64 {
+        for &(gs, ge) in &self.gaps {
+            let start = gs.max(ready);
+            if start + duration <= ge + EPS {
+                return start;
+            }
+        }
+        self.tail.max(ready)
+    }
+}
 
 /// Incremental schedule builder.
 #[derive(Debug, Clone)]
@@ -32,6 +152,25 @@ pub struct ScheduleBuilder<'a> {
     /// For each entry of `vms`, the warm-slot index it was claimed from
     /// (`None` = fresh rental). Maintained in lock-step with `vms`.
     origins: Vec<Option<usize>>,
+    /// Execution-time table: `exec[task][itype]`. Empty when the naive
+    /// reference kernel is active — the reference pass must not pay (or
+    /// benefit from) fast-path construction.
+    exec: Vec<[f64; N_TYPES]>,
+    /// Path-latency table: `lat[from_region][to_region]`.
+    lat: [[f64; N_REGIONS]; N_REGIONS],
+    /// Path-bandwidth table: `bw[pair_idx(from, to)]` in MB/s. A
+    /// transfer then costs `data_mb / bw[pair] + lat[fr][tr]` — the same
+    /// division and add the platform's `transfer_time` performs.
+    bw: [f64; N_PAIRS],
+    /// Per-VM idle-window index, in lock-step with `vms`.
+    gaps: Vec<VmGaps>,
+    /// Running `(busy_seconds, id)` argmax over `vms` (ties towards the
+    /// smaller id). Valid because busy time never decreases.
+    busiest: Option<(f64, VmId)>,
+    /// Route probes through the [`naive`] reference kernel (captured
+    /// from the thread-local switch at construction).
+    #[cfg(any(test, feature = "naive"))]
+    kernel_naive: bool,
 }
 
 impl<'a> ScheduleBuilder<'a> {
@@ -45,6 +184,46 @@ impl<'a> ScheduleBuilder<'a> {
     /// renting fresh ones (see [`crate::pooled`] for the claiming rules).
     #[must_use]
     pub fn with_warm_pool(wf: &'a Workflow, platform: &'a Platform, warm: &[WarmVm]) -> Self {
+        let net = &platform.network;
+        #[cfg(any(test, feature = "naive"))]
+        let kernel_naive = naive::reference_kernel_enabled();
+        #[cfg(not(any(test, feature = "naive")))]
+        let kernel_naive = false;
+        let exec = if kernel_naive {
+            Vec::new()
+        } else {
+            // The naive kernel validates sizes inside `transfer_time`;
+            // the table path divides directly, so validate up front.
+            for e in wf.edges() {
+                assert!(
+                    e.data_mb >= 0.0,
+                    "transfer size must be non-negative, got {}",
+                    e.data_mb
+                );
+            }
+            wf.ids()
+                .map(|t| {
+                    let base = wf.task(t).base_time;
+                    let mut row = [0.0; N_TYPES];
+                    for (j, it) in InstanceType::ALL.iter().enumerate() {
+                        row[j] = it.execution_time(base);
+                    }
+                    row
+                })
+                .collect()
+        };
+        let mut lat = [[0.0; N_REGIONS]; N_REGIONS];
+        for (i, &a) in Region::ALL.iter().enumerate() {
+            for (j, &b) in Region::ALL.iter().enumerate() {
+                lat[i][j] = net.path_latency_s(a, b);
+            }
+        }
+        let mut bw = [0.0; N_PAIRS];
+        for &ft in &InstanceType::ALL {
+            for &tt in &InstanceType::ALL {
+                bw[pair_idx(ft, tt)] = net.path_bandwidth_mbps(ft, tt);
+            }
+        }
         ScheduleBuilder {
             wf,
             platform,
@@ -53,6 +232,13 @@ impl<'a> ScheduleBuilder<'a> {
             warm_slots: warm.to_vec(),
             warm_claimed: vec![false; warm.len()],
             origins: Vec::new(),
+            exec,
+            lat,
+            bw,
+            gaps: Vec::new(),
+            busiest: None,
+            #[cfg(any(test, feature = "naive"))]
+            kernel_naive,
         }
     }
 
@@ -89,7 +275,11 @@ impl<'a> ScheduleBuilder<'a> {
     /// Execution time of `task` on an instance of type `itype`.
     #[must_use]
     pub fn exec_time(&self, task: TaskId, itype: InstanceType) -> f64 {
-        itype.execution_time(self.wf.task(task).base_time)
+        #[cfg(any(test, feature = "naive"))]
+        if self.kernel_naive {
+            return naive::exec_time(self, task, itype);
+        }
+        self.exec[task.index()][itype as usize]
     }
 
     /// Earliest time the inputs of `task` are available on a VM of type
@@ -107,19 +297,20 @@ impl<'a> ScheduleBuilder<'a> {
         itype: InstanceType,
         region: Region,
     ) -> f64 {
+        #[cfg(any(test, feature = "naive"))]
+        if self.kernel_naive {
+            return naive::ready_time(self, task, on_vm, itype, region);
+        }
         let mut ready: f64 = 0.0;
         for e in self.wf.predecessors(task) {
             let p = self.placements[e.from.index()]
                 .unwrap_or_else(|| panic!("predecessor {} of {task} not placed", e.from));
-            let from_vm = &self.vms[p.vm.index()];
             let transfer = if Some(p.vm) == on_vm {
                 0.0
             } else {
-                self.platform.transfer_time_between(
-                    e.data_mb,
-                    (from_vm.region, from_vm.itype),
-                    (region, itype),
-                )
+                let from = &self.vms[p.vm.index()];
+                e.data_mb / self.bw[pair_idx(from.itype, itype)]
+                    + self.lat[from.region as usize][region as usize]
             };
             ready = ready.max(p.finish + transfer);
         }
@@ -149,6 +340,76 @@ impl<'a> ScheduleBuilder<'a> {
         v.fits_without_new_btu(self.exec_time(task, v.itype))
     }
 
+    /// A reusable probe for `task`: answers ready/start/finish/insertion
+    /// queries against any candidate VM in O(1) after an O(preds) setup,
+    /// by bucketing the placed predecessors per host VM and reducing
+    /// their transfer-adjusted finish times per (region, itype) key.
+    ///
+    /// # Panics
+    /// Panics if a predecessor of `task` has not been placed yet.
+    #[must_use]
+    pub fn probe(&self, task: TaskId) -> TaskProbe<'_, 'a> {
+        let mut hosts: Vec<HostPreds> = Vec::new();
+        let mut edges: Vec<ProbeEdge> = Vec::new();
+        let mut local_ready: Vec<f64> = Vec::new();
+        if !self.is_naive() {
+            local_ready = vec![f64::NEG_INFINITY; self.vms.len()];
+            let preds = self.wf.predecessors(task);
+            edges.reserve(preds.len());
+            for e in preds {
+                let p = self.placements[e.from.index()]
+                    .unwrap_or_else(|| panic!("predecessor {} of {task} not placed", e.from));
+                let slot = match hosts.iter().position(|h| h.vm == p.vm) {
+                    Some(i) => i,
+                    None => {
+                        let hv = &self.vms[p.vm.index()];
+                        hosts.push(HostPreds {
+                            vm: p.vm,
+                            region: hv.region,
+                            itype: hv.itype,
+                        });
+                        hosts.len() - 1
+                    }
+                };
+                let lr = &mut local_ready[p.vm.index()];
+                *lr = lr.max(p.finish);
+                edges.push(ProbeEdge {
+                    host: slot as u32,
+                    data_mb: e.data_mb,
+                    finish: p.finish,
+                });
+            }
+        }
+        TaskProbe {
+            sb: self,
+            task,
+            arrivals: vec![f64::NEG_INFINITY; hosts.len()],
+            hosts,
+            edges,
+            local_ready,
+            keys: [None; N_KEYS],
+        }
+    }
+
+    /// The candidate (VM, start, finish) triples `task` would get on
+    /// every rented VM, in VM-id order — the fast replacement for
+    /// hand-rolled `vms().iter().map(|v| finish_time_on(..))` scans.
+    ///
+    /// # Panics
+    /// Panics if a predecessor of `task` has not been placed yet.
+    pub fn candidates_for(&self, task: TaskId) -> impl Iterator<Item = Candidate> + '_ {
+        let mut probe = self.probe(task);
+        self.vms.iter().map(move |v| {
+            let start = probe.start_on(v.id);
+            Candidate {
+                vm: v.id,
+                itype: v.itype,
+                start,
+                finish: start + probe.sb.exec_time(task, v.itype),
+            }
+        })
+    }
+
     /// Rent a fresh VM in the platform's default region and place `task`
     /// on it. The rental opens when the task starts (pre-booted for free,
     /// as in the paper's static setting, plus any configured boot time).
@@ -166,6 +427,10 @@ impl<'a> ScheduleBuilder<'a> {
         vm.push_task(task, start, finish);
         self.vms.push(vm);
         self.origins.push(None);
+        let mut gaps = VmGaps::new(self.platform.boot_time_s);
+        gaps.note_append(start, finish);
+        self.gaps.push(gaps);
+        self.refresh_busiest(id);
         self.set_placement(task, id, start, finish);
         id
     }
@@ -195,14 +460,14 @@ impl<'a> ScheduleBuilder<'a> {
         itype: InstanceType,
         require_fit: bool,
     ) -> Option<usize> {
-        const EPS: f64 = 1e-9;
         let duration = self.exec_time(task, itype);
+        let mut probe = self.probe(task);
         self.warm_slots
             .iter()
             .enumerate()
             .filter(|&(i, slot)| !self.warm_claimed[i] && slot.itype == itype)
             .filter_map(|(i, slot)| {
-                let ready = self.ready_time(task, None, itype, slot.region);
+                let ready = probe.ready_fresh(itype, slot.region);
                 let start = ready.max(slot.available_rel);
                 let fresh_start = ready.max(self.platform.boot_time_s);
                 let beats_fresh = start <= fresh_start + EPS;
@@ -210,13 +475,8 @@ impl<'a> ScheduleBuilder<'a> {
                 (beats_fresh && fits).then_some((i, slot, start))
             })
             .min_by(|(ia, sa, ta), (ib, sb, tb)| {
-                ta.partial_cmp(tb)
-                    .expect("start times are finite")
-                    .then(
-                        sb.btu_elapsed
-                            .partial_cmp(&sa.btu_elapsed)
-                            .expect("btu elapsed is finite"),
-                    )
+                ta.total_cmp(tb)
+                    .then(sb.btu_elapsed.total_cmp(&sa.btu_elapsed))
                     .then(ia.cmp(ib))
             })
             .map(|(i, _, _)| i)
@@ -252,6 +512,13 @@ impl<'a> ScheduleBuilder<'a> {
         vm.push_task(task, start, finish);
         self.vms.push(vm);
         self.origins.push(Some(slot));
+        // A claimed slot may start before `boot_time_s`; `note_append`
+        // then opens no gap, matching the naive scan whose cursor starts
+        // at the boot time.
+        let mut gaps = VmGaps::new(self.platform.boot_time_s);
+        gaps.note_append(start, finish);
+        self.gaps.push(gaps);
+        self.refresh_busiest(id);
         self.set_placement(task, id, start, finish);
         id
     }
@@ -262,6 +529,8 @@ impl<'a> ScheduleBuilder<'a> {
         let itype = self.vms[vm.index()].itype;
         let finish = start + self.exec_time(task, itype);
         self.vms[vm.index()].push_task(task, start, finish);
+        self.gaps[vm.index()].note_append(start, finish);
+        self.refresh_busiest(vm);
         self.set_placement(task, vm, start, finish);
     }
 
@@ -270,21 +539,14 @@ impl<'a> ScheduleBuilder<'a> {
     /// just the tail. This is classic HEFT's insertion policy.
     #[must_use]
     pub fn insertion_start_on(&self, task: TaskId, vm: VmId) -> f64 {
-        const EPS: f64 = 1e-9;
+        #[cfg(any(test, feature = "naive"))]
+        if self.kernel_naive {
+            return naive::insertion_start_on(self, task, vm);
+        }
         let v = &self.vms[vm.index()];
         let ready = self.ready_time(task, Some(vm), v.itype, v.region);
-        let duration = self.exec_time(task, v.itype);
-        // Candidate gaps: before the first task, between consecutive
-        // tasks, after the last (v.tasks is chronological).
-        let mut cursor = self.platform.boot_time_s;
-        for &(_, s, e) in &v.tasks {
-            let start = cursor.max(ready);
-            if start + duration <= s + EPS {
-                return start;
-            }
-            cursor = cursor.max(e);
-        }
-        cursor.max(ready)
+        let duration = self.exec[task.index()][v.itype as usize];
+        self.gaps[vm.index()].earliest_fit(ready, duration)
     }
 
     /// Place `task` on `vm` with the insertion policy: it lands in the
@@ -294,6 +556,8 @@ impl<'a> ScheduleBuilder<'a> {
         let itype = self.vms[vm.index()].itype;
         let finish = start + self.exec_time(task, itype);
         self.vms[vm.index()].insert_task(task, start, finish);
+        self.gaps[vm.index()].note_insert(start, finish);
+        self.refresh_busiest(vm);
         self.set_placement(task, vm, start, finish);
     }
 
@@ -305,6 +569,34 @@ impl<'a> ScheduleBuilder<'a> {
         self.placements[task.index()] = Some(TaskPlacement { vm, start, finish });
     }
 
+    /// Fold VM `vm`'s current busy time into the running argmax. Busy
+    /// time only ever grows and placements touch one VM at a time, so
+    /// the incremental update reproduces the full scan's result (max
+    /// busy, ties towards the smaller id).
+    fn refresh_busiest(&mut self, vm: VmId) {
+        let busy = self.vms[vm.index()].busy_seconds();
+        self.busiest = match self.busiest {
+            Some((_, id)) if id == vm => Some((busy, id)),
+            Some((best, id)) if busy > best || (busy == best && vm.0 < id.0) => Some((busy, vm)),
+            None => Some((busy, vm)),
+            keep => keep,
+        };
+    }
+
+    /// Whether this builder routes probes through the naive reference
+    /// kernel.
+    #[inline]
+    fn is_naive(&self) -> bool {
+        #[cfg(any(test, feature = "naive"))]
+        {
+            self.kernel_naive
+        }
+        #[cfg(not(any(test, feature = "naive")))]
+        {
+            false
+        }
+    }
+
     /// The existing VM with the largest accumulated execution time —
     /// the paper's "VM with the largest execution time" used by the
     /// StartPar policies and by sequential tasks under the AllPar
@@ -312,15 +604,11 @@ impl<'a> ScheduleBuilder<'a> {
     /// has been rented yet.
     #[must_use]
     pub fn busiest_vm(&self) -> Option<VmId> {
-        self.vms
-            .iter()
-            .max_by(|a, b| {
-                a.busy_seconds()
-                    .partial_cmp(&b.busy_seconds())
-                    .expect("busy times are finite")
-                    .then(b.id.0.cmp(&a.id.0))
-            })
-            .map(|v| v.id)
+        #[cfg(any(test, feature = "naive"))]
+        if self.kernel_naive {
+            return naive::busiest_vm(self);
+        }
+        self.busiest.map(|(_, id)| id)
     }
 
     /// Like [`Self::busiest_vm`] but restricted to VMs accepted by
@@ -332,8 +620,7 @@ impl<'a> ScheduleBuilder<'a> {
             .filter(|v| keep(v))
             .max_by(|a, b| {
                 a.busy_seconds()
-                    .partial_cmp(&b.busy_seconds())
-                    .expect("busy times are finite")
+                    .total_cmp(&b.busy_seconds())
                     .then(b.id.0.cmp(&a.id.0))
             })
             .map(|v| v.id)
@@ -352,21 +639,21 @@ impl<'a> ScheduleBuilder<'a> {
         task: TaskId,
         mut keep: impl FnMut(&Vm) -> bool,
     ) -> Option<VmId> {
+        #[cfg(any(test, feature = "naive"))]
+        if self.kernel_naive {
+            return naive::earliest_start_vm_where(self, task, keep);
+        }
+        let mut probe = self.probe(task);
         self.vms
             .iter()
             .filter(|v| keep(v))
-            .map(|v| (v, self.start_time_on(task, v.id)))
-            .min_by(|(a, sa), (b, sb)| {
-                sa.partial_cmp(sb)
-                    .expect("start times are finite")
-                    .then(
-                        b.busy_seconds()
-                            .partial_cmp(&a.busy_seconds())
-                            .expect("busy times are finite"),
-                    )
-                    .then(a.id.0.cmp(&b.id.0))
+            .map(|v| (v.id, probe.start_on(v.id), v.busy_seconds()))
+            .min_by(|(ia, sa, ba), (ib, sb, bb)| {
+                sa.total_cmp(sb)
+                    .then(bb.total_cmp(ba))
+                    .then(ia.0.cmp(&ib.0))
             })
-            .map(|(v, _)| v.id)
+            .map(|(id, _, _)| id)
     }
 
     /// Number of tasks still unplaced.
@@ -392,6 +679,296 @@ impl<'a> ScheduleBuilder<'a> {
             vms: self.vms,
             placements,
         }
+    }
+}
+
+/// One entry of a [`TaskProbe`]'s candidate stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The candidate host.
+    pub vm: VmId,
+    /// Its instance type.
+    pub itype: InstanceType,
+    /// Start time the task would get (append policy).
+    pub start: f64,
+    /// Finish time the task would get (append policy).
+    pub finish: f64,
+}
+
+/// The placed predecessors of a probed task that share one host VM.
+#[derive(Debug, Clone, Copy)]
+struct HostPreds {
+    /// The host.
+    vm: VmId,
+    /// Its region (immutable once rented), snapshotted to spare the
+    /// per-edge VM lookup in [`TaskProbe::key_ready`].
+    region: Region,
+    /// Its instance type, snapshotted for the same reason.
+    itype: InstanceType,
+}
+
+/// One predecessor edge of a probed task, flattened so a probe performs
+/// exactly three allocations however many hosts its predecessors span.
+#[derive(Debug, Clone, Copy)]
+struct ProbeEdge {
+    /// Index into [`TaskProbe::hosts`].
+    host: u32,
+    /// Payload of the edge.
+    data_mb: f64,
+    /// Finish time of the placed predecessor.
+    finish: f64,
+}
+
+/// Top-2 cross-host ready contributions for one (region, itype) key:
+/// enough to answer "max over hosts except the candidate itself" in
+/// O(1).
+#[derive(Debug, Clone, Copy)]
+struct KeyReady {
+    /// Largest transfer-adjusted arrival over all hosts.
+    top: f64,
+    /// The host contributing `top`.
+    top_vm: VmId,
+    /// Largest arrival over the remaining hosts.
+    second: f64,
+}
+
+/// Per-task probe answering candidate-VM queries in O(1); see
+/// [`ScheduleBuilder::probe`].
+#[derive(Debug)]
+pub struct TaskProbe<'b, 'a> {
+    sb: &'b ScheduleBuilder<'a>,
+    task: TaskId,
+    hosts: Vec<HostPreds>,
+    edges: Vec<ProbeEdge>,
+    /// Per-host arrival scratch, reused by every [`Self::key_ready`]
+    /// call (in lock-step with `hosts`).
+    arrivals: Vec<f64>,
+    /// `local_ready[vm.index()]`: max predecessor finish hosted on that
+    /// VM (`NEG_INFINITY` when it hosts none) — the ready contribution
+    /// when the candidate *is* that host, answered without scanning
+    /// `hosts`.
+    local_ready: Vec<f64>,
+    keys: [Option<KeyReady>; N_KEYS],
+}
+
+impl TaskProbe<'_, '_> {
+    /// The (lazily computed) cross-host reduction for one candidate key.
+    fn key_ready(&mut self, region: Region, itype: InstanceType) -> KeyReady {
+        let ki = key_idx(region, itype);
+        if let Some(k) = self.keys[ki] {
+            return k;
+        }
+        let sb = self.sb;
+        for a in &mut self.arrivals {
+            *a = f64::NEG_INFINITY;
+        }
+        for e in &self.edges {
+            let h = &self.hosts[e.host as usize];
+            // Same operation order as the naive path: the transfer
+            // (bandwidth share + latency) is summed first, then added
+            // to the predecessor finish. `f64::max` is exact, so the
+            // per-host max is order-independent.
+            let transfer = e.data_mb / sb.bw[pair_idx(h.itype, itype)]
+                + sb.lat[h.region as usize][region as usize];
+            let a = &mut self.arrivals[e.host as usize];
+            *a = a.max(e.finish + transfer);
+        }
+        let mut top = f64::NEG_INFINITY;
+        let mut top_vm = VmId(u32::MAX);
+        let mut second = f64::NEG_INFINITY;
+        for (h, &arrival) in self.hosts.iter().zip(&self.arrivals) {
+            if arrival > top {
+                second = top;
+                top = arrival;
+                top_vm = h.vm;
+            } else if arrival > second {
+                second = arrival;
+            }
+        }
+        let k = KeyReady {
+            top,
+            top_vm,
+            second,
+        };
+        self.keys[ki] = Some(k);
+        k
+    }
+
+    /// Ready time of the task on candidate VM `vm` (intra-VM edges cost
+    /// zero). Equals `ScheduleBuilder::ready_time(task, Some(vm), ..)`.
+    pub fn ready_on(&mut self, vm: VmId) -> f64 {
+        #[cfg(any(test, feature = "naive"))]
+        if self.sb.kernel_naive {
+            let v = &self.sb.vms[vm.index()];
+            return naive::ready_time(self.sb, self.task, Some(vm), v.itype, v.region);
+        }
+        let v = &self.sb.vms[vm.index()];
+        let key = self.key_ready(v.region, v.itype);
+        let cross = if key.top_vm == vm {
+            key.second
+        } else {
+            key.top
+        };
+        // NEG_INFINITY (no local predecessor) is the identity of the
+        // max, matching the "host not found" case of a scan.
+        cross.max(0.0).max(self.local_ready[vm.index()])
+    }
+
+    /// Ready time on a *new* VM of `itype` in `region` (every transfer
+    /// is paid). Equals `ScheduleBuilder::ready_time(task, None, ..)`.
+    pub fn ready_fresh(&mut self, itype: InstanceType, region: Region) -> f64 {
+        #[cfg(any(test, feature = "naive"))]
+        if self.sb.kernel_naive {
+            return naive::ready_time(self.sb, self.task, None, itype, region);
+        }
+        self.key_ready(region, itype).top.max(0.0)
+    }
+
+    /// Start time the task would get on `vm` (append policy).
+    pub fn start_on(&mut self, vm: VmId) -> f64 {
+        let available = self.sb.vms[vm.index()].available_at();
+        self.ready_on(vm).max(available)
+    }
+
+    /// Finish time the task would get on `vm` (append policy).
+    pub fn finish_on(&mut self, vm: VmId) -> f64 {
+        let itype = self.sb.vms[vm.index()].itype;
+        self.start_on(vm) + self.sb.exec_time(self.task, itype)
+    }
+
+    /// Earliest start on `vm` under the insertion policy.
+    pub fn insertion_start_on(&mut self, vm: VmId) -> f64 {
+        #[cfg(any(test, feature = "naive"))]
+        if self.sb.kernel_naive {
+            return naive::insertion_start_on(self.sb, self.task, vm);
+        }
+        let ready = self.ready_on(vm);
+        let v = &self.sb.vms[vm.index()];
+        let duration = self.sb.exec[self.task.index()][v.itype as usize];
+        self.sb.gaps[vm.index()].earliest_fit(ready, duration)
+    }
+
+    /// Finish time on `vm` under the insertion policy.
+    pub fn insertion_finish_on(&mut self, vm: VmId) -> f64 {
+        let itype = self.sb.vms[vm.index()].itype;
+        self.insertion_start_on(vm) + self.sb.exec_time(self.task, itype)
+    }
+}
+
+/// The original (pre-fast-path) probe implementations, kept as the
+/// reference kernel: the `fastpath_tests` property suite proves the fast
+/// path bit-identical to these, and `cws-bench` (via the `naive`
+/// feature) measures the speedup against them in the same process.
+///
+/// [`set_reference_kernel`] switches a thread to the naive kernel;
+/// builders capture the switch at construction time.
+#[cfg(any(test, feature = "naive"))]
+pub mod naive {
+    use super::{ScheduleBuilder, TaskId, Vm, VmId};
+    use cws_platform::{InstanceType, Region};
+    use std::cell::Cell;
+
+    thread_local! {
+        static REFERENCE_KERNEL: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Route all probes of builders constructed *after* this call (on
+    /// this thread) through the naive reference kernel.
+    pub fn set_reference_kernel(on: bool) {
+        REFERENCE_KERNEL.with(|c| c.set(on));
+    }
+
+    /// Whether the reference kernel is enabled on this thread.
+    #[must_use]
+    pub fn reference_kernel_enabled() -> bool {
+        REFERENCE_KERNEL.with(|c| c.get())
+    }
+
+    pub(super) fn exec_time(sb: &ScheduleBuilder<'_>, task: TaskId, itype: InstanceType) -> f64 {
+        itype.execution_time(sb.wf.task(task).base_time)
+    }
+
+    pub(super) fn ready_time(
+        sb: &ScheduleBuilder<'_>,
+        task: TaskId,
+        on_vm: Option<VmId>,
+        itype: InstanceType,
+        region: Region,
+    ) -> f64 {
+        let mut ready: f64 = 0.0;
+        for e in sb.wf.predecessors(task) {
+            let p = sb.placements[e.from.index()]
+                .unwrap_or_else(|| panic!("predecessor {} of {task} not placed", e.from));
+            let from_vm = &sb.vms[p.vm.index()];
+            let transfer = if Some(p.vm) == on_vm {
+                0.0
+            } else {
+                sb.platform.transfer_time_between(
+                    e.data_mb,
+                    (from_vm.region, from_vm.itype),
+                    (region, itype),
+                )
+            };
+            ready = ready.max(p.finish + transfer);
+        }
+        ready
+    }
+
+    pub(super) fn start_time_on(sb: &ScheduleBuilder<'_>, task: TaskId, vm: VmId) -> f64 {
+        let v = &sb.vms[vm.index()];
+        ready_time(sb, task, Some(vm), v.itype, v.region).max(v.available_at())
+    }
+
+    pub(super) fn insertion_start_on(sb: &ScheduleBuilder<'_>, task: TaskId, vm: VmId) -> f64 {
+        const EPS: f64 = 1e-9;
+        let v = &sb.vms[vm.index()];
+        let ready = ready_time(sb, task, Some(vm), v.itype, v.region);
+        let duration = exec_time(sb, task, v.itype);
+        // Candidate gaps: before the first task, between consecutive
+        // tasks, after the last (v.tasks is chronological).
+        let mut cursor = sb.platform.boot_time_s;
+        for &(_, s, e) in &v.tasks {
+            let start = cursor.max(ready);
+            if start + duration <= s + EPS {
+                return start;
+            }
+            cursor = cursor.max(e);
+        }
+        cursor.max(ready)
+    }
+
+    pub(super) fn busiest_vm(sb: &ScheduleBuilder<'_>) -> Option<VmId> {
+        sb.vms
+            .iter()
+            .max_by(|a, b| {
+                a.busy_seconds()
+                    .partial_cmp(&b.busy_seconds())
+                    .expect("busy times are finite")
+                    .then(b.id.0.cmp(&a.id.0))
+            })
+            .map(|v| v.id)
+    }
+
+    pub(super) fn earliest_start_vm_where(
+        sb: &ScheduleBuilder<'_>,
+        task: TaskId,
+        mut keep: impl FnMut(&Vm) -> bool,
+    ) -> Option<VmId> {
+        sb.vms
+            .iter()
+            .filter(|v| keep(v))
+            .map(|v| (v, start_time_on(sb, task, v.id)))
+            .min_by(|(a, sa), (b, sb_)| {
+                sa.partial_cmp(sb_)
+                    .expect("start times are finite")
+                    .then(
+                        b.busy_seconds()
+                            .partial_cmp(&a.busy_seconds())
+                            .expect("busy times are finite"),
+                    )
+                    .then(a.id.0.cmp(&b.id.0))
+            })
+            .map(|(v, _)| v.id)
     }
 }
 
@@ -543,5 +1120,146 @@ mod tests {
         assert_eq!(sb.unplaced_count(), 2);
         sb.place_on_new(TaskId(0), InstanceType::Small);
         assert_eq!(sb.unplaced_count(), 1);
+    }
+
+    /// A diamond whose joins and transfers exercise every probe: the
+    /// fast-path answers must match the retained naive implementations
+    /// exactly, VM by VM.
+    fn diamond() -> Workflow {
+        let mut b = WorkflowBuilder::new("diamond");
+        let a = b.task("a", 400.0);
+        let x = b.task("x", 900.0);
+        let y = b.task("y", 700.0);
+        let z = b.task("z", 300.0);
+        b.data_edge(a, x, 2500.0);
+        b.data_edge(a, y, 125.0);
+        b.data_edge(x, z, 625.0);
+        b.data_edge(y, z, 1250.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fast_probes_match_naive_reference() {
+        let wf = diamond();
+        let p = Platform::ec2_paper();
+        let mut sb = ScheduleBuilder::new(&wf, &p);
+        sb.place_on_new(TaskId(0), InstanceType::Small);
+        sb.place_on_new_in(TaskId(1), InstanceType::Large, Region::EuDublin);
+        sb.place_on_new(TaskId(2), InstanceType::Medium);
+        let task = TaskId(3);
+        for v in 0..3 {
+            let vm = VmId(v);
+            let vt = sb.vm(vm).itype;
+            let vr = sb.vm(vm).region;
+            assert_eq!(
+                sb.ready_time(task, Some(vm), vt, vr),
+                naive::ready_time(&sb, task, Some(vm), vt, vr),
+                "ready on {vm}"
+            );
+            assert_eq!(
+                sb.start_time_on(task, vm),
+                naive::start_time_on(&sb, task, vm),
+                "start on {vm}"
+            );
+            assert_eq!(
+                sb.insertion_start_on(task, vm),
+                naive::insertion_start_on(&sb, task, vm),
+                "insertion on {vm}"
+            );
+        }
+        for it in InstanceType::ALL {
+            for r in Region::ALL {
+                assert_eq!(
+                    sb.ready_time(task, None, it, r),
+                    naive::ready_time(&sb, task, None, it, r),
+                    "fresh ready for {it:?} in {r:?}"
+                );
+            }
+        }
+        assert_eq!(sb.busiest_vm(), naive::busiest_vm(&sb));
+        assert_eq!(
+            sb.earliest_start_vm_where(task, |_| true),
+            naive::earliest_start_vm_where(&sb, task, |_| true)
+        );
+    }
+
+    #[test]
+    fn probe_matches_direct_queries() {
+        let wf = diamond();
+        let p = Platform::ec2_paper();
+        let mut sb = ScheduleBuilder::new(&wf, &p);
+        sb.place_on_new(TaskId(0), InstanceType::Small);
+        sb.place_on_new(TaskId(1), InstanceType::Small);
+        sb.place_on_new(TaskId(2), InstanceType::XLarge);
+        let task = TaskId(3);
+        let mut probe = sb.probe(task);
+        for v in 0..3 {
+            let vm = VmId(v);
+            let (vt, vr) = (sb.vm(vm).itype, sb.vm(vm).region);
+            assert_eq!(probe.ready_on(vm), sb.ready_time(task, Some(vm), vt, vr));
+            assert_eq!(probe.start_on(vm), sb.start_time_on(task, vm));
+            assert_eq!(probe.finish_on(vm), sb.finish_time_on(task, vm));
+            assert_eq!(
+                probe.insertion_start_on(vm),
+                sb.insertion_start_on(task, vm)
+            );
+        }
+        let candidates: Vec<Candidate> = sb.candidates_for(task).collect();
+        assert_eq!(candidates.len(), 3);
+        for c in &candidates {
+            assert_eq!(c.start, sb.start_time_on(task, c.vm));
+            assert_eq!(c.finish, sb.finish_time_on(task, c.vm));
+        }
+    }
+
+    #[test]
+    fn gap_index_tracks_insertions() {
+        // Build one VM with a gap, fill it with the insertion policy and
+        // verify subsequent insertion probes match the naive rescan.
+        let mut b = WorkflowBuilder::new("gaps");
+        let a = b.task("a", 100.0);
+        let c = b.task("c", 200.0);
+        let d = b.task("d", 50.0);
+        let e = b.task("e", 40.0);
+        b.data_edge(a, c, 12500.0); // 100 s transfer if cross-VM
+        let _ = (d, e);
+        let wf = b.build().unwrap();
+        let p = Platform::ec2_paper();
+        let mut sb = ScheduleBuilder::new(&wf, &p);
+        let v0 = sb.place_on_new(TaskId(0), InstanceType::Small); // [0, 100]
+        sb.place_on_new(TaskId(1), InstanceType::Small);
+        // c lands on its own VM after the transfer; v0 idles from 100.
+        sb.place_on(TaskId(1 + 2), VmId(0)); // d appends at 100 on v0
+        let _ = v0;
+        // e fits nowhere special; probe both VMs against naive.
+        for vm in [VmId(0), VmId(1)] {
+            assert_eq!(
+                sb.insertion_start_on(TaskId(3), vm),
+                naive::insertion_start_on(&sb, TaskId(3), vm)
+            );
+        }
+    }
+
+    #[test]
+    fn reference_kernel_switch_produces_identical_schedules() {
+        let wf = diamond();
+        let p = Platform::ec2_paper();
+        let run = || {
+            let mut sb = ScheduleBuilder::new(&wf, &p);
+            sb.place_on_new(TaskId(0), InstanceType::Small);
+            let vm = sb
+                .earliest_start_vm_where(TaskId(1), |_| true)
+                .expect("one VM");
+            sb.place_on(TaskId(1), vm);
+            sb.place_on_new(TaskId(2), InstanceType::Medium);
+            let vm = sb.busiest_vm().expect("vms exist");
+            sb.place_on_inserted(TaskId(3), vm);
+            sb.build("probe")
+        };
+        let fast = run();
+        naive::set_reference_kernel(true);
+        let reference = run();
+        naive::set_reference_kernel(false);
+        assert_eq!(fast, reference);
     }
 }

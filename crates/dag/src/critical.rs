@@ -87,8 +87,7 @@ pub fn critical_path(
         .into_iter()
         .max_by(|&a, &b| {
             rank[a.index()]
-                .partial_cmp(&rank[b.index()])
-                .expect("ranks are finite")
+                .total_cmp(&rank[b.index()])
                 // prefer the smaller id on ties: max_by keeps the last max,
                 // so order reversed ids as "greater".
                 .then(b.0.cmp(&a.0))
@@ -107,9 +106,7 @@ pub fn critical_path(
             .max_by(|a, b| {
                 let ka = comm(a) + rank[a.to.index()];
                 let kb = comm(b) + rank[b.to.index()];
-                ka.partial_cmp(&kb)
-                    .expect("ranks are finite")
-                    .then(b.to.0.cmp(&a.to.0))
+                ka.total_cmp(&kb).then(b.to.0.cmp(&a.to.0))
             })
             .map(|e| e.to);
         match next {

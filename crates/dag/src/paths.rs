@@ -80,12 +80,10 @@ pub fn path_clusters(
     let mut clusters = Vec::new();
     loop {
         // Highest-b-level unclustered task starts the next path.
-        let start = wf.ids().filter(|id| !clustered[id.index()]).max_by(|a, c| {
-            b[a.index()]
-                .partial_cmp(&b[c.index()])
-                .expect("finite b-levels")
-                .then(c.0.cmp(&a.0))
-        });
+        let start = wf
+            .ids()
+            .filter(|id| !clustered[id.index()])
+            .max_by(|a, c| b[a.index()].total_cmp(&b[c.index()]).then(c.0.cmp(&a.0)));
         let Some(start) = start else { break };
         let mut path = vec![start];
         clustered[start.index()] = true;
@@ -98,9 +96,7 @@ pub fn path_clusters(
                 .max_by(|x, y| {
                     let kx = comm(x) + b[x.to.index()];
                     let ky = comm(y) + b[y.to.index()];
-                    kx.partial_cmp(&ky)
-                        .expect("finite priorities")
-                        .then(y.to.0.cmp(&x.to.0))
+                    kx.total_cmp(&ky).then(y.to.0.cmp(&x.to.0))
                 })
                 .map(|e| e.to);
             match next {

@@ -118,7 +118,7 @@ fn main() {
             emit(&t, "fig3_pareto_cdf", args);
         }
         "fig4" => {
-            for panel in fig4::fig4(&config) {
+            for panel in fig4::fig4_threaded(&config, args.threads) {
                 let name = format!("fig4_{}", panel.workflow.replace('-', "_"));
                 emit(&panel.to_table(), &name, args);
                 if let Some(dir) = &args.out {
@@ -131,21 +131,21 @@ fn main() {
             }
         }
         "fig5" => {
-            for panel in fig5::fig5(&config) {
+            for panel in fig5::fig5_threaded(&config, args.threads) {
                 let name = format!("fig5_{}", panel.workflow.replace('-', "_"));
                 emit(&panel.to_table(), &name, args);
             }
         }
         "table3" => {
-            let cells = table3::table3(&config);
+            let cells = table3::table3_threaded(&config, args.threads);
             emit(&table3::table3_report(&cells), "table3", args);
         }
         "table4" => {
-            let rows = table4::table4(&config);
+            let rows = table4::table4_threaded(&config, args.threads);
             emit(&table4::table4_report(&rows), "table4", args);
         }
         "table5" => {
-            let rows = table5::table5(&config);
+            let rows = table5::table5_threaded(&config, args.threads);
             emit(&table5::table5_report(&rows), "table5", args);
         }
         "corent" => {
@@ -176,8 +176,13 @@ fn main() {
             let workflows = cws_workloads::paper_workflows();
             let scenarios = quiet.scenarios();
             let strategies = cws_core::Strategy::paper_set();
-            let cells =
-                cws_experiments::sweep::run_grid(&quiet, &workflows, &scenarios, &strategies, 0);
+            let cells = cws_experiments::sweep::run_grid(
+                &quiet,
+                &workflows,
+                &scenarios,
+                &strategies,
+                args.threads,
+            );
             let mut t = Table::new(
                 "Full grid — every (workflow, scenario, strategy) cell",
                 &[

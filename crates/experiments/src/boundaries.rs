@@ -50,7 +50,7 @@ fn winners(config: &ExperimentConfig, wf: &Workflow, coordinate: String) -> Boun
     let best = |score: &dyn Fn(&crate::run::StrategyResult) -> f64| -> String {
         results
             .iter()
-            .max_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite scores"))
+            .max_by(|a, b| score(a).total_cmp(&score(b)))
             .expect("19 strategies ran")
             .label
             .clone()

@@ -51,12 +51,7 @@ pub fn failure_domains(config: &ExperimentConfig, wf: &Workflow, fraction: f64) 
             let busiest = s
                 .vms
                 .iter()
-                .max_by(|a, b| {
-                    a.meter
-                        .busy
-                        .partial_cmp(&b.meter.busy)
-                        .expect("finite busy times")
-                })
+                .max_by(|a, b| a.meter.busy.total_cmp(&b.meter.busy))
                 .expect("plans have VMs")
                 .id;
             let crash_at = s.makespan() * fraction;

@@ -2,7 +2,10 @@
 //! the four paper workflows under Pareto runtimes.
 
 use crate::report::{fmt_f, Table};
-use crate::run::{run_all_strategies, ExperimentConfig, StrategyResult};
+use crate::run::{
+    prepare, run_all_strategies, run_matrix, ExperimentConfig, PreparedWorkflow, StrategyResult,
+};
+use cws_core::Strategy;
 use cws_dag::Workflow;
 use cws_workloads::{paper_workflows, Scenario};
 use serde::{Deserialize, Serialize};
@@ -53,10 +56,35 @@ pub fn fig4_panel(config: &ExperimentConfig, wf: &Workflow, scenario: Scenario) 
 /// under the paper's Pareto runtimes.
 #[must_use]
 pub fn fig4(config: &ExperimentConfig) -> Vec<Fig4Panel> {
+    fig4_threaded(config, 1)
+}
+
+/// [`fig4`] with the (workflow × strategy) cells fanned over `threads`
+/// workers (`0` = one per core). Output is identical for any thread
+/// count.
+#[must_use]
+pub fn fig4_threaded(config: &ExperimentConfig, threads: usize) -> Vec<Fig4Panel> {
     let scenario = Scenario::Pareto { seed: config.seed };
-    paper_workflows()
+    let prepared: Vec<PreparedWorkflow> = paper_workflows()
         .iter()
-        .map(|wf| fig4_panel(config, wf, scenario))
+        .map(|wf| prepare(config, wf, scenario))
+        .collect();
+    let matrix = run_matrix(config, &prepared, &Strategy::paper_set(), threads);
+    prepared
+        .iter()
+        .zip(matrix)
+        .map(|((m, _), results)| Fig4Panel {
+            workflow: m.name().to_string(),
+            points: results
+                .into_iter()
+                .map(|r: StrategyResult| Fig4Point {
+                    label: r.label,
+                    gain_pct: r.relative.gain_pct,
+                    loss_pct: r.relative.loss_pct,
+                    in_target_square: r.relative.in_target_square(),
+                })
+                .collect(),
+        })
         .collect()
 }
 

@@ -2,7 +2,8 @@
 //! paper workflows under Pareto runtimes.
 
 use crate::report::{fmt_f, Table};
-use crate::run::{run_all_strategies, ExperimentConfig};
+use crate::run::{prepare, run_all_strategies, run_matrix, ExperimentConfig, PreparedWorkflow};
+use cws_core::Strategy;
 use cws_dag::Workflow;
 use cws_workloads::{paper_workflows, Scenario};
 use serde::{Deserialize, Serialize};
@@ -45,10 +46,33 @@ pub fn fig5_panel(config: &ExperimentConfig, wf: &Workflow, scenario: Scenario) 
 /// Regenerate all four panels under Pareto runtimes.
 #[must_use]
 pub fn fig5(config: &ExperimentConfig) -> Vec<Fig5Panel> {
+    fig5_threaded(config, 1)
+}
+
+/// [`fig5`] with the (workflow × strategy) cells fanned over `threads`
+/// workers (`0` = one per core). Output is identical for any thread
+/// count.
+#[must_use]
+pub fn fig5_threaded(config: &ExperimentConfig, threads: usize) -> Vec<Fig5Panel> {
     let scenario = Scenario::Pareto { seed: config.seed };
-    paper_workflows()
+    let prepared: Vec<PreparedWorkflow> = paper_workflows()
         .iter()
-        .map(|wf| fig5_panel(config, wf, scenario))
+        .map(|wf| prepare(config, wf, scenario))
+        .collect();
+    let matrix = run_matrix(config, &prepared, &Strategy::paper_set(), threads);
+    prepared
+        .iter()
+        .zip(matrix)
+        .map(|((m, _), results)| Fig5Panel {
+            workflow: m.name().to_string(),
+            bars: results
+                .into_iter()
+                .map(|r| Fig5Bar {
+                    label: r.label,
+                    idle_seconds: r.metrics.idle_seconds,
+                })
+                .collect(),
+        })
         .collect()
 }
 

@@ -36,9 +36,7 @@ pub fn peak_concurrency(schedule: &Schedule) -> usize {
         events.push((p.finish, -1));
     }
     events.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .expect("finite times")
-            .then(a.1.cmp(&b.1)) // process finishes before starts at ties
+        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)) // process finishes before starts at ties
     });
     let mut cur = 0i64;
     let mut peak = 0i64;

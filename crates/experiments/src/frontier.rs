@@ -102,7 +102,7 @@ mod tests {
                 .points
                 .iter()
                 .filter(|p| p.on_frontier)
-                .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap())
+                .min_by(|a, b| a.cost.total_cmp(&b.cost))
                 .unwrap();
             assert!(
                 cheapest.label.ends_with("-s") || cheapest.label.starts_with("AllPar1LnS"),

@@ -108,6 +108,84 @@ pub fn run_all_strategies(config: &ExperimentConfig, wf: &Workflow) -> Vec<Strat
         .collect()
 }
 
+/// A materialized workflow plus its precomputed baseline metrics — one
+/// row of a [`run_matrix`] call.
+pub type PreparedWorkflow = (Workflow, ScheduleMetrics);
+
+/// Materialize `wf` under `scenario` and compute its baseline once, so a
+/// matrix run shares both across every strategy cell.
+#[must_use]
+pub fn prepare(config: &ExperimentConfig, wf: &Workflow, scenario: Scenario) -> PreparedWorkflow {
+    let m = config.materialize(wf, scenario);
+    let baseline = baseline_metrics(config, &m);
+    (m, baseline)
+}
+
+/// Run every strategy on every prepared workflow, fanning the
+/// (workflow × strategy) cells over `threads` workers (`0` = one per
+/// available core). Cells are independent and each schedule is computed
+/// exactly as in the sequential path, so the result matrix — indexed
+/// `[workflow][strategy]` in input order — is identical for any thread
+/// count. This is the same deterministic ordered-merge work-queue
+/// pattern as `cws-service`'s campaign driver and [`crate::sweep`].
+#[must_use]
+pub fn run_matrix(
+    config: &ExperimentConfig,
+    prepared: &[PreparedWorkflow],
+    strategies: &[Strategy],
+    threads: usize,
+) -> Vec<Vec<StrategyResult>> {
+    let cells = prepared.len() * strategies.len();
+    if cells == 0 {
+        return prepared.iter().map(|_| Vec::new()).collect();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    } else {
+        threads
+    };
+    let workers = threads.min(cells);
+
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, usize)>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, usize, StrategyResult)>();
+    for p in 0..prepared.len() {
+        for s in 0..strategies.len() {
+            job_tx.send((p, s)).expect("queue accepts jobs");
+        }
+    }
+    drop(job_tx);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move |_| {
+                while let Ok((p, s)) = job_rx.recv() {
+                    let (wf, baseline) = &prepared[p];
+                    let result = run_strategy(config, wf, strategies[s], baseline);
+                    res_tx.send((p, s, result)).expect("result channel open");
+                }
+            });
+        }
+        drop(res_tx);
+        let mut out: Vec<Vec<Option<StrategyResult>>> =
+            vec![vec![None; strategies.len()]; prepared.len()];
+        for (p, s, result) in res_rx {
+            out[p][s] = Some(result);
+        }
+        out.into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|r| r.expect("every cell completed"))
+                    .collect()
+            })
+            .collect()
+    })
+    .expect("no worker panicked")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

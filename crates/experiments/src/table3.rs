@@ -9,9 +9,10 @@
 //! scenarios.
 
 use crate::report::Table;
-use crate::run::{run_all_strategies, ExperimentConfig};
+use crate::run::{prepare, run_matrix, ExperimentConfig, PreparedWorkflow, StrategyResult};
 use cws_core::metrics::GainSavingsClass;
-use cws_workloads::paper_workflows;
+use cws_core::Strategy;
+use cws_workloads::{paper_workflows, Scenario};
 use serde::{Deserialize, Serialize};
 
 /// Tolerance (percentage points) within which gain and savings count as
@@ -46,34 +47,52 @@ impl Table3Cell {
 /// Regenerate Table III: all scenarios × all paper workflows.
 #[must_use]
 pub fn table3(config: &ExperimentConfig) -> Vec<Table3Cell> {
-    let mut cells = Vec::new();
-    for scenario in config.scenarios() {
-        for wf in paper_workflows() {
-            let m = config.materialize(&wf, scenario);
-            let mut cell = Table3Cell {
-                scenario: scenario.name().to_string(),
-                workflow: m.name().to_string(),
-                savings_dominant: Vec::new(),
-                gain_dominant: Vec::new(),
-                balanced: Vec::new(),
-            };
-            for r in run_all_strategies(config, &m) {
-                if r.label == "OneVMperTask-s" {
-                    continue; // the reference point itself
-                }
-                match r.relative.classify(BALANCE_TOLERANCE) {
-                    Some(GainSavingsClass::SavingsDominant) => {
-                        cell.savings_dominant.push(r.label);
-                    }
-                    Some(GainSavingsClass::GainDominant) => cell.gain_dominant.push(r.label),
-                    Some(GainSavingsClass::Balanced) => cell.balanced.push(r.label),
-                    None => {}
-                }
-            }
-            cells.push(cell);
+    table3_threaded(config, 1)
+}
+
+/// [`table3`] with the (scenario × workflow × strategy) cells fanned
+/// over `threads` workers (`0` = one per core). Output is identical for
+/// any thread count.
+#[must_use]
+pub fn table3_threaded(config: &ExperimentConfig, threads: usize) -> Vec<Table3Cell> {
+    let pairs: Vec<(Scenario, cws_dag::Workflow)> = config
+        .scenarios()
+        .into_iter()
+        .flat_map(|scenario| paper_workflows().into_iter().map(move |wf| (scenario, wf)))
+        .collect();
+    let prepared: Vec<PreparedWorkflow> = pairs
+        .iter()
+        .map(|(scenario, wf)| prepare(config, wf, *scenario))
+        .collect();
+    let matrix = run_matrix(config, &prepared, &Strategy::paper_set(), threads);
+    pairs
+        .iter()
+        .zip(&prepared)
+        .zip(matrix)
+        .map(|(((scenario, _), (m, _)), results)| classify_cell(*scenario, m.name(), results))
+        .collect()
+}
+
+fn classify_cell(scenario: Scenario, workflow: &str, results: Vec<StrategyResult>) -> Table3Cell {
+    let mut cell = Table3Cell {
+        scenario: scenario.name().to_string(),
+        workflow: workflow.to_string(),
+        savings_dominant: Vec::new(),
+        gain_dominant: Vec::new(),
+        balanced: Vec::new(),
+    };
+    for r in results {
+        if r.label == "OneVMperTask-s" {
+            continue; // the reference point itself
+        }
+        match r.relative.classify(BALANCE_TOLERANCE) {
+            Some(GainSavingsClass::SavingsDominant) => cell.savings_dominant.push(r.label),
+            Some(GainSavingsClass::GainDominant) => cell.gain_dominant.push(r.label),
+            Some(GainSavingsClass::Balanced) => cell.balanced.push(r.label),
+            None => {}
         }
     }
-    cells
+    cell
 }
 
 /// Render the cells as one table with list-valued columns.

@@ -11,7 +11,7 @@
 //! stable gain.
 
 use crate::report::{fmt_f, Table};
-use crate::run::{baseline_metrics, run_strategy, ExperimentConfig};
+use crate::run::{prepare, run_matrix, ExperimentConfig, PreparedWorkflow};
 use cws_core::{StaticAlloc, Strategy};
 use cws_platform::InstanceType;
 use cws_workloads::paper_workflows;
@@ -48,55 +48,87 @@ pub struct Table4Row {
 /// Regenerate Table IV for small, medium and large instances.
 #[must_use]
 pub fn table4(config: &ExperimentConfig) -> Vec<Table4Row> {
+    table4_threaded(config, 1)
+}
+
+/// [`table4`] with the (workflow × scenario × variant × type) cells
+/// fanned over `threads` workers (`0` = one per core). The aggregation
+/// (including every floating-point sum) visits cells in exactly the
+/// sequential order, so output is identical for any thread count.
+#[must_use]
+pub fn table4_threaded(config: &ExperimentConfig, threads: usize) -> Vec<Table4Row> {
     let variants = [StaticAlloc::AllParExceed, StaticAlloc::AllParNotExceed];
-    [
+    let itypes = [
         InstanceType::Small,
         InstanceType::Medium,
         InstanceType::Large,
-    ]
-    .into_iter()
-    .map(|itype| {
-        let mut per_workflow = Vec::new();
-        let mut gains = Vec::new();
-        for wf in paper_workflows() {
-            let mut losses = Vec::new();
-            let mut pareto_loss = 0.0;
-            for scenario in config.scenarios() {
-                let m = config.materialize(&wf, scenario);
-                let base = baseline_metrics(config, &m);
-                for alloc in variants {
-                    let r = run_strategy(config, &m, Strategy::Static { alloc, itype }, &base);
-                    losses.push(r.relative.loss_pct);
-                    gains.push(r.relative.gain_pct);
-                    if scenario.name() == "pareto" && alloc == StaticAlloc::AllParExceed {
-                        pareto_loss = r.relative.loss_pct;
+    ];
+    let workflows = paper_workflows();
+    let scenarios = config.scenarios();
+
+    // One prepared entry per (workflow, scenario) — workflow-major; one
+    // strategy column per (itype, variant) — itype-major.
+    let prepared: Vec<PreparedWorkflow> = workflows
+        .iter()
+        .flat_map(|wf| {
+            scenarios
+                .iter()
+                .map(|&scenario| prepare(config, wf, scenario))
+        })
+        .collect();
+    let strategies: Vec<Strategy> = itypes
+        .iter()
+        .flat_map(|&itype| {
+            variants
+                .iter()
+                .map(move |&alloc| Strategy::Static { alloc, itype })
+        })
+        .collect();
+    let matrix = run_matrix(config, &prepared, &strategies, threads);
+
+    itypes
+        .into_iter()
+        .enumerate()
+        .map(|(ti, itype)| {
+            let mut per_workflow = Vec::new();
+            let mut gains = Vec::new();
+            for (wi, wf) in workflows.iter().enumerate() {
+                let mut losses = Vec::new();
+                let mut pareto_loss = 0.0;
+                for (si, scenario) in scenarios.iter().enumerate() {
+                    for (vi, &alloc) in variants.iter().enumerate() {
+                        let r = &matrix[wi * scenarios.len() + si][ti * variants.len() + vi];
+                        losses.push(r.relative.loss_pct);
+                        gains.push(r.relative.gain_pct);
+                        if scenario.name() == "pareto" && alloc == StaticAlloc::AllParExceed {
+                            pareto_loss = r.relative.loss_pct;
+                        }
                     }
                 }
+                let loss_min = losses.iter().cloned().fold(f64::INFINITY, f64::min);
+                let loss_max = losses.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                per_workflow.push(WorkflowLoss {
+                    workflow: wf.name().to_string(),
+                    loss_min,
+                    loss_max,
+                    pareto_loss,
+                });
             }
-            let loss_min = losses.iter().cloned().fold(f64::INFINITY, f64::min);
-            let loss_max = losses.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            per_workflow.push(WorkflowLoss {
-                workflow: wf.name().to_string(),
-                loss_min,
-                loss_max,
-                pareto_loss,
-            });
-        }
-        let max_interval = per_workflow
-            .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), w| {
-                (lo.min(w.loss_min), hi.max(w.loss_max))
-            });
-        let mean_gain = gains.iter().sum::<f64>() / gains.len() as f64;
-        Table4Row {
-            itype,
-            per_workflow,
-            max_interval,
-            mean_gain,
-            stable_gain: 100.0 * (1.0 - 1.0 / itype.speedup()),
-        }
-    })
-    .collect()
+            let max_interval = per_workflow
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), w| {
+                    (lo.min(w.loss_min), hi.max(w.loss_max))
+                });
+            let mean_gain = gains.iter().sum::<f64>() / gains.len() as f64;
+            Table4Row {
+                itype,
+                per_workflow,
+                max_interval,
+                mean_gain,
+                stable_gain: 100.0 * (1.0 - 1.0 / itype.speedup()),
+            }
+        })
+        .collect()
 }
 
 /// Render the rows as one table.

@@ -8,8 +8,11 @@
 //! comparison.
 
 use crate::report::{fmt_f, Table};
-use crate::run::{run_all_strategies, ExperimentConfig, StrategyResult};
+use crate::run::{
+    prepare, run_all_strategies, run_matrix, ExperimentConfig, PreparedWorkflow, StrategyResult,
+};
 use cws_core::adaptive::{select_strategy, Objective};
+use cws_core::Strategy;
 use cws_dag::metrics::StructureMetrics;
 use cws_workloads::{paper_workflows, Scenario};
 use serde::{Deserialize, Serialize};
@@ -45,7 +48,7 @@ fn best_by(
 ) -> &StrategyResult {
     results
         .iter()
-        .max_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite scores"))
+        .max_by(|a, b| key(a).total_cmp(&key(b)))
         .expect("at least one strategy")
 }
 
@@ -54,31 +57,34 @@ fn best_by(
 pub fn table5_row(config: &ExperimentConfig, wf: &cws_dag::Workflow) -> Table5Row {
     let m = config.materialize(wf, Scenario::Pareto { seed: config.seed });
     let results = run_all_strategies(config, &m);
+    row_from_results(&m, &results)
+}
 
-    let savings = best_by(&results, |r| r.relative.savings_pct());
+fn row_from_results(m: &cws_dag::Workflow, results: &[StrategyResult]) -> Table5Row {
+    let savings = best_by(results, |r| r.relative.savings_pct());
     let in_square: Vec<StrategyResult> = results
         .iter()
         .filter(|r| r.relative.in_target_square())
         .cloned()
         .collect();
     let gain = if in_square.is_empty() {
-        best_by(&results, |r| r.relative.gain_pct).clone()
+        best_by(results, |r| r.relative.gain_pct).clone()
     } else {
         best_by(&in_square, |r| r.relative.gain_pct).clone()
     };
-    let balanced = best_by(&results, |r| {
+    let balanced = best_by(results, |r| {
         r.relative.gain_pct.min(r.relative.savings_pct())
     });
 
     let adaptive = [
-        select_strategy(&m, Objective::Savings).label(),
-        select_strategy(&m, Objective::Gain).label(),
-        select_strategy(&m, Objective::Balanced).label(),
+        select_strategy(m, Objective::Savings).label(),
+        select_strategy(m, Objective::Gain).label(),
+        select_strategy(m, Objective::Balanced).label(),
     ];
 
     Table5Row {
         workflow: m.name().to_string(),
-        class: StructureMetrics::compute(&m).classify().to_string(),
+        class: StructureMetrics::compute(m).classify().to_string(),
         savings_winner: savings.label.clone(),
         savings_value: savings.relative.savings_pct(),
         gain_winner: gain.label.clone(),
@@ -95,9 +101,24 @@ pub fn table5_row(config: &ExperimentConfig, wf: &cws_dag::Workflow) -> Table5Ro
 /// Regenerate the computed Table V for the four paper workflows.
 #[must_use]
 pub fn table5(config: &ExperimentConfig) -> Vec<Table5Row> {
-    paper_workflows()
+    table5_threaded(config, 1)
+}
+
+/// [`table5`] with the (workflow × strategy) cells fanned over `threads`
+/// workers (`0` = one per core). Output is identical for any thread
+/// count.
+#[must_use]
+pub fn table5_threaded(config: &ExperimentConfig, threads: usize) -> Vec<Table5Row> {
+    let scenario = Scenario::Pareto { seed: config.seed };
+    let prepared: Vec<PreparedWorkflow> = paper_workflows()
         .iter()
-        .map(|wf| table5_row(config, wf))
+        .map(|wf| prepare(config, wf, scenario))
+        .collect();
+    let matrix = run_matrix(config, &prepared, &Strategy::paper_set(), threads);
+    prepared
+        .iter()
+        .zip(matrix)
+        .map(|((m, _), results)| row_from_results(m, &results))
         .collect()
 }
 

@@ -142,8 +142,7 @@ pub fn generate_arrivals(tenants: &[TenantSpec], model: &ArrivalModel, seed: u64
     }
     arrivals.sort_by(|a, b| {
         a.time
-            .partial_cmp(&b.time)
-            .expect("arrival times are finite")
+            .total_cmp(&b.time)
             .then(a.tenant.cmp(&b.tenant))
             .then(a.seq.cmp(&b.seq))
     });

@@ -115,7 +115,7 @@ fn pool_reuse_invariants_hold() {
         for (i, vm) in trace.pool.vms.iter().enumerate() {
             // Serial execution: intervals are disjoint in wall time.
             let mut sorted = vm.intervals.clone();
-            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
             for w in sorted.windows(2) {
                 assert!(
                     w[1].0 >= w[0].1 - 1e-6,

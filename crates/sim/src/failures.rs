@@ -73,8 +73,7 @@ pub fn failure_impact(
     order.sort_by(|a, b| {
         report.tasks[a.index()]
             .start
-            .partial_cmp(&report.tasks[b.index()].start)
-            .expect("replay produced finite times")
+            .total_cmp(&report.tasks[b.index()].start)
             .then(a.0.cmp(&b.0))
     });
     // Track whether each VM's queue is blocked by an earlier loss.

@@ -23,8 +23,7 @@ impl<E: PartialEq> Ord for TimedEvent<E> {
         // BinaryHeap is a max-heap; invert to pop the earliest first.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times must not be NaN")
+            .total_cmp(&self.time)
             .then(other.seq.cmp(&self.seq))
     }
 }

@@ -105,7 +105,7 @@ impl Pareto {
 #[must_use]
 pub fn empirical_cdf(samples: &[f64], points: &[f64]) -> Vec<f64> {
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    sorted.sort_by(f64::total_cmp);
     points
         .iter()
         .map(|&p| {
