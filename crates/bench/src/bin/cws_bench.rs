@@ -12,6 +12,13 @@
 //! the equivalence claim the property tests make is re-proven on every
 //! bench run, on the real workloads being timed.
 //!
+//! After the timed passes (which run with observability disabled, so
+//! the numbers stay comparable across revisions), one *untimed*
+//! instrumented pass collects the kernel's `cws-obs` counters — probes,
+//! key-ready builds, gap-index hits, placements — and embeds the
+//! snapshot in `BENCH_kernel.json`, with a `RunManifest` written as
+//! `<out>.manifest.json` beside it.
+//!
 //! ```text
 //! cws-bench [--quick] [--out PATH]
 //! ```
@@ -142,9 +149,24 @@ fn main() {
         naive_total / fast_total
     );
 
+    // Untimed instrumented pass: one sweep of every workload with the
+    // cws-obs counters on, so the report carries the kernel's work
+    // profile (probe/key-build/placement counts) without perturbing the
+    // timings above.
+    cws_obs::MetricsRegistry::global().reset();
+    cws_obs::set_metrics_enabled(true);
+    for wf in &workloads {
+        for s in &strategies {
+            let _ = s.schedule(wf, &platform);
+        }
+    }
+    cws_obs::set_metrics_enabled(false);
+    let snapshot = cws_obs::MetricsRegistry::global().snapshot();
+
     let json = format!(
         "{{\n  \"bench\": \"kernel\",\n  \"quick\": {},\n  \"reps\": {},\n  \"pairings\": {},\n  \
-         \"workloads\": [\n    {}\n  ],\n  \"overall\": {{\"fast_s\":{},\"naive_s\":{},\"speedup\":{}}}\n}}\n",
+         \"workloads\": [\n    {}\n  ],\n  \"overall\": {{\"fast_s\":{},\"naive_s\":{},\"speedup\":{}}},\n  \
+         \"metrics\": {}\n}}\n",
         quick,
         reps,
         strategies.len(),
@@ -155,8 +177,21 @@ fn main() {
             .join(",\n    "),
         fast_total,
         naive_total,
-        naive_total / fast_total
+        naive_total / fast_total,
+        snapshot.to_json()
     );
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
-    println!("wrote {}", out.display());
+
+    let mut manifest = cws_obs::RunManifest::new("cws-bench");
+    manifest.command = std::env::args().skip(1).collect();
+    manifest.seed = 42;
+    manifest.threads = 1;
+    manifest.set_platform_fingerprint(format!("{platform:?}").as_bytes());
+    manifest.policies = strategies.iter().map(Strategy::label).collect();
+    manifest.workloads = workloads.iter().map(|w| w.name().to_string()).collect();
+    manifest.metrics = snapshot;
+    manifest
+        .write_sibling(&out)
+        .unwrap_or_else(|e| panic!("write manifest for {}: {e}", out.display()));
+    println!("wrote {} (+ manifest)", out.display());
 }

@@ -12,7 +12,7 @@
 //! | Workflow class | Savings | Gain | Balance |
 //! |---|---|---|---|
 //! | Much parallelism (MapReduce) | AllPar1LnSDyn | AllParExceed-m (small & heterogeneous tasks) | AllPar1LnSDyn (heterogeneous tasks) |
-//! | Much parallelism + many interdependencies (Montage) | AllPar1LnSDyn | StartPar[Not]Exceed-l / AllPar[Not]Exceed-m (short tasks) | StartParNotExceed-[m\|s] (heterogeneous resp. long tasks) |
+//! | Much parallelism + many interdependencies (Montage) | AllPar1LnSDyn | StartPar\[Not\]Exceed-l / AllPar\[Not\]Exceed-m (short tasks) | StartParNotExceed-\[m\|s\] (heterogeneous resp. long tasks) |
 //! | Some parallelism (CSTEM) | AllPar1LnSDyn | AllParNotExceed-m (heterogeneous tasks) | [Start\|All]ParNotExceed-[s\|m] (long resp. heterogeneous tasks) |
 //! | Sequential | \*-s and AllPar1LnSDyn (small & heterogeneous tasks) | \*-l (heterogeneous tasks) | \*-l (short tasks) |
 

@@ -6,7 +6,7 @@
 //!
 //! Simplifications versus the original HCOC (documented here, tested
 //! below): clusters come from the same b-level path clustering as
-//! [`pch`](super::pch); the escalation loop moves the most critical
+//! [`pch`](mod@super::pch); the escalation loop moves the most critical
 //! private cluster to a public small VM, then upgrades public clusters
 //! along the (re-computed) critical path — mirroring how this library's
 //! CPA-Eager and SHEFT buy speed.

@@ -2,20 +2,20 @@
 //!
 //! | Module | Strategies | Ordering | Provisioning |
 //! |--------|-----------|----------|--------------|
-//! | [`heft`] | HEFT | upward-rank priority | OneVMperTask, StartPar[Not]Exceed |
+//! | [`mod@heft`] | HEFT | upward-rank priority | OneVMperTask, StartPar\[Not\]Exceed |
 //! | [`levelpar`] | AllParNotExceed, AllParExceed | level ranking, ET-descending | same-named |
 //! | [`onelns`] | AllPar1LnS, AllPar1LnSDyn | level ranking + parallelism reduction | AllParNotExceed |
 //! | [`cpa`] | CPA-Eager | critical-path upgrades | OneVMperTask |
-//! | [`gain`] | Gain | gain-matrix upgrades | OneVMperTask |
+//! | [`mod@gain`] | Gain | gain-matrix upgrades | OneVMperTask |
 //!
 //! Two related-work baselines beyond the paper's 19 strategies:
 //!
-//! | [`pch`] | Path Clustering Heuristic (basis of HCOC) | b-level path clusters | one VM per cluster |
+//! | [`mod@pch`] | Path Clustering Heuristic (basis of HCOC) | b-level path clusters | one VM per cluster |
 //! | [`sheft`] | SHEFT-style deadline scheduling | critical-path upgrades | OneVMperTask, deadline-bounded |
 //! | [`heftpool`] | classic heterogeneous min-EFT HEFT | upward-rank priority | mixed-type pool |
 //! | [`botpack`] | First-Fit-Decreasing BTU packing | duration-descending | bag-of-tasks bins |
-//! | [`hcoc`] | HCOC-style hybrid private+public bursting | b-level clusters | deadline-driven public rent |
-//! | [`heftins`] | insertion-based HEFT on a fixed pool | upward-rank priority | idle-gap insertion |
+//! | [`mod@hcoc`] | HCOC-style hybrid private+public bursting | b-level clusters | deadline-driven public rent |
+//! | [`mod@heftins`] | insertion-based HEFT on a fixed pool | upward-rank priority | idle-gap insertion |
 //! | [`minmin`] | Min-Min / Max-Min ready-list scheduling | earliest-completion extremes | fixed pool |
 
 pub mod botpack;

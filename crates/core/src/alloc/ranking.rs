@@ -1,6 +1,6 @@
 //! Shared rank-ordering and VM-selection helpers for the HEFT family.
 //!
-//! Homogeneous HEFT ([`super::heft`]), insertion HEFT ([`super::heftins`])
+//! Homogeneous HEFT ([`mod@super::heft`]), insertion HEFT ([`mod@super::heftins`])
 //! and heterogeneous pool HEFT ([`super::heftpool`]) all order tasks by
 //! descending upward rank with a topological tie-break, and all pick VMs
 //! by minimizing finish time with a lowest-id tie-break. Those two

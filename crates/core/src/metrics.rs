@@ -22,15 +22,32 @@ pub struct ScheduleMetrics {
 
 impl ScheduleMetrics {
     /// Measure a schedule against its workflow and platform.
+    ///
+    /// When [`cws_obs::metrics_enabled`], also publishes the paper's
+    /// per-run gauges (`run.makespan_s`, `run.cost_usd`,
+    /// `run.idle_fraction`, `run.btu_waste_s`) to the global registry.
     #[must_use]
     pub fn of(schedule: &Schedule, wf: &Workflow, platform: &Platform) -> Self {
-        ScheduleMetrics {
+        let m = ScheduleMetrics {
             makespan: schedule.makespan(),
             cost: schedule.total_cost(wf, platform),
             idle_seconds: schedule.idle_seconds(),
             vm_count: schedule.vm_count(),
             btus: schedule.total_btus(),
+        };
+        if cws_obs::metrics_enabled() {
+            use cws_obs::metrics::names;
+            let reg = cws_obs::MetricsRegistry::global();
+            reg.gauge(names::RUN_MAKESPAN_S).set(m.makespan);
+            reg.gauge(names::RUN_COST_USD).set(m.cost);
+            let billed = m.btus as f64 * cws_platform::billing::BTU_SECONDS;
+            if billed > 0.0 {
+                reg.gauge(names::RUN_IDLE_FRACTION)
+                    .set(m.idle_seconds / billed);
+            }
+            reg.gauge(names::RUN_BTU_WASTE_S).set(m.idle_seconds);
         }
+        m
     }
 }
 

@@ -51,8 +51,10 @@ use crate::pooled::WarmVm;
 use crate::schedule::{Schedule, TaskPlacement};
 use crate::vm::{Vm, VmId};
 use cws_dag::{TaskId, Workflow};
+use cws_obs as obs;
 use cws_platform::billing::fits_in_current_btu;
 use cws_platform::{InstanceType, Platform, Region};
+use std::sync::Arc;
 
 const EPS: f64 = 1e-9;
 const N_TYPES: usize = InstanceType::ALL.len();
@@ -135,6 +137,36 @@ impl VmGaps {
     }
 }
 
+/// Pre-fetched handles to the kernel's observability counters (the
+/// `kernel.*` and `pool.*` names of [`cws_obs::metrics::names`]).
+/// Resolved from the global registry once per builder — only when
+/// metrics were enabled at construction — so the hot path pays one
+/// relaxed atomic add per event instead of a registry lookup.
+#[derive(Debug, Clone)]
+struct KernelCounters {
+    probes: Arc<obs::Counter>,
+    key_builds: Arc<obs::Counter>,
+    gap_hits: Arc<obs::Counter>,
+    placements: Arc<obs::Counter>,
+    schedules: Arc<obs::Counter>,
+    pool_hits: Arc<obs::Counter>,
+}
+
+impl KernelCounters {
+    fn fetch() -> Self {
+        use obs::metrics::names;
+        let reg = obs::MetricsRegistry::global();
+        KernelCounters {
+            probes: reg.counter(names::KERNEL_PROBES),
+            key_builds: reg.counter(names::KERNEL_KEY_BUILDS),
+            gap_hits: reg.counter(names::KERNEL_GAP_HITS),
+            placements: reg.counter(names::KERNEL_PLACEMENTS),
+            schedules: reg.counter(names::KERNEL_SCHEDULES),
+            pool_hits: reg.counter(names::POOL_HITS),
+        }
+    }
+}
+
 /// Incremental schedule builder.
 #[derive(Debug, Clone)]
 pub struct ScheduleBuilder<'a> {
@@ -171,6 +203,11 @@ pub struct ScheduleBuilder<'a> {
     /// from the thread-local switch at construction).
     #[cfg(any(test, feature = "naive"))]
     kernel_naive: bool,
+    /// Trace switch captured at construction — same pattern as
+    /// `kernel_naive`, so a disabled trace costs one branch on a local.
+    trace_on: bool,
+    /// Kernel counters, present only while metrics are enabled.
+    counters: Option<KernelCounters>,
 }
 
 impl<'a> ScheduleBuilder<'a> {
@@ -239,6 +276,8 @@ impl<'a> ScheduleBuilder<'a> {
             busiest: None,
             #[cfg(any(test, feature = "naive"))]
             kernel_naive,
+            trace_on: obs::trace_enabled(),
+            counters: obs::metrics_enabled().then(KernelCounters::fetch),
         }
     }
 
@@ -347,8 +386,38 @@ impl<'a> ScheduleBuilder<'a> {
     ///
     /// # Panics
     /// Panics if a predecessor of `task` has not been placed yet.
+    ///
+    /// # Examples
+    /// ```
+    /// use cws_core::ScheduleBuilder;
+    /// use cws_dag::WorkflowBuilder;
+    /// use cws_platform::{InstanceType, Platform};
+    ///
+    /// let mut b = WorkflowBuilder::new("pair");
+    /// let a = b.task("a", 100.0);
+    /// let c = b.task("c", 50.0);
+    /// b.edge(a, c);
+    /// let wf = b.build().unwrap();
+    /// let platform = Platform::ec2_paper();
+    ///
+    /// let mut sb = ScheduleBuilder::new(&wf, &platform);
+    /// let vm = sb.place_on_new(a, InstanceType::Small);
+    /// let finish_a = sb.placement(a).unwrap().finish;
+    ///
+    /// let mut probe = sb.probe(c);
+    /// // On the predecessor's own VM no transfer is paid: `c` is ready
+    /// // the instant `a` finishes.
+    /// assert_eq!(probe.ready_on(vm), finish_a);
+    /// // A fresh VM in the same region pays the (possibly zero) network
+    /// // delay, so it can never be ready earlier.
+    /// let fresh = probe.ready_fresh(InstanceType::Small, platform.default_region);
+    /// assert!(fresh >= finish_a);
+    /// ```
     #[must_use]
     pub fn probe(&self, task: TaskId) -> TaskProbe<'_, 'a> {
+        if let Some(c) = &self.counters {
+            c.probes.inc();
+        }
         let mut hosts: Vec<HostPreds> = Vec::new();
         let mut edges: Vec<ProbeEdge> = Vec::new();
         let mut local_ready: Vec<f64> = Vec::new();
@@ -432,6 +501,8 @@ impl<'a> ScheduleBuilder<'a> {
         self.gaps.push(gaps);
         self.refresh_busiest(id);
         self.set_placement(task, id, start, finish);
+        self.observe_lease(id);
+        self.observe_placement(task, id, start, finish, obs::PlacementKind::NewVm);
         id
     }
 
@@ -520,6 +591,11 @@ impl<'a> ScheduleBuilder<'a> {
         self.gaps.push(gaps);
         self.refresh_busiest(id);
         self.set_placement(task, id, start, finish);
+        if let Some(c) = &self.counters {
+            c.pool_hits.inc();
+        }
+        self.observe_lease(id);
+        self.observe_placement(task, id, start, finish, obs::PlacementKind::WarmClaim);
         id
     }
 
@@ -532,6 +608,7 @@ impl<'a> ScheduleBuilder<'a> {
         self.gaps[vm.index()].note_append(start, finish);
         self.refresh_busiest(vm);
         self.set_placement(task, vm, start, finish);
+        self.observe_placement(task, vm, start, finish, obs::PlacementKind::Append);
     }
 
     /// The earliest start `task` could get on `vm` using *insertion*:
@@ -555,10 +632,59 @@ impl<'a> ScheduleBuilder<'a> {
         let start = self.insertion_start_on(task, vm);
         let itype = self.vms[vm.index()].itype;
         let finish = start + self.exec_time(task, itype);
+        // A start strictly before the busy tail means the task filled an
+        // indexed idle gap rather than appending — the event the
+        // `kernel.gap_index_hits` counter measures.
+        let gap_hit = start + EPS < self.gaps[vm.index()].tail;
         self.vms[vm.index()].insert_task(task, start, finish);
         self.gaps[vm.index()].note_insert(start, finish);
         self.refresh_busiest(vm);
         self.set_placement(task, vm, start, finish);
+        if let Some(c) = &self.counters {
+            if gap_hit {
+                c.gap_hits.inc();
+            }
+        }
+        self.observe_placement(task, vm, start, finish, obs::PlacementKind::Insert);
+    }
+
+    /// Count and trace one placement decision (every placement method
+    /// funnels through here after updating its indices).
+    fn observe_placement(
+        &self,
+        task: TaskId,
+        vm: VmId,
+        start: f64,
+        finish: f64,
+        kind: obs::PlacementKind,
+    ) {
+        if let Some(c) = &self.counters {
+            c.placements.inc();
+        }
+        if self.trace_on {
+            obs::emit(|| obs::TraceEvent::ProbeDecision {
+                task: task.index() as u32,
+                vm: vm.0,
+                start,
+                finish,
+                kind,
+            });
+        }
+    }
+
+    /// Trace the lease of a freshly rented or warm-claimed VM, carrying
+    /// its per-BTU price so a trace consumer can recompute run cost.
+    fn observe_lease(&self, vm: VmId) {
+        if self.trace_on {
+            let v = &self.vms[vm.index()];
+            obs::emit(|| obs::TraceEvent::VmLease {
+                vm: v.id.0,
+                itype: v.itype.name().to_string(),
+                region: v.region.id().to_string(),
+                price_per_btu: self.platform.price_in(v.region, v.itype),
+                time: v.meter.start,
+            });
+        }
     }
 
     fn set_placement(&mut self, task: TaskId, vm: VmId, start: f64, finish: f64) {
@@ -668,6 +794,9 @@ impl<'a> ScheduleBuilder<'a> {
     /// Panics if any task is still unplaced.
     #[must_use]
     pub fn build(self, strategy: impl Into<String>) -> Schedule {
+        if let Some(c) = &self.counters {
+            c.schedules.inc();
+        }
         let placements: Vec<TaskPlacement> = self
             .placements
             .iter()
@@ -759,6 +888,9 @@ impl TaskProbe<'_, '_> {
             return k;
         }
         let sb = self.sb;
+        if let Some(c) = &sb.counters {
+            c.key_builds.inc();
+        }
         for a in &mut self.arrivals {
             *a = f64::NEG_INFINITY;
         }
@@ -860,7 +992,7 @@ impl TaskProbe<'_, '_> {
 /// path bit-identical to these, and `cws-bench` (via the `naive`
 /// feature) measures the speedup against them in the same process.
 ///
-/// [`set_reference_kernel`] switches a thread to the naive kernel;
+/// [`naive::set_reference_kernel`] switches a thread to the naive kernel;
 /// builders capture the switch at construction time.
 #[cfg(any(test, feature = "naive"))]
 pub mod naive {

@@ -15,7 +15,7 @@
 //!   strategy selector,
 //! * Graphviz DOT export for debugging and documentation.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod critical;

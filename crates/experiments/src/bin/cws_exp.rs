@@ -4,11 +4,19 @@
 //! ```text
 //! cws-exp <fig3|fig4|fig5|table3|table4|table5|corent|catalog|prices|all>
 //!         [--seed N] [--out DIR] [--format ascii|csv|gnuplot]
+//!         [--trace FILE] [--metrics] [--manifest]
 //! ```
 //!
 //! Without `--out` the selected artifact prints to stdout in the chosen
 //! format (default: ascii). With `--out DIR` every produced table is
 //! also written to `DIR` as both `.csv` and `.dat`.
+//!
+//! Observability (see the `cws-obs` crate and `EXPERIMENTS.md`):
+//! `--trace FILE` streams structured scheduler/simulator events to
+//! `FILE` as JSONL; `--metrics` collects the global counter/gauge
+//! registry and prints its snapshot to stderr at exit; `--manifest`
+//! writes a `<artifact>.manifest.json` provenance file next to every
+//! artifact produced under `--out`.
 
 use cws_experiments::report::Table;
 use cws_experiments::{
@@ -16,8 +24,17 @@ use cws_experiments::{
     fleet, frontier, robustness, sensitivity, service_sweep, summary, table3, table4, table5,
     tables, ExperimentConfig,
 };
+use cws_obs as obs;
 use cws_workloads::{montage_24, Scenario};
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Every artifact file written this run, for `--manifest` siblings.
+static ARTIFACTS: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
+
+fn note_artifact(path: PathBuf) {
+    ARTIFACTS.lock().expect("artifact list poisoned").push(path);
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -33,13 +50,17 @@ struct Args {
     format: Format,
     threads: usize,
     json: bool,
+    trace: Option<PathBuf>,
+    metrics: bool,
+    manifest: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: cws-exp <fig3|fig4|fig5|table3|table4|table5|corent|catalog|prices\
          |frontier|ablation|boundaries|grid|workloads|fleet|gantt|sensitivity|robustness|failures|energy|data|summary|service|all> \
-         [--seed N] [--out DIR] [--format ascii|csv|gnuplot] [--threads N] [--json]"
+         [--seed N] [--out DIR] [--format ascii|csv|gnuplot] [--threads N] [--json] \
+         [--trace FILE] [--metrics] [--manifest]"
     );
     std::process::exit(2);
 }
@@ -54,6 +75,9 @@ fn parse_args() -> Args {
         format: Format::Ascii,
         threads: 4,
         json: false,
+        trace: None,
+        metrics: false,
+        manifest: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -82,6 +106,11 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage());
             }
             "--json" => parsed.json = true,
+            "--trace" => {
+                parsed.trace = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--metrics" => parsed.metrics = true,
+            "--manifest" => parsed.manifest = true,
             _ => usage(),
         }
     }
@@ -101,12 +130,24 @@ fn emit(table: &Table, name: &str, args: &Args) {
 
 fn write_files(table: &Table, name: &str, dir: &Path) {
     std::fs::create_dir_all(dir).expect("create output directory");
-    std::fs::write(dir.join(format!("{name}.csv")), table.to_csv()).expect("write csv");
-    std::fs::write(dir.join(format!("{name}.dat")), table.to_gnuplot()).expect("write dat");
+    let csv = dir.join(format!("{name}.csv"));
+    let dat = dir.join(format!("{name}.dat"));
+    std::fs::write(&csv, table.to_csv()).expect("write csv");
+    std::fs::write(&dat, table.to_gnuplot()).expect("write dat");
+    note_artifact(csv);
+    note_artifact(dat);
 }
 
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.trace {
+        let sink = obs::JsonlSink::create(path).expect("create trace file");
+        obs::install_sink(std::sync::Arc::new(sink));
+    }
+    if args.metrics {
+        obs::MetricsRegistry::global().reset();
+        obs::set_metrics_enabled(true);
+    }
     let config = ExperimentConfig {
         seed: args.seed,
         ..ExperimentConfig::default()
@@ -122,11 +163,10 @@ fn main() {
                 let name = format!("fig4_{}", panel.workflow.replace('-', "_"));
                 emit(&panel.to_table(), &name, args);
                 if let Some(dir) = &args.out {
-                    std::fs::write(
-                        dir.join(format!("{name}.gp")),
-                        tables::fig4_gnuplot_script(&panel.workflow),
-                    )
-                    .expect("write gnuplot script");
+                    let gp = dir.join(format!("{name}.gp"));
+                    std::fs::write(&gp, tables::fig4_gnuplot_script(&panel.workflow))
+                        .expect("write gnuplot script");
+                    note_artifact(gp);
                 }
             }
         }
@@ -326,8 +366,9 @@ fn main() {
             println!("{md}");
             if let Some(dir) = &args.out {
                 std::fs::create_dir_all(dir).expect("create output directory");
-                std::fs::write(dir.join("reproduction_report.md"), md)
-                    .expect("write reproduction report");
+                let path = dir.join("reproduction_report.md");
+                std::fs::write(&path, md).expect("write reproduction report");
+                note_artifact(path);
             }
         }
         "service" => {
@@ -346,8 +387,9 @@ fn main() {
             }
             if let Some(dir) = &args.out {
                 std::fs::create_dir_all(dir).expect("create output directory");
-                std::fs::write(dir.join("service_sweep.json"), report.to_json())
-                    .expect("write service sweep json");
+                let path = dir.join("service_sweep.json");
+                std::fs::write(&path, report.to_json()).expect("write service sweep json");
+                note_artifact(path);
             }
         }
         "catalog" => emit(&tables::table1(), "table1_catalog", args),
@@ -438,5 +480,41 @@ fn main() {
         }
     } else {
         run_one(&args.command, &args);
+    }
+
+    if args.trace.is_some() {
+        obs::flush();
+        obs::clear_sink();
+    }
+    let snapshot = args.metrics.then(|| {
+        let s = obs::MetricsRegistry::global().snapshot();
+        eprintln!("{}", s.to_json());
+        s
+    });
+    if args.manifest {
+        let mut base = obs::RunManifest::new("cws-exp");
+        base.command = std::env::args().skip(1).collect();
+        base.seed = args.seed;
+        base.threads = args.threads;
+        base.set_platform_fingerprint(format!("{:?}", config.platform).as_bytes());
+        base.policies = cws_core::Strategy::paper_set()
+            .iter()
+            .map(cws_core::Strategy::label)
+            .collect();
+        base.workloads = cws_workloads::paper_workflows()
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect();
+        if let Some(s) = snapshot {
+            base.metrics = s;
+        }
+        let artifacts = ARTIFACTS.lock().expect("artifact list poisoned");
+        for artifact in artifacts.iter() {
+            let mut m = base.clone();
+            m.write_sibling(artifact).expect("write run manifest");
+        }
+        if artifacts.is_empty() {
+            eprintln!("cws-exp: --manifest had no artifacts to annotate (use --out DIR)");
+        }
     }
 }

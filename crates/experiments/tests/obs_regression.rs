@@ -1,0 +1,237 @@
+//! Observability regressions: the trace stream must reconcile with the
+//! reported schedule metrics, metric counter totals must be identical
+//! at any thread count, and the kernel's gap-index counter must fire
+//! when the insertion policy actually fills a gap.
+//!
+//! The trace sink and the metrics switch are process-global, so every
+//! test here serializes on one lock and leaves both disabled on exit.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use cws_core::{ScheduleBuilder, ScheduleMetrics, Strategy};
+use cws_dag::WorkflowBuilder;
+use cws_experiments::run::{prepare, run_matrix, ExperimentConfig};
+use cws_obs as obs;
+use cws_obs::metrics::names;
+use cws_obs::{RingSink, TraceEvent};
+use cws_platform::{InstanceType, Platform};
+use cws_workloads::{montage_24, paper_workflows, Scenario};
+
+/// Serializes tests touching the global sink / metrics switch.
+static OBS_GUARD: Mutex<()> = Mutex::new(());
+
+fn obs_lock() -> MutexGuard<'static, ()> {
+    OBS_GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Schedule + replay Montage(24) with tracing on and check that the
+/// event stream *is* the metrics: makespan, cost, idle time and BTU
+/// count recomputed from the trace must equal `ScheduleMetrics`, and
+/// the kernel's planned times must match the replay's observed times.
+#[test]
+fn traced_montage_reconciles_with_metrics() {
+    let _g = obs_lock();
+    obs::set_metrics_enabled(false);
+    let ring = Arc::new(RingSink::new(100_000));
+    obs::install_sink(ring.clone());
+
+    let platform = Platform::ec2_paper();
+    let wf = Scenario::Pareto { seed: 42 }.apply(&montage_24());
+    let strategy = Strategy::parse("AllParExceed-m").expect("paper label");
+    let schedule = strategy.schedule(&wf, &platform);
+    let _report = cws_sim::simulate(&wf, &platform, &schedule);
+    obs::clear_sink();
+
+    let metrics = ScheduleMetrics::of(&schedule, &wf, &platform);
+    let events = ring.events();
+    assert_eq!(
+        ring.recorded() as usize,
+        events.len(),
+        "ring evicted events; grow its capacity"
+    );
+
+    // Kernel plan vs replay observation, event by event.
+    let mut planned: BTreeMap<u32, (f64, f64)> = BTreeMap::new();
+    let mut started: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut finished: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut lease_price: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut boundaries: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut reclaims: BTreeMap<u32, (u64, f64, f64)> = BTreeMap::new();
+    for e in &events {
+        match e {
+            TraceEvent::ProbeDecision {
+                task,
+                start,
+                finish,
+                ..
+            } => {
+                planned.insert(*task, (*start, *finish));
+            }
+            TraceEvent::TaskStart { task, time, .. } => {
+                started.insert(*task, *time);
+            }
+            TraceEvent::TaskFinish { task, time, .. } => {
+                finished.insert(*task, *time);
+            }
+            TraceEvent::VmLease {
+                vm, price_per_btu, ..
+            } => {
+                lease_price.insert(*vm, *price_per_btu);
+            }
+            TraceEvent::BtuBoundary { vm, .. } => {
+                *boundaries.entry(*vm).or_insert(0) += 1;
+            }
+            TraceEvent::VmReclaim {
+                vm,
+                billed_btus,
+                busy_s,
+                cost_usd,
+                ..
+            } => {
+                reclaims.insert(*vm, (*billed_btus, *busy_s, *cost_usd));
+            }
+            _ => {}
+        }
+    }
+
+    assert_eq!(planned.len(), wf.len(), "one placement per task");
+    assert_eq!(started.len(), wf.len(), "every task started in replay");
+    assert_eq!(finished.len(), wf.len(), "every task finished in replay");
+    for (task, (start, finish)) in &planned {
+        assert!(
+            (started[task] - start).abs() < 1e-6,
+            "task {task}: planned start {start} vs replayed {}",
+            started[task]
+        );
+        assert!(
+            (finished[task] - finish).abs() < 1e-6,
+            "task {task}: planned finish {finish} vs replayed {}",
+            finished[task]
+        );
+    }
+
+    // Makespan = latest task-finish timestamp.
+    let max_finish = finished.values().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    assert!(
+        (max_finish - metrics.makespan).abs() < 1e-6,
+        "trace makespan {max_finish} vs metrics {}",
+        metrics.makespan
+    );
+
+    // Every leased VM is reclaimed exactly once, priced per its lease.
+    assert_eq!(lease_price.len(), reclaims.len(), "lease/reclaim pairing");
+    let mut cost = 0.0;
+    let mut idle = 0.0;
+    let mut btus = 0u64;
+    for (vm, (billed, busy, cost_usd)) in &reclaims {
+        let price = lease_price[vm];
+        assert!(
+            (cost_usd - *billed as f64 * price).abs() < 1e-9,
+            "vm {vm}: reclaim cost {cost_usd} vs {billed} BTUs at {price}"
+        );
+        assert_eq!(
+            boundaries.get(vm).copied().unwrap_or(0),
+            billed - 1,
+            "vm {vm}: one btu-boundary crossing per extra billed BTU"
+        );
+        cost += cost_usd;
+        idle += *billed as f64 * 3600.0 - busy;
+        btus += billed;
+    }
+    assert!(
+        (cost - metrics.cost).abs() < 1e-6,
+        "trace cost {cost} vs metrics {}",
+        metrics.cost
+    );
+    assert!(
+        (idle - metrics.idle_seconds).abs() < 1e-6,
+        "trace idle {idle} vs metrics {}",
+        metrics.idle_seconds
+    );
+    assert_eq!(btus, metrics.btus, "trace BTUs vs metrics");
+}
+
+/// The full paper matrix with metrics enabled: the rendered results
+/// *and* the merged counter totals must be identical for 1 and 8
+/// worker threads (counters are integer atomics — commutative, exact).
+#[test]
+fn matrix_metric_totals_are_identical_across_thread_counts() {
+    let _g = obs_lock();
+    obs::clear_sink();
+    let cfg = ExperimentConfig {
+        validate_with_sim: false,
+        ..ExperimentConfig::default()
+    };
+    let scenario = Scenario::Pareto { seed: cfg.seed };
+    let prepared: Vec<_> = paper_workflows()
+        .iter()
+        .map(|wf| prepare(&cfg, wf, scenario))
+        .collect();
+    let strategies = Strategy::paper_set();
+    let registry = obs::MetricsRegistry::global();
+
+    obs::set_metrics_enabled(true);
+    registry.reset();
+    let one = run_matrix(&cfg, &prepared, &strategies, 1);
+    let snap_one = registry.snapshot();
+    registry.reset();
+    let eight = run_matrix(&cfg, &prepared, &strategies, 8);
+    let snap_eight = registry.snapshot();
+    obs::set_metrics_enabled(false);
+
+    assert_eq!(format!("{one:?}"), format!("{eight:?}"));
+    // Counters must agree exactly; gauges are last-write-wins and may
+    // legitimately hold a different cell's final value per interleaving.
+    assert_eq!(snap_one.counters, snap_eight.counters);
+    assert!(
+        snap_one.counter(names::KERNEL_PLACEMENTS) > 0,
+        "the matrix must actually exercise the kernel counters"
+    );
+    assert_eq!(
+        snap_one.counter(names::KERNEL_SCHEDULES),
+        snap_eight.counter(names::KERNEL_SCHEDULES)
+    );
+}
+
+/// Filling a real idle gap through the insertion policy must increment
+/// `kernel.gap_index_hits` (the 19 paper pairings never consult the gap
+/// index, so the bench profile legitimately reports 0 — this pins the
+/// counter's behaviour where insertion actually happens).
+#[test]
+fn insertion_into_an_idle_gap_counts_a_gap_hit() {
+    let _g = obs_lock();
+    obs::clear_sink();
+    let registry = obs::MetricsRegistry::global();
+    obs::set_metrics_enabled(true);
+    registry.reset();
+
+    // a:[0,100] on v0; b:[0,900] on v1; c waits for b's 100 s transfer
+    // and appends on v0 at 1000 — leaving v0 idle over [100, 1000].
+    let mut b = WorkflowBuilder::new("gapped");
+    let a = b.task("a", 100.0);
+    let bb = b.task("b", 900.0);
+    let c = b.task("c", 100.0);
+    let d = b.task("d", 50.0);
+    b.data_edge(bb, c, 12500.0);
+    let _ = (a, d);
+    let wf = b.build().unwrap();
+    let platform = Platform::ec2_paper();
+
+    let mut sb = ScheduleBuilder::new(&wf, &platform);
+    let v0 = sb.place_on_new(a, InstanceType::Small);
+    sb.place_on_new(bb, InstanceType::Small);
+    sb.place_on(c, v0);
+    sb.place_on_inserted(d, v0); // lands at 100, inside the gap
+    let schedule = sb.build("gap-hit");
+    obs::set_metrics_enabled(false);
+
+    assert!(
+        schedule.placement(d).start < schedule.placement(c).start,
+        "d must have been inserted before c, not appended"
+    );
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter(names::KERNEL_GAP_HITS), 1);
+    assert_eq!(snap.counter(names::KERNEL_PLACEMENTS), 4);
+    assert_eq!(snap.counter(names::KERNEL_SCHEDULES), 1);
+}

@@ -1,0 +1,329 @@
+//! The structured trace vocabulary.
+//!
+//! Events carry dense primitive ids (`task` is `cws-dag`'s
+//! `TaskId::index`, `vm` is `cws-core`'s `VmId::index` within the
+//! emitting schedule or pool) and wall/schedule-clock seconds, so the
+//! crate stays below `cws-core` in the dependency graph. Each event
+//! serializes to one JSON object — see [`TraceEvent::to_json`] — and a
+//! JSONL sink writes one event per line.
+
+use crate::json::{json_f64, json_str};
+
+/// How a task placement decision claimed its host VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementKind {
+    /// A fresh VM was rented for the task.
+    NewVm,
+    /// The task was appended after the host's last task.
+    Append,
+    /// The task was inserted into an idle gap (HEFT insertion policy).
+    Insert,
+    /// A warm pool slot was claimed (online service layer).
+    WarmClaim,
+}
+
+impl PlacementKind {
+    /// Stable lowercase label used in the JSON encoding.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementKind::NewVm => "new-vm",
+            PlacementKind::Append => "append",
+            PlacementKind::Insert => "insert",
+            PlacementKind::WarmClaim => "warm-claim",
+        }
+    }
+}
+
+/// One structured observation from the scheduler, simulator or pool.
+///
+/// All times are seconds on the emitting component's clock: schedule
+/// origin for `cws-core`/`cws-sim` events, wall clock for pool events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A VM rental opened.
+    VmLease {
+        /// Dense VM index within the emitting schedule or pool.
+        vm: u32,
+        /// Instance-type label (e.g. `"small"`).
+        itype: String,
+        /// Region label (e.g. `"us-east-virginia"`).
+        region: String,
+        /// Per-BTU price of this VM in its region (USD).
+        price_per_btu: f64,
+        /// Rental start.
+        time: f64,
+    },
+    /// A VM finished booting and can execute tasks.
+    VmBoot {
+        /// The VM.
+        vm: u32,
+        /// When it became ready.
+        time: f64,
+    },
+    /// A VM's consumed execution time crossed a BTU boundary — the
+    /// moment another billing unit was committed to.
+    BtuBoundary {
+        /// The VM.
+        vm: u32,
+        /// Ordinal of the BTU being *entered* (the first paid unit is
+        /// 1, so the event reports entering unit `btu + 1` after
+        /// consuming `btu` full units).
+        btu: u64,
+        /// When the boundary was crossed.
+        time: f64,
+    },
+    /// A VM rental ended and was billed.
+    VmReclaim {
+        /// The VM.
+        vm: u32,
+        /// Termination time.
+        time: f64,
+        /// Billed BTUs over the rental.
+        billed_btus: u64,
+        /// Seconds spent executing tasks.
+        busy_s: f64,
+        /// Rental cost in USD (`billed_btus × price_per_btu`).
+        cost_usd: f64,
+    },
+    /// A task began executing.
+    TaskStart {
+        /// Dense task index.
+        task: u32,
+        /// Host VM.
+        vm: u32,
+        /// Start time.
+        time: f64,
+    },
+    /// A task finished executing.
+    TaskFinish {
+        /// Dense task index.
+        task: u32,
+        /// Host VM.
+        vm: u32,
+        /// Finish time.
+        time: f64,
+    },
+    /// A cross-VM data transfer started shipping.
+    TransferStart {
+        /// Producer task.
+        from: u32,
+        /// Consumer task.
+        to: u32,
+        /// Payload in MB.
+        data_mb: f64,
+        /// Departure time (the producer's finish).
+        time: f64,
+    },
+    /// A cross-VM data transfer arrived at the consumer's VM.
+    TransferFinish {
+        /// Producer task.
+        from: u32,
+        /// Consumer task.
+        to: u32,
+        /// Arrival time.
+        time: f64,
+    },
+    /// The scheduling kernel committed a task placement.
+    ProbeDecision {
+        /// The task placed.
+        task: u32,
+        /// The chosen VM.
+        vm: u32,
+        /// Planned start.
+        start: f64,
+        /// Planned finish.
+        finish: f64,
+        /// How the host was claimed.
+        kind: PlacementKind,
+    },
+}
+
+impl TraceEvent {
+    /// Short type tag used as the JSON `"ev"` discriminator.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::VmLease { .. } => "vm-lease",
+            TraceEvent::VmBoot { .. } => "vm-boot",
+            TraceEvent::BtuBoundary { .. } => "btu-boundary",
+            TraceEvent::VmReclaim { .. } => "vm-reclaim",
+            TraceEvent::TaskStart { .. } => "task-start",
+            TraceEvent::TaskFinish { .. } => "task-finish",
+            TraceEvent::TransferStart { .. } => "transfer-start",
+            TraceEvent::TransferFinish { .. } => "transfer-finish",
+            TraceEvent::ProbeDecision { .. } => "probe-decision",
+        }
+    }
+
+    /// The event's timestamp in seconds.
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        match *self {
+            TraceEvent::VmLease { time, .. }
+            | TraceEvent::VmBoot { time, .. }
+            | TraceEvent::BtuBoundary { time, .. }
+            | TraceEvent::VmReclaim { time, .. }
+            | TraceEvent::TaskStart { time, .. }
+            | TraceEvent::TaskFinish { time, .. }
+            | TraceEvent::TransferStart { time, .. }
+            | TraceEvent::TransferFinish { time, .. } => time,
+            TraceEvent::ProbeDecision { start, .. } => start,
+        }
+    }
+
+    /// Encode as one compact JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let t = json_f64(self.time());
+        match self {
+            TraceEvent::VmLease {
+                vm,
+                itype,
+                region,
+                price_per_btu,
+                ..
+            } => format!(
+                "{{\"ev\":\"vm-lease\",\"t\":{t},\"vm\":{vm},\"itype\":{},\"region\":{},\
+                 \"price_per_btu\":{}}}",
+                json_str(itype),
+                json_str(region),
+                json_f64(*price_per_btu)
+            ),
+            TraceEvent::VmBoot { vm, .. } => {
+                format!("{{\"ev\":\"vm-boot\",\"t\":{t},\"vm\":{vm}}}")
+            }
+            TraceEvent::BtuBoundary { vm, btu, .. } => {
+                format!("{{\"ev\":\"btu-boundary\",\"t\":{t},\"vm\":{vm},\"btu\":{btu}}}")
+            }
+            TraceEvent::VmReclaim {
+                vm,
+                billed_btus,
+                busy_s,
+                cost_usd,
+                ..
+            } => format!(
+                "{{\"ev\":\"vm-reclaim\",\"t\":{t},\"vm\":{vm},\"billed_btus\":{billed_btus},\
+                 \"busy_s\":{},\"cost_usd\":{}}}",
+                json_f64(*busy_s),
+                json_f64(*cost_usd)
+            ),
+            TraceEvent::TaskStart { task, vm, .. } => {
+                format!("{{\"ev\":\"task-start\",\"t\":{t},\"task\":{task},\"vm\":{vm}}}")
+            }
+            TraceEvent::TaskFinish { task, vm, .. } => {
+                format!("{{\"ev\":\"task-finish\",\"t\":{t},\"task\":{task},\"vm\":{vm}}}")
+            }
+            TraceEvent::TransferStart {
+                from, to, data_mb, ..
+            } => format!(
+                "{{\"ev\":\"transfer-start\",\"t\":{t},\"from\":{from},\"to\":{to},\
+                 \"data_mb\":{}}}",
+                json_f64(*data_mb)
+            ),
+            TraceEvent::TransferFinish { from, to, .. } => {
+                format!("{{\"ev\":\"transfer-finish\",\"t\":{t},\"from\":{from},\"to\":{to}}}")
+            }
+            TraceEvent::ProbeDecision {
+                task,
+                vm,
+                start,
+                finish,
+                kind,
+            } => format!(
+                "{{\"ev\":\"probe-decision\",\"t\":{},\"task\":{task},\"vm\":{vm},\
+                 \"start\":{},\"finish\":{},\"kind\":\"{}\"}}",
+                json_f64(*start),
+                json_f64(*start),
+                json_f64(*finish),
+                kind.name()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_to_single_json_objects() {
+        let e = TraceEvent::VmLease {
+            vm: 3,
+            itype: "small".into(),
+            region: "eu-dublin".into(),
+            price_per_btu: 0.095,
+            time: 12.5,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"ev\":\"vm-lease\",\"t\":12.5,\"vm\":3,\"itype\":\"small\",\
+             \"region\":\"eu-dublin\",\"price_per_btu\":0.095}"
+        );
+        assert_eq!(e.kind(), "vm-lease");
+        assert_eq!(e.time(), 12.5);
+    }
+
+    #[test]
+    fn probe_decision_reports_its_start_as_time() {
+        let e = TraceEvent::ProbeDecision {
+            task: 7,
+            vm: 1,
+            start: 100.0,
+            finish: 250.0,
+            kind: PlacementKind::Insert,
+        };
+        assert_eq!(e.time(), 100.0);
+        assert!(e.to_json().contains("\"kind\":\"insert\""));
+    }
+
+    #[test]
+    fn every_variant_has_a_distinct_kind_tag() {
+        let kinds = [
+            TraceEvent::VmBoot { vm: 0, time: 0.0 }.kind(),
+            TraceEvent::BtuBoundary {
+                vm: 0,
+                btu: 1,
+                time: 0.0,
+            }
+            .kind(),
+            TraceEvent::TaskStart {
+                task: 0,
+                vm: 0,
+                time: 0.0,
+            }
+            .kind(),
+            TraceEvent::TaskFinish {
+                task: 0,
+                vm: 0,
+                time: 0.0,
+            }
+            .kind(),
+            TraceEvent::TransferStart {
+                from: 0,
+                to: 1,
+                data_mb: 1.0,
+                time: 0.0,
+            }
+            .kind(),
+            TraceEvent::TransferFinish {
+                from: 0,
+                to: 1,
+                time: 0.0,
+            }
+            .kind(),
+            TraceEvent::VmReclaim {
+                vm: 0,
+                time: 0.0,
+                billed_btus: 1,
+                busy_s: 0.0,
+                cost_usd: 0.0,
+            }
+            .kind(),
+        ];
+        let mut sorted = kinds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), kinds.len());
+    }
+}

@@ -1,0 +1,56 @@
+//! Minimal JSON encoding helpers shared by the trace, metrics and
+//! manifest writers.
+//!
+//! The container pins all external dependencies to offline stand-ins,
+//! so JSON is emitted by hand — the same convention `cws-service` and
+//! `cws-bench` already follow.
+
+use std::fmt::Write as _;
+
+/// Encode a string as a JSON string literal (quotes included).
+#[must_use]
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Encode a float as its shortest round-trip decimal; non-finite
+/// values become `null` (JSON has no NaN/Inf).
+#[must_use]
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_quotes_and_control_chars() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\u000ay\"");
+    }
+
+    #[test]
+    fn floats_round_trip_or_null() {
+        assert_eq!(json_f64(0.1), "0.1");
+        assert_eq!(json_f64(3600.0), "3600");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+}

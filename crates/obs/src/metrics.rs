@@ -1,0 +1,470 @@
+//! A lock-free metrics registry: counters, gauges and histograms
+//! backed by atomics.
+//!
+//! # Determinism
+//!
+//! Counters and histograms accumulate **integers only** (`u64` counts
+//! and integer-valued samples such as nanoseconds). Integer addition
+//! is commutative and exact, so a parallel sweep incrementing shared
+//! counters from any number of worker threads produces bit-identical
+//! totals — the property the `threads 1 vs 8` regression test in
+//! `cws-experiments` locks in. Gauges hold `f64` bits and are
+//! *set*, not accumulated; they are meant for one-writer per-run
+//! values (final makespan, idle fraction), where last-write-wins is
+//! the intended semantics.
+//!
+//! # Hot-path cost
+//!
+//! Registration takes a short-lived mutex; the returned handles are
+//! `Arc`s whose update methods are single atomic RMW operations.
+//! Callers on scheduling hot paths cache a handle once (or capture
+//! [`crate::metrics_enabled`] into a local `bool`) so the disabled
+//! case costs one predictable branch.
+
+use crate::json::{json_f64, json_str};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Well-known metric names, so emitters and consumers cannot drift.
+pub mod names {
+    /// Probes constructed by `ScheduleBuilder::probe`.
+    pub const KERNEL_PROBES: &str = "kernel.probes";
+    /// Lazily-built per-(region, itype) ready-key reductions.
+    pub const KERNEL_KEY_BUILDS: &str = "kernel.key_ready_builds";
+    /// Insertion probes answered from an indexed idle gap (not the tail).
+    pub const KERNEL_GAP_HITS: &str = "kernel.gap_index_hits";
+    /// Task placements committed by the kernel.
+    pub const KERNEL_PLACEMENTS: &str = "kernel.placements";
+    /// Schedules frozen by `ScheduleBuilder::build`.
+    pub const KERNEL_SCHEDULES: &str = "kernel.schedules_built";
+    /// Warm pool slots claimed instead of fresh rentals.
+    pub const POOL_HITS: &str = "pool.hits";
+    /// Fresh (cold) rentals made by pooled scheduling.
+    pub const POOL_COLD_RENTALS: &str = "pool.cold_rentals";
+    /// Pool machines reclaimed (terminated) by the service layer.
+    pub const POOL_RECLAIMS: &str = "pool.reclaims";
+    /// Simulator events processed by `cws-sim` replays.
+    pub const SIM_EVENTS: &str = "sim.events_processed";
+    /// Final makespan of the most recent run, seconds.
+    pub const RUN_MAKESPAN_S: &str = "run.makespan_s";
+    /// Final total cost of the most recent run, USD.
+    pub const RUN_COST_USD: &str = "run.cost_usd";
+    /// Idle fraction (`idle / billed`) of the most recent run.
+    pub const RUN_IDLE_FRACTION: &str = "run.idle_fraction";
+    /// Paid-but-unused BTU seconds of the most recent run.
+    pub const RUN_BTU_WASTE_S: &str = "run.btu_waste_s";
+    /// Warm-claim fraction (`hits / (hits + cold)`) of the most recent
+    /// service run.
+    pub const RUN_POOL_HIT_RATE: &str = "run.pool_hit_rate";
+}
+
+/// Monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins `f64` gauge (stored as bits in an atomic).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0.0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// Number of power-of-two histogram buckets (bucket `i` counts samples
+/// whose value needs `i` significant bits, i.e. `v == 0 → 0`,
+/// otherwise `64 - v.leading_zeros()`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Log₂-bucketed histogram of integer samples (e.g. durations in
+/// nanoseconds). All state is `u64`, so concurrent recording is exact.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let bucket = (u64::BITS - v.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Immutable copy of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Frozen histogram state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (bucket `i` holds values of `i`
+    /// significant bits).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold another snapshot into this one (exact: integer sums).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// A named collection of counters, gauges and histograms.
+///
+/// Most code uses the process-wide [`MetricsRegistry::global`]; the
+/// parallel drivers may instead give each worker its own registry and
+/// [merge](MetricsSnapshot::merge) the snapshots deterministically.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    #[must_use]
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// The counter registered under `name` (created on first use).
+    /// Cache the handle outside hot loops.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter table poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("gauge table poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram table poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Zero every registered metric (handles stay valid).
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .expect("counter table poisoned")
+            .values()
+        {
+            c.reset();
+        }
+        for g in self.gauges.lock().expect("gauge table poisoned").values() {
+            g.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .expect("histogram table poisoned")
+            .values()
+        {
+            h.reset();
+        }
+    }
+
+    /// Freeze the registry into a snapshot (names sorted, values read
+    /// with relaxed ordering).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("counter table poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("gauge table poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("histogram table poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen registry state: sorted name → value maps.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Fold `other` into `self`: counters and histograms add exactly;
+    /// gauges take `other`'s value when present (last-merged wins,
+    /// mirroring their last-write-wins semantics).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(h) => h.merge(v),
+                None => {
+                    self.histograms.insert(k.clone(), v.clone());
+                }
+            }
+        }
+    }
+
+    /// A counter's value (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value (`None` when absent).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Encode as one JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    /// Histograms serialize their count, sum and mean (per-bucket
+    /// detail stays in-process).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_str(k));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_str(k), json_f64(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"mean\":{}}}",
+                json_str(k),
+                h.count,
+                h.sum,
+                json_f64(h.mean())
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_exactly_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("t.ops");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot().counter("t.ops"), 80_000);
+    }
+
+    #[test]
+    fn histogram_buckets_by_significant_bits() {
+        let h = Histogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(7); // bucket 3
+        h.record(8); // bucket 4
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[3], 1);
+        assert_eq!(s.buckets[4], 1);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 16);
+        assert!((s.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshots_merge_exactly() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.counter("x").add(3);
+        b.counter("x").add(4);
+        b.counter("y").add(1);
+        a.gauge("g").set(1.5);
+        b.gauge("g").set(2.5);
+        a.histogram("h").record(10);
+        b.histogram("h").record(20);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("x"), 7);
+        assert_eq!(merged.counter("y"), 1);
+        assert_eq!(merged.gauge("g"), Some(2.5));
+        assert_eq!(merged.histograms["h"].count, 2);
+        assert_eq!(merged.histograms["h"].sum, 30);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_valid() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("z");
+        c.add(5);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(reg.snapshot().counter("z"), 1);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.b").add(2);
+        reg.gauge("c").set(0.5);
+        reg.histogram("d").record(3);
+        let json = reg.snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"a.b\":2},\"gauges\":{\"c\":0.5},\
+             \"histograms\":{\"d\":{\"count\":1,\"sum\":3,\"mean\":3}}}"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Trace sinks: where emitted events go.
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A destination for trace events.
+///
+/// Sinks must be `Send + Sync`: the parallel campaign and sweep
+/// drivers emit from several worker threads into one installed sink.
+/// Implementations serialize internally (both built-in sinks hold a
+/// mutex), so each recorded event is atomic — JSONL lines never
+/// interleave mid-line.
+pub trait TraceSink: Send + Sync {
+    /// Record one event.
+    fn record(&self, event: &TraceEvent);
+
+    /// Flush any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Writes one JSON object per line to a buffered writer.
+///
+/// The format is append-only JSONL — the shape `EXPERIMENTS.md`'s
+/// "interpreting the trace" section documents.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonlSink {
+    /// Create a sink writing to `path` (truncating any existing file,
+    /// creating missing parent directories).
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::File::create(path)?;
+        Ok(Self::from_writer(Box::new(file)))
+    }
+
+    /// Create a sink over an arbitrary writer (used by tests).
+    #[must_use]
+    pub fn from_writer(w: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: Mutex::new(BufWriter::new(w)),
+        }
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut out = self.out.lock().expect("trace writer poisoned");
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("trace writer poisoned").flush();
+    }
+}
+
+/// Keeps the last `capacity` events in memory — the flight recorder
+/// used by tests and by post-mortem inspection of long runs.
+pub struct RingSink {
+    buf: Mutex<RingState>,
+}
+
+struct RingState {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    /// Total events ever recorded (including evicted ones).
+    recorded: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            buf: Mutex::new(RingState {
+                events: VecDeque::new(),
+                capacity: capacity.max(1),
+                recorded: 0,
+            }),
+        }
+    }
+
+    /// Snapshot the retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let st = self.buf.lock().expect("ring poisoned");
+        st.events.iter().cloned().collect()
+    }
+
+    /// Total number of events ever recorded (evicted ones included).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.buf.lock().expect("ring poisoned").recorded
+    }
+
+    /// Drop all retained events and reset the recorded count.
+    pub fn clear(&self) {
+        let mut st = self.buf.lock().expect("ring poisoned");
+        st.events.clear();
+        st.recorded = 0;
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut st = self.buf.lock().expect("ring poisoned");
+        if st.events.len() == st.capacity {
+            st.events.pop_front();
+        }
+        st.events.push_back(event.clone());
+        st.recorded += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot(vm: u32, time: f64) -> TraceEvent {
+        TraceEvent::VmBoot { vm, time }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_newest_events() {
+        let ring = RingSink::new(2);
+        for i in 0..5 {
+            ring.record(&boot(i, f64::from(i)));
+        }
+        let evs = ring.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0], boot(3, 3.0));
+        assert_eq!(evs[1], boot(4, 4.0));
+        assert_eq!(ring.recorded(), 5);
+        ring.clear();
+        assert!(ring.events().is_empty());
+        assert_eq!(ring.recorded(), 0);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        use std::sync::{Arc, Mutex};
+
+        /// In-memory writer handing its bytes back to the test.
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let bytes = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::from_writer(Box::new(Shared(bytes.clone())));
+        sink.record(&boot(0, 1.0));
+        sink.record(&boot(1, 2.0));
+        sink.flush();
+        let text = String::from_utf8(bytes.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"ev\":\"vm-boot\""));
+        assert!(lines[1].contains("\"vm\":1"));
+    }
+}

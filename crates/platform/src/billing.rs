@@ -152,7 +152,20 @@ impl BtuMeter {
         (self.billed_seconds() - self.busy).max(0.0)
     }
 
-    /// Rental cost given the per-BTU price.
+    /// Rental cost given the per-BTU price: consumed busy time rounds
+    /// up to whole BTUs before pricing, so a second past the boundary
+    /// costs a full extra unit.
+    ///
+    /// # Examples
+    /// ```
+    /// use cws_platform::billing::BtuMeter;
+    ///
+    /// let mut meter = BtuMeter::open_at(0.0);
+    /// meter.record(0.0, 4000.0); // 4000 busy seconds
+    /// assert_eq!(meter.btus(), 2); // ⌈4000 / 3600⌉
+    /// assert!((meter.cost(0.08) - 0.16).abs() < 1e-12); // 2 × $0.08
+    /// assert!((meter.idle_seconds() - 3200.0).abs() < 1e-9); // paid, unused
+    /// ```
     #[must_use]
     pub fn cost(&self, price_per_btu: f64) -> f64 {
         self.btus() as f64 * price_per_btu

@@ -2,7 +2,7 @@
 //!
 //! Sect. V: "in an energy aware context their negative impact will be
 //! even more obvious since unused VMs consume energy for no intended
-//! purpose" — referencing the energy-aware policies of Le et al. [13].
+//! purpose" — referencing the energy-aware policies of Le et al. \[13\].
 //! This model assigns busy and idle power draws per core and converts a
 //! schedule's busy/billed split into energy consumed, so the idle time
 //! of Fig. 5 can be restated in joules.

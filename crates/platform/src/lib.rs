@@ -17,7 +17,7 @@
 //! Everything is plain data + pure functions: the scheduling crates consume
 //! this model without any I/O or global state.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod billing;

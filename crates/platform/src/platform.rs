@@ -20,7 +20,7 @@ pub struct Platform {
     pub default_region: Region,
     /// Constant VM boot time in seconds. The paper ignores boot time
     /// (static scheduling with pre-booting) so the default is zero; set it
-    /// to up to ~120 s to model the measured EC2 behaviour of [22].
+    /// to up to ~120 s to model the measured EC2 behaviour of \[22\].
     pub boot_time_s: f64,
 }
 

@@ -108,15 +108,19 @@ pub fn run_service_traced(
             cold_rentals: pooled.cold_rentals(),
             tasks: arrival.wf.len(),
         });
-        pool.commit(
-            now,
-            arrival.tenant,
-            &pooled,
-            &slot_map,
-            platform.boot_time_s,
-        );
+        pool.commit(now, arrival.tenant, &pooled, &slot_map, &platform);
     }
     pool.finish();
+
+    if cws_obs::metrics_enabled() {
+        let hits: usize = records.iter().map(|r| r.pool_hits).sum();
+        let cold: usize = records.iter().map(|r| r.cold_rentals).sum();
+        if hits + cold > 0 {
+            cws_obs::MetricsRegistry::global()
+                .gauge(cws_obs::metrics::names::RUN_POOL_HIT_RATE)
+                .set(hits as f64 / (hits + cold) as f64);
+        }
+    }
 
     let report = ServiceReport::assemble(&platform, cfg, &records, &pool);
     (report, ServiceTrace { records, pool })

@@ -10,6 +10,7 @@
 //! pool warm, which the idle-reclaim policy controls.
 
 use cws_core::pooled::{PooledSchedule, WarmVm};
+use cws_obs as obs;
 use cws_platform::billing::btus_for_span;
 use cws_platform::{InstanceType, Platform, Region, BTU_SECONDS};
 
@@ -58,6 +59,9 @@ pub struct PoolVm {
     pub intervals: Vec<(f64, f64)>,
     /// Number of distinct workflow submissions that ran tasks here.
     pub workflows_served: usize,
+    /// Per-BTU price in this machine's region (USD), captured at rental
+    /// so reclaim events can be billed without platform access.
+    pub price_per_btu: f64,
 }
 
 impl PoolVm {
@@ -131,9 +135,28 @@ impl VmPool {
             }
             let deadline = self.reclaim_deadline(&self.vms[i]);
             if deadline <= now + EPS {
-                self.vms[i].terminated_at = Some(deadline);
+                self.terminate(i, deadline);
             }
         }
+    }
+
+    /// Terminate machine `i` at `deadline`, emitting the billing trace
+    /// event and counting the reclaim.
+    fn terminate(&mut self, i: usize, deadline: f64) {
+        self.vms[i].terminated_at = Some(deadline);
+        let vm = &self.vms[i];
+        if obs::metrics_enabled() {
+            obs::MetricsRegistry::global()
+                .counter(obs::metrics::names::POOL_RECLAIMS)
+                .inc();
+        }
+        obs::emit(|| obs::TraceEvent::VmReclaim {
+            vm: i as u32,
+            time: deadline,
+            billed_btus: vm.billed_btus(),
+            busy_s: vm.busy_s,
+            cost_usd: vm.billed_btus() as f64 * vm.price_per_btu,
+        });
     }
 
     /// Snapshot the live machines as warm slots on a workflow clock that
@@ -177,8 +200,8 @@ impl VmPool {
 
     /// Commit a pooled schedule produced at wall time `now` for `tenant`:
     /// claimed slots extend their pool machine, fresh rentals open new
-    /// pool machines (whose rental starts `boot_time_s` before their
-    /// first task).
+    /// pool machines (whose rental starts `platform.boot_time_s` before
+    /// their first task, priced at the platform's regional rate).
     ///
     /// # Panics
     /// Panics if the schedule claims a slot `warm_slots` did not offer
@@ -189,8 +212,10 @@ impl VmPool {
         tenant: usize,
         ps: &PooledSchedule,
         slot_map: &[usize],
-        boot_time_s: f64,
+        platform: &Platform,
     ) {
+        let boot_time_s = platform.boot_time_s;
+        let mut cold = 0u64;
         for (vi, vm) in ps.schedule.vms.iter().enumerate() {
             let (first_start, last_finish) = match (vm.tasks.first(), vm.tasks.last()) {
                 (Some(&(_, s, _)), Some(&(_, _, f))) => (s, f),
@@ -221,11 +246,26 @@ impl VmPool {
                         busy_by_tenant: Vec::new(),
                         intervals: wall_intervals.collect(),
                         workflows_served: 1,
+                        price_per_btu: platform.price_in(vm.region, vm.itype),
                     };
                     p.add_tenant_busy(tenant, busy);
+                    cold += 1;
+                    let pool_id = self.vms.len() as u32;
+                    obs::emit(|| obs::TraceEvent::VmLease {
+                        vm: pool_id,
+                        itype: p.itype.name().to_string(),
+                        region: p.region.id().to_string(),
+                        price_per_btu: p.price_per_btu,
+                        time: p.rented_at,
+                    });
                     self.vms.push(p);
                 }
             }
+        }
+        if cold > 0 && obs::metrics_enabled() {
+            obs::MetricsRegistry::global()
+                .counter(obs::metrics::names::POOL_COLD_RENTALS)
+                .add(cold);
         }
     }
 
@@ -235,7 +275,7 @@ impl VmPool {
         for i in 0..self.vms.len() {
             if self.vms[i].terminated_at.is_none() {
                 let deadline = self.reclaim_deadline(&self.vms[i]);
-                self.vms[i].terminated_at = Some(deadline);
+                self.terminate(i, deadline);
             }
         }
     }
@@ -271,9 +311,10 @@ mod tests {
     use cws_platform::Platform;
 
     fn one_shot_vm(rented_at: f64, busy_until: f64) -> PoolVm {
+        let p = Platform::ec2_paper();
         PoolVm {
             itype: InstanceType::Small,
-            region: Platform::ec2_paper().default_region,
+            region: p.default_region,
             rented_at,
             available_at: busy_until,
             terminated_at: None,
@@ -281,6 +322,7 @@ mod tests {
             busy_by_tenant: vec![(0, busy_until - rented_at)],
             intervals: vec![(rented_at, busy_until)],
             workflows_served: 1,
+            price_per_btu: p.price_in(p.default_region, InstanceType::Small),
         }
     }
 

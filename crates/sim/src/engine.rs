@@ -4,6 +4,8 @@ use crate::queue::EventQueue;
 use crate::report::{ObservedTask, SimEvent, SimReport};
 use cws_core::{Schedule, VmId};
 use cws_dag::{TaskId, Workflow};
+use cws_obs as obs;
+use cws_platform::billing::{btus_for_span, BTU_SECONDS};
 use cws_platform::Platform;
 
 /// Internal event payloads.
@@ -98,6 +100,9 @@ impl<'a> Simulator<'a> {
         let mut queue: EventQueue<Ev> = EventQueue::new();
         let mut processed = 0usize;
         let mut clock = 0.0f64;
+        // Captured once per replay: a disabled trace costs one branch on
+        // a local per event (same pattern as the kernel's flags).
+        let trace_on = obs::trace_enabled();
 
         // Boot every VM at its planned rental start minus the boot time
         // (pre-booting, so the VM is ready exactly when the plan first
@@ -114,6 +119,12 @@ impl<'a> Simulator<'a> {
                 Ev::VmReady(vm) => {
                     vm_booted[vm.index()] = true;
                     trace.push(SimEvent::VmReady { vm, time: te.time });
+                    if trace_on {
+                        obs::emit(|| obs::TraceEvent::VmBoot {
+                            vm: vm.0,
+                            time: te.time,
+                        });
+                    }
                     try_start(
                         self,
                         vm,
@@ -134,6 +145,13 @@ impl<'a> Simulator<'a> {
                         vm,
                         time: te.time,
                     });
+                    if trace_on {
+                        obs::emit(|| obs::TraceEvent::TaskFinish {
+                            task: task.index() as u32,
+                            vm: vm.0,
+                            time: te.time,
+                        });
+                    }
                     vm_busy[vm.index()] = false;
                     // Release successors: data ships to each consumer.
                     for e in self.wf.successors(task) {
@@ -149,6 +167,14 @@ impl<'a> Simulator<'a> {
                                 (to_vm.region, to_vm.itype),
                             )
                         };
+                        if trace_on && dest_vm != vm {
+                            obs::emit(|| obs::TraceEvent::TransferStart {
+                                from: task.index() as u32,
+                                to: e.to.index() as u32,
+                                data_mb: e.data_mb,
+                                time: te.time,
+                            });
+                        }
                         queue.push(
                             te.time + delay,
                             Ev::InputArrive {
@@ -180,6 +206,13 @@ impl<'a> Simulator<'a> {
                     });
                     missing_inputs[to.index()] -= 1;
                     let vm = self.schedule.placements[to.index()].vm;
+                    if trace_on && self.schedule.placements[from.index()].vm != vm {
+                        obs::emit(|| obs::TraceEvent::TransferFinish {
+                            from: from.index() as u32,
+                            to: to.index() as u32,
+                            time: te.time,
+                        });
+                    }
                     try_start(
                         self,
                         vm,
@@ -218,11 +251,71 @@ impl<'a> Simulator<'a> {
             }
         });
 
+        if trace_on {
+            self.emit_billing_events(&tasks);
+        }
+        if obs::metrics_enabled() {
+            obs::MetricsRegistry::global()
+                .counter(obs::metrics::names::SIM_EVENTS)
+                .add(processed as u64);
+        }
+
         SimReport {
             tasks,
             makespan,
             trace,
             events_processed: processed,
+        }
+    }
+
+    /// Walk the observed per-VM busy intervals and emit the billing
+    /// events of the replay: one [`cws_obs::TraceEvent::BtuBoundary`]
+    /// per committed billing unit (timed at the instant the VM's
+    /// *consumed* execution time crosses a BTU multiple — busy-consumed
+    /// billing, the paper's offline convention) and a closing
+    /// [`cws_obs::TraceEvent::VmReclaim`] carrying billed BTUs, busy
+    /// seconds and rental cost. Tasks the replay deadlocked on (NaN
+    /// observations) are skipped.
+    fn emit_billing_events(&self, tasks: &[ObservedTask]) {
+        for vm in &self.schedule.vms {
+            // Observed intervals on this VM, in chronological order.
+            let mut intervals: Vec<(f64, f64)> = vm
+                .tasks
+                .iter()
+                .filter_map(|&(t, _, _)| {
+                    let o = &tasks[t.index()];
+                    (o.start.is_finite() && o.finish.is_finite()).then_some((o.start, o.finish))
+                })
+                .collect();
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut busy = 0.0f64;
+            let mut end = vm.meter.start;
+            for &(start, finish) in &intervals {
+                let before = busy;
+                busy += finish - start;
+                end = end.max(finish);
+                // Boundaries crossed while this task ran: consumed time
+                // passes k·BTU at start + (k·BTU − busy_before).
+                let mut k = (before / BTU_SECONDS).floor() as u64 + 1;
+                while (k as f64) * BTU_SECONDS <= busy {
+                    let at = start + (k as f64) * BTU_SECONDS - before;
+                    obs::emit(|| obs::TraceEvent::BtuBoundary {
+                        vm: vm.id.0,
+                        btu: k,
+                        time: at,
+                    });
+                    k += 1;
+                }
+            }
+            let billed = btus_for_span(busy);
+            let price = self.platform.price_in(vm.region, vm.itype);
+            obs::emit(|| obs::TraceEvent::VmReclaim {
+                vm: vm.id.0,
+                time: end,
+                billed_btus: billed,
+                busy_s: busy,
+                cost_usd: billed as f64 * price,
+            });
         }
     }
 }
@@ -264,6 +357,11 @@ fn try_start(
     trace.push(SimEvent::TaskStart {
         task: head,
         vm,
+        time: now,
+    });
+    obs::emit(|| obs::TraceEvent::TaskStart {
+        task: head.index() as u32,
+        vm: vm.0,
         time: now,
     });
     queue.push(now + duration, Ev::TaskFinish(head, vm));

@@ -3,7 +3,7 @@
 //! The paper positions workflows against the other canonical cloud
 //! workload: the **bag of tasks** — "many independent tasks" with no
 //! dependencies, whose provisioning sensitivity had already been shown
-//! ([3], [4], [5] in the paper). A bag is simply an edgeless workflow;
+//! (\[3\], \[4\], \[5\] in the paper). A bag is simply an edgeless workflow;
 //! this module provides the generator so the same strategies, metrics
 //! and experiments run on bags unchanged (a bag is one big level, which
 //! makes the `AllPar*` policies its natural provisioners).

@@ -2,10 +2,10 @@
 //!
 //! Reproduces Sect. IV-B of the paper:
 //!
-//! * the four workflow shapes — [Montage](montage) (24-task astronomy
-//!   mosaic), [CSTEM](cstem) (CPU-intensive, mostly sequential),
-//!   [MapReduce](mapreduce) (two sequential map phases) and a plain
-//!   [sequential chain](sequential),
+//! * the four workflow shapes — [Montage](mod@montage) (24-task astronomy
+//!   mosaic), [CSTEM](mod@cstem) (CPU-intensive, mostly sequential),
+//!   [MapReduce](mod@mapreduce) (two sequential map phases) and a plain
+//!   [sequential chain](mod@sequential),
 //! * the three execution-time scenarios — [`Scenario::Pareto`] (Feitelson
 //!   analytic model: Pareto α=2, scale 500), [`Scenario::BestCase`]
 //!   (equal tasks, all fit one BTU) and [`Scenario::WorstCase`] (equal
