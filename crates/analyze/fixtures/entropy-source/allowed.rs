@@ -1,0 +1,7 @@
+// Fixture: an audited entropy use (none exist in the workspace today;
+// the annotation keeps the escape hatch testable).
+fn nonce() -> u64 {
+    // Nonce feeds an external API, never the simulation.
+    // cws-lint: allow(entropy-source)
+    OsRng.next_u64()
+}

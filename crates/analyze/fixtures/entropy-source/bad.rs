@@ -1,0 +1,13 @@
+// Fixture: ambient entropy — three violations.
+fn roll() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn seed_rng() -> SmallRng {
+    SmallRng::from_entropy()
+}
+
+fn os_random(buf: &mut [u8]) {
+    OsRng.fill_bytes(buf);
+}

@@ -1,0 +1,4 @@
+// Fixture: seeds flow from the experiment config.
+fn rng_for(cfg_seed: u64, stream: u64) -> SmallRng {
+    SmallRng::seed_from_u64(cfg_seed.wrapping_mul(0x9E37_79B9).wrapping_add(stream))
+}

@@ -1,0 +1,10 @@
+// Fixture: audited waivers in both annotation positions.
+fn sort_maybe_nan(xs: &mut Vec<f64>) {
+    // NaNs filtered two lines up; ties impossible by construction.
+    // cws-lint: allow(float-partial-cmp-sort)
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn trailing(xs: &[f64]) -> Option<&f64> {
+    xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap()) // cws-lint: allow(float-partial-cmp-sort)
+}

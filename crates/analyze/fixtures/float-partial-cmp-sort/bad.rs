@@ -1,0 +1,12 @@
+// Fixture: float partial_cmp in ordering contexts — three violations.
+fn sort_speeds(speeds: &mut Vec<f64>) {
+    speeds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn best(xs: &[f64]) -> Option<&f64> {
+    xs.iter().max_by(|a, b| a.partial_cmp(b).expect("finite"))
+}
+
+fn ufcs(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    PartialOrd::partial_cmp(&a, &b)
+}

@@ -1,0 +1,33 @@
+// Fixture: the sanctioned patterns — total_cmp sorts and a
+// total_cmp-backed Ord with the standard PartialOrd delegation.
+use std::cmp::Ordering;
+
+fn sort_speeds(speeds: &mut Vec<f64>) {
+    speeds.sort_by(|a, b| a.total_cmp(b));
+}
+
+struct Ranked(f64);
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Ranked {}
+
+// Mentions in strings and comments are invisible to the scanner:
+// a.partial_cmp(b) — not code.
+const DOC: &str = "sorts use partial_cmp nowhere; a.partial_cmp(b) here is data";

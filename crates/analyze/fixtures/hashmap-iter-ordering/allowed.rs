@@ -1,0 +1,8 @@
+// Fixture: an audited HashMap whose iteration order provably never
+// escapes (only point lookups).
+// cws-lint: allow-file(hashmap-iter-ordering)
+use std::collections::HashMap;
+
+fn lookup_only(index: &HashMap<u64, f64>, key: u64) -> Option<f64> {
+    index.get(&key).copied()
+}

@@ -1,0 +1,11 @@
+// Fixture: randomized-order containers in an artifact-feeding crate —
+// two violations.
+use std::collections::{HashMap, HashSet};
+
+fn tally(names: &[String]) -> Vec<(String, usize)> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for n in names {
+        *counts.entry(n.clone()).or_default() += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,14 @@
+// Fixture: BTree containers iterate in key order — deterministic.
+use std::collections::{BTreeMap, BTreeSet};
+
+fn tally(names: &[String]) -> Vec<(String, usize)> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for n in names {
+        *counts.entry(n.clone()).or_default() += 1;
+    }
+    counts.into_iter().collect()
+}
+
+fn uniq(names: &[String]) -> BTreeSet<String> {
+    names.iter().cloned().collect()
+}

@@ -1,0 +1,7 @@
+// Fixture: an audited unsafe block outside cws-obs (hypothetical —
+// none exist; keeps the waiver path testable).
+fn reinterpret(bits: u64) -> f64 {
+    // Bit pattern is produced by f64::to_bits above; round-trip is total.
+    // cws-lint: allow(unsafe-outside-obs)
+    unsafe { std::mem::transmute::<u64, f64>(bits) }
+}

@@ -1,0 +1,8 @@
+// Fixture: unsafe outside cws-obs — two violations.
+unsafe fn transmute_speed(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+fn caller(bits: u64) -> f64 {
+    unsafe { transmute_speed(bits) }
+}

@@ -1,0 +1,7 @@
+// Fixture: safe code; the word unsafe may appear in comments and
+// strings ("unsafe" here is data, not code).
+fn speed_of(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+const NOTE: &str = "unsafe is confined to cws-obs";

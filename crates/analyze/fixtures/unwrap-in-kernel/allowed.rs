@@ -1,0 +1,10 @@
+// Fixture: an audited kernel expect with the invariant stated.
+fn upgrade(cands: &[(u32, f64)]) -> u32 {
+    cands
+        .iter()
+        .min_by_key(|(id, _)| *id)
+        .map(|(id, _)| *id)
+        // Candidates were filtered to non-empty by the caller's loop guard.
+        // cws-lint: allow(unwrap-in-kernel)
+        .expect("filtered to upgradeable")
+}

@@ -1,0 +1,13 @@
+// Fixture: panics in the kernel hot loop — two violations.
+fn place_all(tasks: &[u32], vms: &[u32]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for &t in tasks {
+        let vm = vms.first().unwrap();
+        out.push((t, *vm));
+    }
+    out
+}
+
+fn best_vm(starts: &[(u32, f64)]) -> u32 {
+    starts.iter().min_by_key(|(id, _)| *id).map(|(id, _)| *id).expect("non-empty pool")
+}

@@ -1,0 +1,20 @@
+// Fixture: invariants in the types; tests may unwrap freely.
+fn place_all(tasks: &[u32], vms: &[u32]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let Some(vm) = vms.first() else {
+        return out;
+    };
+    for &t in tasks {
+        out.push((t, *vm));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: an audited wall-clock read (e.g. a provenance stamp that
+// never feeds simulated time).
+fn provenance_stamp() -> u64 {
+    // Stamp is written to a manifest, never compared to sim time.
+    // cws-lint: allow(wall-clock-in-sim)
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

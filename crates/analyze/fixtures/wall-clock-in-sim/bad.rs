@@ -1,0 +1,13 @@
+// Fixture: wall-clock reads in simulation code — two violations.
+use std::time::{Instant, SystemTime};
+
+fn simulate_step() -> Instant {
+    Instant::now()
+}
+
+fn stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

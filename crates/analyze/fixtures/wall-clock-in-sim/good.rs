@@ -1,0 +1,11 @@
+// Fixture: simulated time flows from the event clock; Instant may be
+// passed around, just never *read* from the OS.
+use std::time::Instant;
+
+fn advance(clock: f64, dt: f64) -> f64 {
+    clock + dt
+}
+
+fn elapsed_between(a: Instant, b: Instant) -> std::time::Duration {
+    b.duration_since(a)
+}

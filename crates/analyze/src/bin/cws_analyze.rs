@@ -1,0 +1,91 @@
+//! `cws-analyze` — run the workspace determinism lints.
+//!
+//! ```text
+//! cws-analyze [--root DIR] [--format text|json] [--lint NAME]... [--list]
+//! ```
+//!
+//! Exit status: 0 when clean, 1 on violations, 2 on usage/IO errors.
+//! Without `--root` the workspace root is discovered by walking up
+//! from the current directory to the first `Cargo.toml` with a
+//! `[workspace]` table, so the binary works from any subdirectory.
+
+use cws_analyze::{diag, engine, lints};
+use std::path::PathBuf;
+
+struct Args {
+    root: Option<PathBuf>,
+    format: diag::Format,
+    lint_filter: Vec<String>,
+    list: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: cws-analyze [--root DIR] [--format text|json] [--lint NAME]... [--list]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        root: None,
+        format: diag::Format::Text,
+        lint_filter: Vec::new(),
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => parsed.root = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--format" => {
+                parsed.format = match args.next().as_deref() {
+                    Some("text") => diag::Format::Text,
+                    Some("json") => diag::Format::Json,
+                    _ => usage(),
+                }
+            }
+            "--lint" => parsed
+                .lint_filter
+                .push(args.next().unwrap_or_else(|| usage())),
+            "--list" => parsed.list = true,
+            _ => usage(),
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+
+    if args.list {
+        for lint in lints::all_lints() {
+            println!("{:24} {}", lint.name, lint.description);
+        }
+        return;
+    }
+
+    let root = args.root.clone().or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        engine::find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("cws-analyze: no workspace root found (pass --root)");
+        std::process::exit(2);
+    };
+
+    match engine::run(&root, &args.lint_filter) {
+        Ok(report) => {
+            print!(
+                "{}",
+                diag::render(&report.diagnostics, report.files_scanned, args.format)
+            );
+            if report.files_scanned == 0 {
+                eprintln!("cws-analyze: no Rust sources under {}", root.display());
+                std::process::exit(2);
+            }
+            std::process::exit(i32::from(!report.diagnostics.is_empty()));
+        }
+        Err(e) => {
+            eprintln!("cws-analyze: walk failed under {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Diagnostics and output formatting (text and JSON, hand-rolled —
+//! this crate depends on nothing).
+
+use std::fmt;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Lint name (kebab-case).
+    pub lint: &'static str,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Output format selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// One `file:line: [lint] message` per violation.
+    Text,
+    /// A single JSON object with counts and a violation array.
+    Json,
+}
+
+/// Render `diags` in `format`. `files_scanned` feeds the JSON summary
+/// so a silently-empty walk (wrong `--root`) is distinguishable from a
+/// clean one.
+#[must_use]
+pub fn render(diags: &[Diagnostic], files_scanned: usize, format: Format) -> String {
+    match format {
+        Format::Text => {
+            let mut out = String::new();
+            for d in diags {
+                out.push_str(&d.to_string());
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "cws-analyze: {} violation(s) in {} file(s) scanned\n",
+                diags.len(),
+                files_scanned
+            ));
+            out
+        }
+        Format::Json => {
+            let mut out = String::from("{\n");
+            out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+            out.push_str(&format!("  \"violations\": {},\n", diags.len()));
+            out.push_str("  \"diagnostics\": [");
+            for (i, d) in diags.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n    {{\"file\": {}, \"line\": {}, \"lint\": {}, \"message\": {}}}",
+                    json_str(&d.file),
+                    d.line,
+                    json_str(d.lint),
+                    json_str(&d.message)
+                ));
+            }
+            if !diags.is_empty() {
+                out.push_str("\n  ");
+            }
+            out.push_str("]\n}\n");
+            out
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            file: "crates/core/src/state.rs".into(),
+            line: 1077,
+            lint: "float-partial-cmp-sort",
+            message: "use total_cmp".into(),
+        }
+    }
+
+    #[test]
+    fn text_format_is_grep_friendly() {
+        let out = render(&[diag()], 3, Format::Text);
+        assert!(
+            out.contains("crates/core/src/state.rs:1077: [float-partial-cmp-sort] use total_cmp")
+        );
+        assert!(out.contains("1 violation(s) in 3 file(s)"));
+    }
+
+    #[test]
+    fn json_format_escapes_and_counts() {
+        let mut d = diag();
+        d.message = "say \"hi\"\n".into();
+        let out = render(&[d], 1, Format::Json);
+        assert!(out.contains("\"violations\": 1"));
+        assert!(out.contains("\\\"hi\\\"\\n"));
+    }
+
+    #[test]
+    fn json_empty_diagnostics_is_valid() {
+        let out = render(&[], 0, Format::Json);
+        assert!(out.contains("\"diagnostics\": []"));
+    }
+}

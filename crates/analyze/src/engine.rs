@@ -1,0 +1,156 @@
+//! The engine: walk the workspace, scan every Rust source, run the
+//! lint table, and report deterministic, sorted diagnostics.
+
+use crate::diag::Diagnostic;
+use crate::lints::{all_lints, LintCtx, LintDef};
+use crate::scan::Scan;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into, anywhere in the tree.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "results", "docs"];
+
+/// Path prefixes (workspace-relative) excluded from analysis: the
+/// fixture corpus *is* a pile of violations by design.
+const SKIP_PREFIXES: &[&str] = &["crates/analyze/fixtures/"];
+
+/// What a full run produced.
+#[derive(Debug)]
+pub struct Report {
+    /// All violations, sorted by (file, line, lint).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Walk `root` and run `lints` (or [`all_lints`] when empty) over every
+/// Rust source found. Paths in diagnostics are workspace-relative with
+/// `/` separators regardless of platform.
+///
+/// # Errors
+/// Propagates I/O errors from the directory walk; an unreadable
+/// individual file is reported as a diagnostic rather than an error so
+/// one bad file cannot mask the rest of the run.
+pub fn run(root: &Path, lint_filter: &[String]) -> std::io::Result<Report> {
+    let lints = all_lints();
+    let selected: Vec<&LintDef> = if lint_filter.is_empty() {
+        lints.iter().collect()
+    } else {
+        lints
+            .iter()
+            .filter(|l| lint_filter.iter().any(|f| f == l.name))
+            .collect()
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    for rel in &files {
+        let source = match fs::read_to_string(root.join(rel)) {
+            Ok(s) => s,
+            Err(e) => {
+                diagnostics.push(Diagnostic {
+                    file: rel.clone(),
+                    line: 0,
+                    lint: "io-error",
+                    message: format!("could not read file: {e}"),
+                });
+                continue;
+            }
+        };
+        let scan = Scan::of(&source);
+        let ctx = LintCtx {
+            path: rel,
+            scan: &scan,
+        };
+        for lint in &selected {
+            diagnostics.extend(lint.run(&ctx));
+        }
+        // Allow annotations naming no known lint are themselves
+        // violations: a typo would otherwise silently disable a check.
+        if lint_filter.is_empty() {
+            for (line, name) in &scan.allow_names {
+                if !lints.iter().any(|l| l.name == name) {
+                    diagnostics.push(Diagnostic {
+                        file: rel.clone(),
+                        line: *line,
+                        lint: "unknown-allow",
+                        message: format!(
+                            "`cws-lint: allow({name})` names no known lint; \
+                             run `cws-analyze --list` for the lint table"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    diagnostics.sort();
+    Ok(Report {
+        diagnostics,
+        files_scanned: files.len(),
+    })
+}
+
+/// Recursively collect workspace-relative `/`-separated paths of `.rs`
+/// files under `dir`, honouring the skip lists.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            if let Some(rel) = relative(root, &path) {
+                if SKIP_PREFIXES
+                    .iter()
+                    .any(|p| format!("{rel}/").starts_with(p))
+                {
+                    continue;
+                }
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Some(rel) = relative(root, &path) {
+                if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+                    continue;
+                }
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn relative(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    Some(parts.join("/"))
+}
+
+/// Find the workspace root by walking up from `start` until a
+/// `Cargo.toml` containing a `[workspace]` table appears.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}

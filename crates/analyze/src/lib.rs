@@ -1,0 +1,35 @@
+//! `cws-analyze` — the workspace determinism/correctness lint engine.
+//!
+//! The paper's evaluation (Figs. 3–5, Tables III–V) rests on one
+//! property the type system cannot see: a run is a *pure function* of
+//! (workload, platform, seed), byte-identical at any thread count.
+//! PRs 1–3 promised that property; this crate machine-checks it. It is
+//! a dependency-free static-analysis pass over the workspace's Rust
+//! sources:
+//!
+//! * [`scan`] — a string/comment-aware scanner (no `syn`, no macro
+//!   expansion) producing identifier/punctuation tokens, `#[cfg(test)]`
+//!   regions and `// cws-lint: allow(<lint>)` annotations,
+//! * [`lints`] — the lint table encoding the repo's determinism
+//!   contracts (`float-partial-cmp-sort`, `wall-clock-in-sim`,
+//!   `entropy-source`, `hashmap-iter-ordering`, `unwrap-in-kernel`,
+//!   `unsafe-outside-obs`),
+//! * [`engine`] — the workspace walker and runner,
+//! * [`diag`] — diagnostics with `text` and `json` renderers.
+//!
+//! The `cws-analyze` binary wires these together for the CI `analyze`
+//! job and local runs (`cargo run -p cws-analyze`); the fixture corpus
+//! under `crates/analyze/fixtures/` self-tests every lint. What the
+//! lints *cannot* see — actual data races, actual UB — is covered by
+//! the ThreadSanitizer and Miri CI jobs (DESIGN.md §11).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod diag;
+pub mod engine;
+pub mod lints;
+pub mod scan;
+
+pub use diag::{Diagnostic, Format};
+pub use engine::{find_workspace_root, run, Report};

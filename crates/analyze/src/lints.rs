@@ -1,0 +1,391 @@
+//! The lint table: every determinism/correctness contract the
+//! workspace promises, encoded as a name-based check over the token
+//! stream of [`crate::scan::Scan`].
+//!
+//! Each lint documents *which* invariant it enforces and *why* the
+//! paper's results depend on it; DESIGN.md §11 carries the same table
+//! in prose. Every lint can be waived per line with
+//! `// cws-lint: allow(<lint>)` (same line or the line above) or per
+//! file with `// cws-lint: allow-file(<lint>)` — the annotation is the
+//! audit trail.
+
+use crate::diag::Diagnostic;
+use crate::scan::Scan;
+
+/// Context handed to each lint: the workspace-relative path (always
+/// `/`-separated) and the scanned source.
+pub struct LintCtx<'a> {
+    /// Workspace-relative path, e.g. `crates/core/src/state.rs`.
+    pub path: &'a str,
+    /// Token stream, allow annotations and test regions.
+    pub scan: &'a Scan,
+}
+
+/// A single lint: name, rationale, and its check function.
+pub struct LintDef {
+    /// Kebab-case lint name, as used in allow annotations.
+    pub name: &'static str,
+    /// One-line rationale shown by `cws-analyze --list`.
+    pub description: &'static str,
+    check: fn(&LintCtx<'_>) -> Vec<(u32, String)>,
+}
+
+impl LintDef {
+    /// Run the lint, dropping violations waived by allow annotations.
+    #[must_use]
+    pub fn run(&self, ctx: &LintCtx<'_>) -> Vec<Diagnostic> {
+        (self.check)(ctx)
+            .into_iter()
+            .filter(|(line, _)| !ctx.scan.allowed(self.name, *line))
+            .map(|(line, message)| Diagnostic {
+                file: ctx.path.to_string(),
+                line,
+                lint: self.name,
+                message,
+            })
+            .collect()
+    }
+}
+
+/// All lints, in the order they are reported.
+#[must_use]
+pub fn all_lints() -> Vec<LintDef> {
+    vec![
+        LintDef {
+            name: "float-partial-cmp-sort",
+            description: "float orderings must use total_cmp: partial_cmp ties/NaNs are silent nondeterminism",
+            check: float_partial_cmp_sort,
+        },
+        LintDef {
+            name: "wall-clock-in-sim",
+            description: "Instant::now/SystemTime::now forbidden outside crates/bench and cws-obs manifests",
+            check: wall_clock_in_sim,
+        },
+        LintDef {
+            name: "entropy-source",
+            description: "thread_rng/from_entropy/OsRng forbidden: seeds must flow from experiment configs",
+            check: entropy_source,
+        },
+        LintDef {
+            name: "hashmap-iter-ordering",
+            description: "HashMap/HashSet banned in artifact-feeding crates: iteration order leaks into results/",
+            check: hashmap_iter_ordering,
+        },
+        LintDef {
+            name: "unwrap-in-kernel",
+            description: "unwrap/expect in ScheduleBuilder hot paths must be audited via allow annotations",
+            check: unwrap_in_kernel,
+        },
+        LintDef {
+            name: "unsafe-outside-obs",
+            description: "unsafe code is confined to the audited atomics in cws-obs",
+            check: unsafe_outside_obs,
+        },
+    ]
+}
+
+/// True when `path` starts with any of `prefixes` (a prefix ending in
+/// `/` scopes a directory; otherwise it names one file).
+fn path_in(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| {
+        if p.ends_with('/') {
+            path.starts_with(p)
+        } else {
+            path == *p
+        }
+    })
+}
+
+/// `partial_cmp` called as a method (`.partial_cmp(` or
+/// `::partial_cmp(`) — in every ordering context this workspace has,
+/// the receiver is an `f64` and the `Ordering` feeds a sort or
+/// min/max, where a `None`-on-NaN unwrap or a tie is exactly the
+/// silent tie-break nondeterminism PR 2 promised away. Definitions
+/// (`fn partial_cmp`) delegating to a `total_cmp`-based `Ord` are the
+/// sanctioned pattern and are not flagged.
+fn float_partial_cmp_sort(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
+    let toks = &ctx.scan.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.ident() != Some("partial_cmp") || i == 0 {
+            continue;
+        }
+        let method_call = toks[i - 1].is_punct('.')
+            || (toks[i - 1].is_punct(':') && i >= 2 && toks[i - 2].is_punct(':'));
+        if method_call {
+            out.push((
+                t.line,
+                "float `partial_cmp` in an ordering context: NaN handling and tie-breaks \
+                 are silent nondeterminism; use `f64::total_cmp` or a `total_cmp`-based \
+                 `Ord` impl"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Wall-clock reads inside simulation code. Simulated time must come
+/// from the event clock so a replay is a pure function of (workload,
+/// platform, seed); the only legitimate wall-clock consumers are the
+/// perf harness (`crates/bench`) and run-manifest provenance stamps
+/// (`crates/obs/src/manifest.rs`).
+fn wall_clock_in_sim(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
+    if path_in(ctx.path, &["crates/bench/", "crates/obs/src/manifest.rs"]) {
+        return Vec::new();
+    }
+    let toks = &ctx.scan.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if name != "Instant" && name != "SystemTime" {
+            continue;
+        }
+        let is_now_call = toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).and_then(|t| t.ident()) == Some("now");
+        if is_now_call {
+            out.push((
+                t.line,
+                format!(
+                    "`{name}::now()` in simulation code: simulated time must come from the \
+                     event clock; wall-clock reads are allowed only in crates/bench and \
+                     cws-obs run manifests"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// OS entropy sources. Every random stream in the workspace is seeded
+/// from an experiment config (`--seed`), so results replay
+/// bit-identically; `thread_rng`/`from_entropy`/`OsRng` would smuggle
+/// ambient entropy past that contract.
+fn entropy_source(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
+    const BANNED: &[&str] = &["thread_rng", "from_entropy", "OsRng", "from_os_rng"];
+    ctx.scan
+        .tokens
+        .iter()
+        .filter_map(|t| {
+            let name = t.ident()?;
+            BANNED.contains(&name).then(|| {
+                (
+                    t.line,
+                    format!(
+                        "OS entropy source `{name}`: every random stream must be seeded from \
+                         an experiment config so runs replay bit-identically"
+                    ),
+                )
+            })
+        })
+        .collect()
+}
+
+/// Crates whose output lands (directly or via `cws-exp`) in `results/`
+/// artifacts or manifest fingerprints. `std::collections::HashMap`
+/// iteration order is randomized per process, so any iteration that
+/// escapes into an artifact is nondeterminism; at lexer level the
+/// honest check is to ban the type name in these crates outright and
+/// require `BTreeMap`/`BTreeSet` (or an audited allow for uses that
+/// provably never iterate).
+const ARTIFACT_CRATES: &[&str] = &[
+    "crates/core/",
+    "crates/sim/",
+    "crates/experiments/",
+    "crates/obs/",
+    "crates/service/",
+    "crates/workloads/",
+    "src/",
+];
+
+fn hashmap_iter_ordering(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
+    if !path_in(ctx.path, ARTIFACT_CRATES) {
+        return Vec::new();
+    }
+    ctx.scan
+        .tokens
+        .iter()
+        .filter_map(|t| {
+            let name = t.ident()?;
+            (name == "HashMap" || name == "HashSet").then(|| {
+                (
+                    t.line,
+                    format!(
+                        "`{name}` in an artifact-feeding crate: its iteration order is \
+                         randomized per process and would leak into results/; use \
+                         `BTreeMap`/`BTreeSet` or sort before iterating (annotate audited \
+                         non-iterated uses with `cws-lint: allow(hashmap-iter-ordering)`)"
+                    ),
+                )
+            })
+        })
+        .collect()
+}
+
+/// The scheduling kernel: `ScheduleBuilder` (`state.rs`) and the
+/// allocation strategies driving it (`alloc/`). A panic in these hot
+/// loops aborts a whole campaign sweep; invariants must either be
+/// encoded so the `unwrap` is unnecessary or carry an audited allow
+/// annotation stating the invariant. `#[cfg(test)]` code is exempt.
+const KERNEL_PATHS: &[&str] = &["crates/core/src/state.rs", "crates/core/src/alloc/"];
+
+fn unwrap_in_kernel(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
+    if !path_in(ctx.path, KERNEL_PATHS) {
+        return Vec::new();
+    }
+    let toks = &ctx.scan.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if (name == "unwrap" || name == "expect")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && !ctx.scan.in_test_region(t.line)
+        {
+            out.push((
+                t.line,
+                format!(
+                    "`.{name}()` inside the scheduling kernel: a panic here aborts a whole \
+                     sweep; restructure so the invariant is in the types, or annotate the \
+                     audited invariant with `cws-lint: allow(unwrap-in-kernel)`"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// `unsafe` anywhere outside `cws-obs`. The workspace lint table sets
+/// `unsafe_code = "deny"`; this lint is the belt to that suspender
+/// (rustc attributes can be re-allowed locally, a `cws-lint` allow
+/// leaves a grep-able audit trail instead).
+fn unsafe_outside_obs(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
+    if path_in(ctx.path, &["crates/obs/"]) {
+        return Vec::new();
+    }
+    ctx.scan
+        .tokens
+        .iter()
+        .filter(|t| t.ident() == Some("unsafe"))
+        .map(|t| {
+            (
+                t.line,
+                "`unsafe` outside cws-obs: the workspace denies unsafe_code; only the \
+                 audited atomics in cws-obs may opt in"
+                    .to_string(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(lint_name: &str, path: &str, src: &str) -> Vec<Diagnostic> {
+        let scan = Scan::of(src);
+        let ctx = LintCtx { path, scan: &scan };
+        all_lints()
+            .iter()
+            .find(|l| l.name == lint_name)
+            .expect("lint exists")
+            .run(&ctx)
+    }
+
+    #[test]
+    fn partial_cmp_method_call_flagged_definition_not() {
+        let src = "\
+impl Ord for T {
+    fn cmp(&self, o: &Self) -> Ordering { self.0.total_cmp(&o.0) }
+}
+impl PartialOrd for T {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> { Some(self.cmp(o)) }
+}
+fn bad(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+";
+        let d = run_on("float-partial-cmp-sort", "crates/x/src/a.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 8);
+    }
+
+    #[test]
+    fn wall_clock_allowed_in_bench_and_manifest() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(run_on("wall-clock-in-sim", "crates/bench/src/m.rs", src).is_empty());
+        assert!(run_on("wall-clock-in-sim", "crates/obs/src/manifest.rs", src).is_empty());
+        assert_eq!(
+            run_on("wall-clock-in-sim", "crates/sim/src/e.rs", src).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn qualified_system_time_now_flagged() {
+        let src = "let t = std::time::SystemTime::now();";
+        assert_eq!(
+            run_on("wall-clock-in-sim", "crates/sim/src/e.rs", src).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn instant_without_now_not_flagged() {
+        let src = "fn f(t: Instant) -> Instant { t }";
+        assert!(run_on("wall-clock-in-sim", "crates/sim/src/e.rs", src).is_empty());
+    }
+
+    #[test]
+    fn entropy_sources_flagged_everywhere() {
+        let src = "let mut rng = thread_rng();";
+        assert_eq!(
+            run_on("entropy-source", "crates/bench/src/m.rs", src).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn hashmap_scoped_to_artifact_crates() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(
+            run_on("hashmap-iter-ordering", "crates/experiments/src/f.rs", src).len(),
+            1
+        );
+        assert!(run_on("hashmap-iter-ordering", "crates/analyze/src/f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_kernel_skips_tests_and_other_crates() {
+        let src = "\
+fn hot(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+#[cfg(test)]
+mod tests {
+    fn t() { Some(1).unwrap(); }
+}
+";
+        let d = run_on("unwrap-in-kernel", "crates/core/src/state.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 2);
+        assert!(run_on("unwrap-in-kernel", "crates/sim/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_confined_to_obs() {
+        let src = "unsafe fn f() {}";
+        assert_eq!(
+            run_on("unsafe-outside-obs", "crates/core/src/x.rs", src).len(),
+            1
+        );
+        assert!(run_on("unsafe-outside-obs", "crates/obs/src/metrics.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_waives() {
+        let src = "let t = Instant::now(); // cws-lint: allow(wall-clock-in-sim)\n";
+        assert!(run_on("wall-clock-in-sim", "crates/sim/src/e.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Fixture-based self-tests: every lint must fire on its `bad.rs`
+//! corpus, stay silent on `good.rs`, and honour the allow annotations
+//! in `allowed.rs`.
+
+use cws_analyze::lints::{all_lints, LintCtx};
+use cws_analyze::scan::Scan;
+use std::path::PathBuf;
+
+/// For each lint: the fixture directory and a workspace-relative path
+/// that puts the fixture *in scope* for the lint (several lints are
+/// path-scoped, so the pretend-path matters).
+const CASES: &[(&str, &str, usize)] = &[
+    // (lint name, in-scope pretend path, violations expected in bad.rs)
+    ("float-partial-cmp-sort", "crates/core/src/fixture.rs", 3),
+    ("wall-clock-in-sim", "crates/sim/src/fixture.rs", 2),
+    ("entropy-source", "crates/workloads/src/fixture.rs", 3),
+    (
+        "hashmap-iter-ordering",
+        "crates/experiments/src/fixture.rs",
+        4,
+    ),
+    ("unwrap-in-kernel", "crates/core/src/alloc/fixture.rs", 2),
+    ("unsafe-outside-obs", "crates/core/src/fixture.rs", 2),
+];
+
+fn fixture(lint: &str, which: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(lint)
+        .join(which);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+fn run(lint_name: &str, pretend_path: &str, source: &str) -> Vec<cws_analyze::Diagnostic> {
+    let scan = Scan::of(source);
+    let ctx = LintCtx {
+        path: pretend_path,
+        scan: &scan,
+    };
+    all_lints()
+        .iter()
+        .find(|l| l.name == lint_name)
+        .unwrap_or_else(|| panic!("lint {lint_name} not registered"))
+        .run(&ctx)
+}
+
+#[test]
+fn every_lint_fires_on_its_bad_fixture() {
+    for &(lint, path, expected) in CASES {
+        let diags = run(lint, path, &fixture(lint, "bad.rs"));
+        assert_eq!(
+            diags.len(),
+            expected,
+            "lint {lint} on bad.rs: expected {expected} violations, got {diags:#?}"
+        );
+        assert!(diags.iter().all(|d| d.lint == lint));
+    }
+}
+
+#[test]
+fn every_lint_is_silent_on_its_good_fixture() {
+    for &(lint, path, _) in CASES {
+        let diags = run(lint, path, &fixture(lint, "good.rs"));
+        assert!(
+            diags.is_empty(),
+            "lint {lint} on good.rs should be clean, got {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn every_lint_honours_allow_annotations() {
+    for &(lint, path, _) in CASES {
+        let src = fixture(lint, "allowed.rs");
+        // Sanity: the fixture would violate without its annotations.
+        assert!(
+            src.contains("cws-lint: allow"),
+            "allowed.rs for {lint} carries no annotation"
+        );
+        let diags = run(lint, path, &src);
+        assert!(
+            diags.is_empty(),
+            "lint {lint} on allowed.rs should be waived, got {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_are_out_of_scope_elsewhere() {
+    // Path scoping: the same bad sources are fine where the contract
+    // does not apply.
+    let wall = fixture("wall-clock-in-sim", "bad.rs");
+    assert!(run("wall-clock-in-sim", "crates/bench/src/fixture.rs", &wall).is_empty());
+    let unwrap = fixture("unwrap-in-kernel", "bad.rs");
+    assert!(run("unwrap-in-kernel", "crates/sim/src/fixture.rs", &unwrap).is_empty());
+    let hm = fixture("hashmap-iter-ordering", "bad.rs");
+    assert!(run(
+        "hashmap-iter-ordering",
+        "crates/analyze/src/fixture.rs",
+        &hm
+    )
+    .is_empty());
+    let uns = fixture("unsafe-outside-obs", "bad.rs");
+    assert!(run("unsafe-outside-obs", "crates/obs/src/fixture.rs", &uns).is_empty());
+}
+
+#[test]
+fn every_registered_lint_has_a_fixture_row() {
+    for lint in all_lints() {
+        assert!(
+            CASES.iter().any(|&(name, _, _)| name == lint.name),
+            "lint {} has no fixture coverage",
+            lint.name
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! The workspace itself must be lint-clean: this is the same gate the
+//! CI `analyze` job applies, run as part of `cargo test` so a
+//! violation cannot land without either a fix or an audited
+//! `cws-lint: allow` annotation.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/analyze has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_no_lint_violations() {
+    let root = workspace_root();
+    let report = cws_analyze::run(&root, &[]).expect("workspace walk");
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously small walk ({} files) — wrong root {}?",
+        report.files_scanned,
+        root.display()
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace lint violations:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn fixture_corpus_is_excluded_from_the_walk() {
+    // The fixtures are violations by design; if the walker ever picks
+    // them up the clean-workspace gate above becomes meaningless noise.
+    let root = workspace_root();
+    let report = cws_analyze::run(&root, &[]).expect("workspace walk");
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.file.starts_with("crates/analyze/fixtures/")),
+        "fixture files leaked into the workspace walk"
+    );
+}
+
+#[test]
+fn unknown_allow_names_are_flagged() {
+    // Engine-level check: a typo'd allow must not silently disable a
+    // lint. Run the engine over a scratch tree.
+    let dir = workspace_root().join("target/cws-analyze-unknown-allow-test");
+    let src_dir = dir.join("src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "// cws-lint: allow(flaot-partial-cmp-sort)\nfn f() {}\n",
+    )
+    .expect("write scratch file");
+    let report = cws_analyze::run(&dir, &[]).expect("scratch walk");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(report.diagnostics.len(), 1, "{:#?}", report.diagnostics);
+    assert_eq!(report.diagnostics[0].lint, "unknown-allow");
+}

@@ -132,6 +132,8 @@ pub fn cpa_eager_types(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<I
         for t in candidates {
             let faster = types[t.index()]
                 .next_faster()
+                // Candidates are pre-filtered to types with a faster tier.
+                // cws-lint: allow(unwrap-in-kernel)
                 .expect("filtered to upgradeable");
             let i = t.index();
             // Total rent with the trial type in slot i, in the exact
@@ -182,6 +184,8 @@ fn cpa_eager_types_reference(wf: &Workflow, platform: &Platform, budget: f64) ->
         for t in candidates {
             let faster = types[t.index()]
                 .next_faster()
+                // Candidates are pre-filtered to types with a faster tier.
+                // cws-lint: allow(unwrap-in-kernel)
                 .expect("filtered to upgradeable");
             let prev = types[t.index()];
             types[t.index()] = faster;

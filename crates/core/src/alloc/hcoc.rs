@@ -165,6 +165,9 @@ fn build(
                     let vm = sb.place_on_new(task, private.itype);
                     private_vms.push(vm);
                 } else {
+                    // Reaching this branch implies private_vms is full,
+                    // so the candidate pool cannot be empty.
+                    // cws-lint: allow(unwrap-in-kernel)
                     let (vm, _) = best_existing.expect("pool is non-empty");
                     sb.place_on(task, vm);
                 }

@@ -51,6 +51,8 @@ pub fn heft_insertion(
                 }
             }
         } else {
+            // The `else` branch runs only once the pool is at capacity.
+            // cws-lint: allow(unwrap-in-kernel)
             let (vm, _) = best_insertion(&sb, task, itype, &pool).expect("pool is non-empty");
             sb.place_on_inserted(task, vm);
         }

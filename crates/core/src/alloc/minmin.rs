@@ -95,6 +95,9 @@ pub fn list_schedule(
                 choice = Some((i, vm, f));
             }
         }
+        // The loop above visits every (task, vm) pair of a non-empty
+        // ready set, so at least one candidate was recorded.
+        // cws-lint: allow(unwrap-in-kernel)
         let (idx, vm, _) = choice.expect("ready set is non-empty");
         let task = ready.swap_remove(idx);
         match vm {

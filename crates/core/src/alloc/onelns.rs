@@ -134,6 +134,9 @@ fn place_level_chains(
                     .iter()
                     .map(|e| {
                         sb.placement(e.from)
+                            // Levels are scheduled in topological order,
+                            // so every predecessor is already placed.
+                            // cws-lint: allow(unwrap-in-kernel)
                             .expect("previous levels are placed")
                             .finish
                     })
@@ -158,6 +161,8 @@ fn place_level_chains(
         if sb.placement(first).is_none() {
             sb.place_on(first, vm);
         }
+        // Both match arms above guarantee `first` was placed.
+        // cws-lint: allow(unwrap-in-kernel)
         let vm = sb.placement(first).expect("first chain task placed").vm;
         for &t in &chain_order[1..] {
             sb.place_on(t, vm);
@@ -174,6 +179,9 @@ fn placed_ready(sb: &ScheduleBuilder<'_>, t: TaskId) -> f64 {
         .iter()
         .map(|e| {
             sb.placement(e.from)
+                // Callers walk levels in topological order; predecessors
+                // of the current level are always placed.
+                // cws-lint: allow(unwrap-in-kernel)
                 .expect("previous levels are placed")
                 .finish
         })

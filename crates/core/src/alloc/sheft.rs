@@ -62,6 +62,8 @@ pub fn sheft_deadline(wf: &Workflow, platform: &Platform, deadline: f64) -> Dead
             });
         match candidate {
             Some(t) => {
+                // The candidate filter admits only types with a faster tier.
+                // cws-lint: allow(unwrap-in-kernel)
                 types[t.index()] = types[t.index()].next_faster().expect("filtered");
             }
             None => {

@@ -23,7 +23,7 @@
 //! figure-legend entries is a `Strategy` value whose
 //! [`schedule`](Strategy::schedule) method maps a workflow onto VMs.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod adaptive;

@@ -1074,8 +1074,7 @@ pub mod naive {
             .iter()
             .max_by(|a, b| {
                 a.busy_seconds()
-                    .partial_cmp(&b.busy_seconds())
-                    .expect("busy times are finite")
+                    .total_cmp(&b.busy_seconds())
                     .then(b.id.0.cmp(&a.id.0))
             })
             .map(|v| v.id)
@@ -1091,13 +1090,8 @@ pub mod naive {
             .filter(|v| keep(v))
             .map(|v| (v, start_time_on(sb, task, v.id)))
             .min_by(|(a, sa), (b, sb_)| {
-                sa.partial_cmp(sb_)
-                    .expect("start times are finite")
-                    .then(
-                        b.busy_seconds()
-                            .partial_cmp(&a.busy_seconds())
-                            .expect("busy times are finite"),
-                    )
+                sa.total_cmp(sb_)
+                    .then(b.busy_seconds().total_cmp(&a.busy_seconds()))
                     .then(a.id.0.cmp(&b.id.0))
             })
             .map(|(v, _)| v.id)

@@ -1,0 +1,125 @@
+//! Contention tests for the lock-free metrics registry and the ring
+//! sink: eight threads hammer shared state and the totals must come
+//! out *exactly* right — not approximately, exactly, because the
+//! workspace's reproducibility contract is bit-identical artifacts at
+//! any thread count.
+//!
+//! These tests are also the workload of the CI ThreadSanitizer job
+//! (`tsan` in .github/workflows/ci.yml): under
+//! `-Zsanitizer=thread` they double as a data-race hunt over the
+//! atomics that the static lints cannot check.
+
+use cws_obs::metrics::{MetricsRegistry, MetricsSnapshot};
+use cws_obs::sink::{RingSink, TraceSink};
+use cws_obs::TraceEvent;
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: u64 = 8;
+const OPS: u64 = 50_000;
+
+#[test]
+fn counter_totals_are_exact_under_8_thread_contention() {
+    let reg = Arc::new(MetricsRegistry::new());
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let reg = Arc::clone(&reg);
+            s.spawn(move || {
+                let hits = reg.counter("pool.hits");
+                let placed = reg.counter("kernel.placements");
+                for i in 0..OPS {
+                    hits.inc();
+                    placed.add(i % 7);
+                    if i % 1024 == 0 {
+                        // Interleave registry lookups with updates so the
+                        // name → Arc map itself sees contention.
+                        reg.counter("pool.hits").inc();
+                    }
+                }
+                reg.gauge("run.pool_hit_rate").set(t as f64);
+            });
+        }
+    });
+    let snap = reg.snapshot();
+    let lookups = (OPS / 1024) + u64::from(!OPS.is_multiple_of(1024));
+    assert_eq!(snap.counter("pool.hits"), THREADS * (OPS + lookups));
+    // sum_{i<OPS} (i % 7), per thread.
+    let per_thread: u64 = (0..OPS).map(|i| i % 7).sum();
+    assert_eq!(snap.counter("kernel.placements"), THREADS * per_thread);
+    // Gauges are last-write-wins: any thread's value, but a written one.
+    let g = snap.gauge("run.pool_hit_rate").expect("gauge was set");
+    assert!((0..THREADS).any(|t| g == t as f64), "gauge {g} not written");
+}
+
+#[test]
+fn histogram_totals_are_exact_under_8_thread_contention() {
+    let reg = Arc::new(MetricsRegistry::new());
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let reg = Arc::clone(&reg);
+            s.spawn(move || {
+                let h = reg.histogram("kernel.probe_ns");
+                for i in 0..OPS {
+                    h.record(i);
+                }
+            });
+        }
+    });
+    let h = reg.histogram("kernel.probe_ns").snapshot();
+    assert_eq!(h.count, THREADS * OPS);
+    assert_eq!(h.sum, THREADS * (OPS * (OPS - 1) / 2));
+    assert_eq!(h.buckets.iter().sum::<u64>(), THREADS * OPS);
+}
+
+#[test]
+fn per_worker_registries_merge_identically_in_any_order() {
+    // The parallel-sweep pattern: one registry per worker, merged at
+    // the end. Totals must be independent of merge order — this is
+    // what makes `--threads N` byte-identical.
+    let workers: Vec<MetricsSnapshot> = (0..THREADS)
+        .map(|t| {
+            let reg = MetricsRegistry::new();
+            let c = reg.counter("kernel.probes");
+            for _ in 0..(t + 1) * 1000 {
+                c.inc();
+            }
+            reg.histogram("kernel.probe_ns").record(t * 3);
+            reg.snapshot()
+        })
+        .collect();
+
+    let mut forward = MetricsSnapshot::default();
+    for w in &workers {
+        forward.merge(w);
+    }
+    let mut reverse = MetricsSnapshot::default();
+    for w in workers.iter().rev() {
+        reverse.merge(w);
+    }
+    assert_eq!(
+        forward.counter("kernel.probes"),
+        (1..=THREADS).sum::<u64>() * 1000
+    );
+    assert_eq!(forward.to_json(), reverse.to_json());
+}
+
+#[test]
+fn ring_sink_records_every_event_under_contention() {
+    let ring = Arc::new(RingSink::new(64));
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let ring = Arc::clone(&ring);
+            s.spawn(move || {
+                for i in 0..OPS {
+                    ring.record(&TraceEvent::VmBoot {
+                        vm: u32::try_from(t).expect("small"),
+                        time: i as f64,
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(ring.recorded(), THREADS * OPS);
+    // Capacity bound holds after arbitrary interleaving.
+    assert_eq!(ring.events().len(), 64);
+}

@@ -67,7 +67,7 @@ fn main() {
                     ))
                 })
                 .collect();
-            all.sort_by(|a, b| b.partial_cmp(a).expect("finite scores"));
+            all.sort_by(|a, b| b.total_cmp(a));
             let rank = all
                 .iter()
                 .position(|&v| v <= score(&rel) + 1e-9)

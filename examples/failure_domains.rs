@@ -40,12 +40,7 @@ fn main() {
         let busiest = s
             .vms
             .iter()
-            .max_by(|a, b| {
-                a.meter
-                    .busy
-                    .partial_cmp(&b.meter.busy)
-                    .expect("finite busy times")
-            })
+            .max_by(|a, b| a.meter.busy.total_cmp(&b.meter.busy))
             .expect("at least one VM")
             .id;
         let crash_at = s.makespan() / 2.0;

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Seed-matrix determinism sweep (ROADMAP: seed-matrix CI; run nightly
+# by .github/workflows/nightly.yml, or locally as tools/seed_matrix.sh).
+#
+# For every (figure, seed) in a small Pareto grid, generate the
+# artifacts at --threads 1 and --threads 8 and require them to be
+# byte-identical; then compare the run-manifest siblings after
+# stripping the fields that legitimately differ between the two runs
+# (thread count, wall-clock stamp, command line). Any surviving
+# difference is tie-break nondeterminism the single-seed tier-1 suite
+# cannot see.
+#
+# Environment overrides:
+#   SEEDS  — space-separated seed list        (default: "7 42 1337")
+#   FIGS   — space-separated cws-exp commands (default: "fig4 fig5")
+#   OUTDIR — scratch directory               (default: target/seed-matrix)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${SEEDS:-7 42 1337}"
+FIGS="${FIGS:-fig4 fig5}"
+OUTDIR="${OUTDIR:-target/seed-matrix}"
+
+rm -rf "$OUTDIR"
+mkdir -p "$OUTDIR"
+
+cargo build --release -q -p cws-experiments
+
+run_exp() { # fig seed threads outdir
+  cargo run --release -q -p cws-experiments --bin cws-exp -- \
+    "$1" --seed "$2" --threads "$3" --format csv \
+    --out "$4" --manifest >/dev/null
+}
+
+fail=0
+for seed in $SEEDS; do
+  for fig in $FIGS; do
+    t1="$OUTDIR/$fig-s$seed-t1"
+    t8="$OUTDIR/$fig-s$seed-t8"
+    run_exp "$fig" "$seed" 1 "$t1"
+    run_exp "$fig" "$seed" 8 "$t8"
+
+    # 1. Artifacts must be byte-identical.
+    for f in "$t1"/*; do
+      base="$(basename "$f")"
+      case "$base" in *.manifest.json) continue ;; esac
+      if ! cmp -s "$f" "$t8/$base"; then
+        echo "NONDETERMINISM: $fig seed=$seed: $base differs between threads 1 and 8" >&2
+        diff "$f" "$t8/$base" | head -10 >&2 || true
+        fail=1
+      fi
+    done
+
+    # 2. Manifest fingerprints (platform hash, counters, gauges) must
+    #    match once thread-dependent provenance fields are stripped.
+    for m in "$t1"/*.manifest.json; do
+      base="$(basename "$m")"
+      if ! python3 - "$m" "$t8/$base" <<'EOF'
+import json, sys
+def stable(path):
+    with open(path) as fh:
+        d = json.load(fh)
+    for volatile in ("threads", "created_unix", "command", "git_sha"):
+        d.pop(volatile, None)
+    return d
+a, b = stable(sys.argv[1]), stable(sys.argv[2])
+sys.exit(0 if a == b else 1)
+EOF
+      then
+        echo "NONDETERMINISM: $fig seed=$seed: $base manifests diverge (threads 1 vs 8)" >&2
+        fail=1
+      fi
+    done
+    echo "ok: $fig seed=$seed (threads 1 == threads 8)"
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "seed matrix FAILED — see NONDETERMINISM lines above" >&2
+  exit 1
+fi
+echo "seed matrix clean: seeds [$SEEDS] x figs [$FIGS]"
