@@ -161,7 +161,12 @@ fn main() {
         }
     }
     cws_obs::set_metrics_enabled(false);
-    let snapshot = cws_obs::MetricsRegistry::global().snapshot();
+    let mut snapshot = cws_obs::MetricsRegistry::global().snapshot();
+    // The committed BENCH_kernel.json is a deterministic counter
+    // profile; probe-latency histograms are wall-clock samples that
+    // would churn the artifact on every machine, so drop them before
+    // embedding.
+    snapshot.histograms.clear();
 
     let json = format!(
         "{{\n  \"bench\": \"kernel\",\n  \"quick\": {},\n  \"reps\": {},\n  \"pairings\": {},\n  \

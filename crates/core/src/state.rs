@@ -150,6 +150,11 @@ struct KernelCounters {
     placements: Arc<obs::Counter>,
     schedules: Arc<obs::Counter>,
     pool_hits: Arc<obs::Counter>,
+    /// Wall-clock probe latency in nanoseconds. The one metric whose
+    /// *sum* is machine-dependent; its count stays deterministic (one
+    /// sample per probe), which is what the thread-matrix regression
+    /// compares.
+    probe_latency: Arc<obs::Histogram>,
 }
 
 impl KernelCounters {
@@ -163,6 +168,7 @@ impl KernelCounters {
             placements: reg.counter(names::KERNEL_PLACEMENTS),
             schedules: reg.counter(names::KERNEL_SCHEDULES),
             pool_hits: reg.counter(names::POOL_HITS),
+            probe_latency: reg.histogram(names::KERNEL_PROBE_LATENCY),
         }
     }
 }
@@ -415,9 +421,13 @@ impl<'a> ScheduleBuilder<'a> {
     /// ```
     #[must_use]
     pub fn probe(&self, task: TaskId) -> TaskProbe<'_, 'a> {
-        if let Some(c) = &self.counters {
+        // Observability only: the sampled wall-clock never feeds back
+        // into simulated time, so replays stay pure functions of
+        // (workload, platform, seed).
+        let timed = self.counters.as_ref().map(|c| {
             c.probes.inc();
-        }
+            std::time::Instant::now() // cws-lint: allow(wall-clock-in-sim)
+        });
         let mut hosts: Vec<HostPreds> = Vec::new();
         let mut edges: Vec<ProbeEdge> = Vec::new();
         let mut local_ready: Vec<f64> = Vec::new();
@@ -448,6 +458,9 @@ impl<'a> ScheduleBuilder<'a> {
                     finish: p.finish,
                 });
             }
+        }
+        if let (Some(c), Some(t0)) = (&self.counters, timed) {
+            c.probe_latency.record(t0.elapsed().as_nanos() as u64);
         }
         TaskProbe {
             sb: self,

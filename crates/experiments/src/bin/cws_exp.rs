@@ -5,6 +5,7 @@
 //! cws-exp <fig3|fig4|fig5|table3|table4|table5|corent|catalog|prices|all>
 //!         [--seed N] [--out DIR] [--format ascii|csv|gnuplot]
 //!         [--trace FILE] [--metrics] [--manifest]
+//! cws-exp trace-report FILE [--json] [--check]
 //! ```
 //!
 //! Without `--out` the selected artifact prints to stdout in the chosen
@@ -16,7 +17,15 @@
 //! `FILE` as JSONL; `--metrics` collects the global counter/gauge
 //! registry and prints its snapshot to stderr at exit; `--manifest`
 //! writes a `<artifact>.manifest.json` provenance file next to every
-//! artifact produced under `--out`.
+//! artifact produced under `--out` (and next to the trace file itself).
+//!
+//! `trace-report FILE` folds a recorded trace back into per-VM billing
+//! and utilisation summaries in one streaming pass (`--json` for
+//! machine-readable output). With `--check` it also loads the trace's
+//! `.manifest.json` sibling, recomputes cost and makespan from the
+//! events, and exits non-zero unless they match the manifest's
+//! `run.cost_usd` / `run.makespan_s` gauges exactly — record the trace
+//! with `--threads 1 --metrics --manifest` for this to be meaningful.
 
 use cws_experiments::report::Table;
 use cws_experiments::{
@@ -53,6 +62,10 @@ struct Args {
     trace: Option<PathBuf>,
     metrics: bool,
     manifest: bool,
+    /// Positional input file (`trace-report` only).
+    input: Option<PathBuf>,
+    /// `trace-report --check`: reconcile against the manifest sibling.
+    check: bool,
 }
 
 fn usage() -> ! {
@@ -60,7 +73,8 @@ fn usage() -> ! {
         "usage: cws-exp <fig3|fig4|fig5|table3|table4|table5|corent|catalog|prices\
          |frontier|ablation|boundaries|grid|workloads|fleet|gantt|sensitivity|robustness|failures|energy|data|summary|service|all> \
          [--seed N] [--out DIR] [--format ascii|csv|gnuplot] [--threads N] [--json] \
-         [--trace FILE] [--metrics] [--manifest]"
+         [--trace FILE] [--metrics] [--manifest]\n       \
+         cws-exp trace-report FILE [--json] [--check]"
     );
     std::process::exit(2);
 }
@@ -78,9 +92,12 @@ fn parse_args() -> Args {
         trace: None,
         metrics: false,
         manifest: false,
+        input: None,
+        check: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--check" => parsed.check = true,
             "--seed" => {
                 parsed.seed = args
                     .next()
@@ -111,10 +128,94 @@ fn parse_args() -> Args {
             }
             "--metrics" => parsed.metrics = true,
             "--manifest" => parsed.manifest = true,
+            other
+                if parsed.command == "trace-report"
+                    && !other.starts_with('-')
+                    && parsed.input.is_none() =>
+            {
+                parsed.input = Some(PathBuf::from(other));
+            }
             _ => usage(),
         }
     }
     parsed
+}
+
+/// `cws-exp trace-report FILE [--json] [--check]`: stream-reduce a
+/// JSONL trace into per-VM billing/utilisation summaries; with
+/// `--check`, reconcile the recomputed cost/makespan against the
+/// trace's `.manifest.json` sibling. Returns the process exit code.
+fn run_trace_report(args: &Args) -> i32 {
+    use std::io::BufRead as _;
+    let Some(path) = &args.input else {
+        eprintln!("trace-report: missing trace FILE argument");
+        return 2;
+    };
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("trace-report: open {}: {e}", path.display());
+            return 2;
+        }
+    };
+    // One buffered pass; the reducer's memory is bounded by schedule
+    // size (VMs + tasks), not trace length.
+    let mut reducer = obs::report::TraceReducer::new();
+    for line in std::io::BufReader::new(file).lines() {
+        match line {
+            Ok(l) => reducer.feed_line(&l),
+            Err(e) => {
+                eprintln!("trace-report: read {}: {e}", path.display());
+                return 2;
+            }
+        }
+    }
+    let report = reducer.finish();
+
+    let manifest_path = obs::RunManifest::sibling_path(path);
+    let manifest = std::fs::read_to_string(&manifest_path)
+        .ok()
+        .and_then(|doc| obs::report::parse_manifest_metrics(&doc).ok());
+
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+        if let Some(m) = &manifest {
+            let hists = obs::report::histogram_summaries(m);
+            if !hists.is_empty() {
+                println!("published histograms ({}):", manifest_path.display());
+                print!("{hists}");
+            }
+        }
+    }
+
+    if !args.check {
+        return 0;
+    }
+    let Some(m) = &manifest else {
+        eprintln!(
+            "trace-report --check: no readable manifest at {} \
+             (record the trace with --metrics --manifest)",
+            manifest_path.display()
+        );
+        return 1;
+    };
+    let failures = obs::report::check(&report, m);
+    if failures.is_empty() {
+        eprintln!(
+            "trace-report --check: OK — trace and manifest agree \
+             ({} events, {} segments)",
+            report.events,
+            report.segments.len()
+        );
+        0
+    } else {
+        for f in &failures {
+            eprintln!("trace-report --check: FAIL: {f}");
+        }
+        1
+    }
 }
 
 fn emit(table: &Table, name: &str, args: &Args) {
@@ -140,6 +241,9 @@ fn write_files(table: &Table, name: &str, dir: &Path) {
 
 fn main() {
     let args = parse_args();
+    if args.command == "trace-report" {
+        std::process::exit(run_trace_report(&args));
+    }
     if let Some(path) = &args.trace {
         let sink = obs::JsonlSink::create(path).expect("create trace file");
         obs::install_sink(std::sync::Arc::new(sink));
@@ -482,9 +586,13 @@ fn main() {
         run_one(&args.command, &args);
     }
 
-    if args.trace.is_some() {
+    if let Some(path) = &args.trace {
         obs::flush();
         obs::clear_sink();
+        // The trace is an artifact too: give it a manifest sibling so
+        // `trace-report --check` can reconcile events against the
+        // run's final gauges.
+        note_artifact(path.clone());
     }
     let snapshot = args.metrics.then(|| {
         let s = obs::MetricsRegistry::global().snapshot();

@@ -1,7 +1,10 @@
 //! Observability regressions: the trace stream must reconcile with the
 //! reported schedule metrics, metric counter totals must be identical
-//! at any thread count, and the kernel's gap-index counter must fire
-//! when the insertion policy actually fills a gap.
+//! at any thread count, the kernel's gap-index counter must fire when
+//! the insertion policy actually fills a gap (and stay 0 across the
+//! paper's append-only pairings — DESIGN.md §10), and the streaming
+//! `trace-report` reducer must round-trip a traced replay back into
+//! `ScheduleMetrics` bit-for-bit.
 //!
 //! The trace sink and the metrics switch are process-global, so every
 //! test here serializes on one lock and leaves both disabled on exit.
@@ -234,4 +237,217 @@ fn insertion_into_an_idle_gap_counts_a_gap_hit() {
     assert_eq!(snap.counter(names::KERNEL_GAP_HITS), 1);
     assert_eq!(snap.counter(names::KERNEL_PLACEMENTS), 4);
     assert_eq!(snap.counter(names::KERNEL_SCHEDULES), 1);
+}
+
+/// Pin the dead pairing set (DESIGN.md §10): all 19 paper pairings
+/// build append-only schedules, so `kernel.gap_index_hits` must be
+/// exactly 0 across the whole set — any future change that makes a
+/// paper strategy consult the gap index must update DESIGN.md and the
+/// committed bench profile deliberately, not by accident. Also pins
+/// the probe-latency histogram's determinism contract: exactly one
+/// sample per probe.
+#[test]
+fn paper_pairings_never_hit_the_gap_index() {
+    let _g = obs_lock();
+    obs::clear_sink();
+    let registry = obs::MetricsRegistry::global();
+    obs::set_metrics_enabled(true);
+    registry.reset();
+
+    let platform = Platform::ec2_paper();
+    let wf = Scenario::Pareto { seed: 42 }.apply(&montage_24());
+    for s in Strategy::paper_set() {
+        let _ = s.schedule(&wf, &platform);
+    }
+    obs::set_metrics_enabled(false);
+
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter(names::KERNEL_GAP_HITS),
+        0,
+        "a paper pairing landed a placement in an idle gap — the \
+         append-only dead-pairing set of DESIGN.md §10 changed"
+    );
+    assert!(snap.counter(names::KERNEL_PLACEMENTS) > 0);
+    let h = snap
+        .histograms
+        .get(names::KERNEL_PROBE_LATENCY)
+        .expect("probe-latency histogram is registered and snapshotted");
+    assert_eq!(
+        h.count,
+        snap.counter(names::KERNEL_PROBES),
+        "one latency sample per probe"
+    );
+}
+
+/// Cross-crate consistency: the reducer's [`cws_obs::report::BtuPolicy`]
+/// mirror (cws-obs cannot depend on cws-platform) must agree with
+/// `cws_platform::billing::btus_for_span` everywhere, including the
+/// epsilon edge cases.
+#[test]
+fn btu_policy_matches_platform_billing() {
+    use cws_platform::billing::{btus_for_span, BTU_EPSILON, BTU_SECONDS};
+    let policy = cws_obs::report::BtuPolicy::default();
+    assert_eq!(policy.btu_seconds, BTU_SECONDS);
+    assert_eq!(policy.epsilon, BTU_EPSILON);
+    let mut spans = vec![0.0, 1e-9, 1.0, 3599.0, 7200.5, 1e7];
+    for k in 1..=5u32 {
+        let edge = f64::from(k) * BTU_SECONDS;
+        spans.extend([edge - 1e-3, edge - 1e-7, edge, edge + 1e-7, edge + 1e-3]);
+    }
+    for span in spans {
+        assert_eq!(
+            policy.btus_for_span(span),
+            btus_for_span(span),
+            "BtuPolicy diverges from platform billing at span {span}"
+        );
+    }
+}
+
+/// Busy time landing exactly on a BTU multiple is the emitter's edge
+/// case: billing's epsilon keeps a 3600.0 s span inside one BTU, so no
+/// boundary crossing may be emitted for it (and a 7200.0 s span emits
+/// exactly one). The regression this pins: the old emitter compared
+/// `k·BTU <= busy` without the epsilon and emitted a spurious crossing
+/// the reducer could never reconcile with `billed − 1`.
+#[test]
+fn exact_btu_spans_emit_no_spurious_boundary() {
+    let _g = obs_lock();
+    obs::set_metrics_enabled(false);
+    let platform = Platform::ec2_paper();
+    // Small's speed-up is exactly 1.0, so reference runtimes are busy
+    // seconds: one task of exactly 1 BTU, one of exactly 2.
+    let mut b = WorkflowBuilder::new("exact-btu");
+    let one = b.task("one-btu", 3600.0);
+    let two = b.task("two-btu", 7200.0);
+    let wf = b.build().unwrap();
+
+    let ring = Arc::new(RingSink::new(1_000));
+    obs::install_sink(ring.clone());
+    let mut sb = ScheduleBuilder::new(&wf, &platform);
+    let v0 = sb.place_on_new(one, InstanceType::Small);
+    let v1 = sb.place_on_new(two, InstanceType::Small);
+    let schedule = sb.build("exact-btu");
+    let _ = cws_sim::simulate(&wf, &platform, &schedule);
+    obs::clear_sink();
+
+    let mut boundaries: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    let mut billed: BTreeMap<u32, u64> = BTreeMap::new();
+    for e in ring.events() {
+        match e {
+            TraceEvent::BtuBoundary { vm, btu, .. } => {
+                boundaries.entry(vm).or_default().push(btu);
+            }
+            TraceEvent::VmReclaim {
+                vm, billed_btus, ..
+            } => {
+                billed.insert(vm, billed_btus);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(billed[&v0.0], 1, "3600.0 s bills one BTU");
+    assert_eq!(billed[&v1.0], 2, "7200.0 s bills two BTUs");
+    assert!(
+        !boundaries.contains_key(&v0.0),
+        "exactly-one-BTU busy must not emit a boundary crossing: {boundaries:?}"
+    );
+    assert_eq!(
+        boundaries.get(&v1.0),
+        Some(&vec![1]),
+        "exactly-two-BTU busy emits the single crossing into BTU 2"
+    );
+
+    // And the reducer agrees end to end: billed == crossings + 1.
+    let mut reducer = cws_obs::report::TraceReducer::new();
+    for e in ring.events() {
+        reducer.feed_line(&e.to_json());
+    }
+    let report = reducer.finish();
+    assert!(report.violations().is_empty(), "{:?}", report.violations());
+    assert_eq!(report.segments[0].billed_btus, 3);
+}
+
+/// The round-trip property behind `cws-exp trace-report --check`:
+/// trace a schedule's build + replay, reduce the JSONL with the
+/// streaming reducer, and the recomputed per-VM busy seconds, BTU
+/// billing, cost and makespan must equal `ScheduleMetrics` — bit for
+/// bit, not within a tolerance — across seeds {7, 42, 1337}. The
+/// matrix results the gauges come from are themselves identical at 1
+/// vs 8 worker threads, so the reconciliation is thread-count-proof.
+#[test]
+fn trace_report_round_trips_schedule_metrics_exactly() {
+    let _g = obs_lock();
+    obs::set_metrics_enabled(false);
+    let platform = Platform::ec2_paper();
+    let strategies = Strategy::paper_set();
+    for seed in [7u64, 42, 1337] {
+        let scenario = Scenario::Pareto { seed };
+        let wf = scenario.apply(&montage_24());
+        let strategy = Strategy::parse("AllParExceed-m").expect("paper label");
+
+        let ring = Arc::new(RingSink::new(100_000));
+        obs::install_sink(ring.clone());
+        let schedule = strategy.schedule(&wf, &platform);
+        let _ = cws_sim::simulate(&wf, &platform, &schedule);
+        obs::clear_sink();
+        let metrics = ScheduleMetrics::of(&schedule, &wf, &platform);
+
+        // Reduce through the same JSONL path `trace-report` uses.
+        let mut reducer = cws_obs::report::TraceReducer::new();
+        for e in ring.events() {
+            reducer.feed_line(&e.to_json());
+        }
+        let report = reducer.finish();
+        assert!(report.parse_errors.is_empty(), "{:?}", report.parse_errors);
+        assert_eq!(report.segments.len(), 1, "one schedule, one segment");
+        let seg = &report.segments[0];
+        assert!(
+            seg.violations.is_empty(),
+            "seed {seed}: {:?}",
+            seg.violations
+        );
+        assert!(seg.replayed);
+
+        assert_eq!(
+            seg.plan_makespan_s.to_bits(),
+            metrics.makespan.to_bits(),
+            "seed {seed}: reduced makespan must be bit-exact"
+        );
+        assert_eq!(
+            seg.plan_cost_usd.to_bits(),
+            metrics.cost.to_bits(),
+            "seed {seed}: reduced cost must be bit-exact"
+        );
+        assert_eq!(seg.billed_btus, metrics.btus, "seed {seed}");
+        assert!(
+            (seg.idle_s - metrics.idle_seconds).abs() < 1e-9,
+            "seed {seed}: idle {} vs metrics {}",
+            seg.idle_s,
+            metrics.idle_seconds
+        );
+        for vm in &schedule.vms {
+            let v = &seg.vms[vm.id.index()];
+            assert_eq!(
+                v.plan_busy_s.to_bits(),
+                vm.meter.busy.to_bits(),
+                "seed {seed}: vm {} busy accumulation must replay exactly",
+                vm.id
+            );
+            let (_, billed, _, _) = v.reclaim.expect("replayed VM was reclaimed");
+            assert_eq!(billed, cws_platform::billing::btus_for_span(vm.meter.busy));
+        }
+
+        // Thread-count-proof: the matrix producing the manifest gauges
+        // renders identically at 1 and 8 workers for this seed.
+        let cfg = ExperimentConfig {
+            seed,
+            validate_with_sim: false,
+            ..ExperimentConfig::default()
+        };
+        let prepared = vec![prepare(&cfg, &montage_24(), scenario)];
+        let one = run_matrix(&cfg, &prepared, &strategies, 1);
+        let eight = run_matrix(&cfg, &prepared, &strategies, 8);
+        assert_eq!(format!("{one:?}"), format!("{eight:?}"), "seed {seed}");
+    }
 }

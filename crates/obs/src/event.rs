@@ -7,7 +7,7 @@
 //! serializes to one JSON object — see [`TraceEvent::to_json`] — and a
 //! JSONL sink writes one event per line.
 
-use crate::json::{json_f64, json_str};
+use crate::json::{self, json_f64, json_str};
 
 /// How a task placement decision claimed its host VM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +31,18 @@ impl PlacementKind {
             PlacementKind::Append => "append",
             PlacementKind::Insert => "insert",
             PlacementKind::WarmClaim => "warm-claim",
+        }
+    }
+
+    /// Parse the label written by [`Self::name`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "new-vm" => Some(PlacementKind::NewVm),
+            "append" => Some(PlacementKind::Append),
+            "insert" => Some(PlacementKind::Insert),
+            "warm-claim" => Some(PlacementKind::WarmClaim),
+            _ => None,
         }
     }
 }
@@ -240,6 +252,100 @@ impl TraceEvent {
             ),
         }
     }
+
+    /// Parse one JSONL trace line back into the event it encodes —
+    /// the exact inverse of [`Self::to_json`] (floats recover
+    /// bit-exactly, see [`crate::json`]).
+    ///
+    /// # Errors
+    /// Returns a message naming the malformed or missing field.
+    pub fn from_json(line: &str) -> Result<TraceEvent, String> {
+        let v = json::parse(line)?;
+        let ev = v
+            .get("ev")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| "missing \"ev\" discriminator".to_string())?;
+        let f = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| format!("{ev}: missing number \"{k}\""))
+        };
+        let u = |k: &str| -> Result<u32, String> {
+            v.get(k)
+                .and_then(json::Value::as_u64)
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or_else(|| format!("{ev}: missing id \"{k}\""))
+        };
+        let s = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(json::Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{ev}: missing string \"{k}\""))
+        };
+        match ev {
+            "vm-lease" => Ok(TraceEvent::VmLease {
+                vm: u("vm")?,
+                itype: s("itype")?,
+                region: s("region")?,
+                price_per_btu: f("price_per_btu")?,
+                time: f("t")?,
+            }),
+            "vm-boot" => Ok(TraceEvent::VmBoot {
+                vm: u("vm")?,
+                time: f("t")?,
+            }),
+            "btu-boundary" => Ok(TraceEvent::BtuBoundary {
+                vm: u("vm")?,
+                btu: v
+                    .get("btu")
+                    .and_then(json::Value::as_u64)
+                    .ok_or_else(|| "btu-boundary: missing \"btu\"".to_string())?,
+                time: f("t")?,
+            }),
+            "vm-reclaim" => Ok(TraceEvent::VmReclaim {
+                vm: u("vm")?,
+                time: f("t")?,
+                billed_btus: v
+                    .get("billed_btus")
+                    .and_then(json::Value::as_u64)
+                    .ok_or_else(|| "vm-reclaim: missing \"billed_btus\"".to_string())?,
+                busy_s: f("busy_s")?,
+                cost_usd: f("cost_usd")?,
+            }),
+            "task-start" => Ok(TraceEvent::TaskStart {
+                task: u("task")?,
+                vm: u("vm")?,
+                time: f("t")?,
+            }),
+            "task-finish" => Ok(TraceEvent::TaskFinish {
+                task: u("task")?,
+                vm: u("vm")?,
+                time: f("t")?,
+            }),
+            "transfer-start" => Ok(TraceEvent::TransferStart {
+                from: u("from")?,
+                to: u("to")?,
+                data_mb: f("data_mb")?,
+                time: f("t")?,
+            }),
+            "transfer-finish" => Ok(TraceEvent::TransferFinish {
+                from: u("from")?,
+                to: u("to")?,
+                time: f("t")?,
+            }),
+            "probe-decision" => Ok(TraceEvent::ProbeDecision {
+                task: u("task")?,
+                vm: u("vm")?,
+                start: f("start")?,
+                finish: f("finish")?,
+                kind: s("kind").and_then(|k| {
+                    PlacementKind::parse(&k)
+                        .ok_or_else(|| format!("probe-decision: unknown kind \"{k}\""))
+                })?,
+            }),
+            other => Err(format!("unknown event kind \"{other}\"")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -325,5 +431,71 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), kinds.len());
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        let events = [
+            TraceEvent::VmLease {
+                vm: 3,
+                itype: "small".into(),
+                region: "eu-dublin".into(),
+                price_per_btu: 0.095,
+                time: 12.5,
+            },
+            TraceEvent::VmBoot { vm: 1, time: 0.25 },
+            TraceEvent::BtuBoundary {
+                vm: 2,
+                btu: 4,
+                time: 14400.0,
+            },
+            TraceEvent::VmReclaim {
+                vm: 2,
+                time: 15000.5,
+                billed_btus: 5,
+                busy_s: 14400.1,
+                cost_usd: 0.475,
+            },
+            TraceEvent::TaskStart {
+                task: 9,
+                vm: 0,
+                time: 100.0 / 3.0,
+            },
+            TraceEvent::TaskFinish {
+                task: 9,
+                vm: 0,
+                time: 200.0 / 3.0,
+            },
+            TraceEvent::TransferStart {
+                from: 1,
+                to: 2,
+                data_mb: 1250.0,
+                time: 99.9,
+            },
+            TraceEvent::TransferFinish {
+                from: 1,
+                to: 2,
+                time: 109.9,
+            },
+            TraceEvent::ProbeDecision {
+                task: 7,
+                vm: 1,
+                start: 100.0,
+                finish: 250.0,
+                kind: PlacementKind::Insert,
+            },
+        ];
+        for e in events {
+            let parsed = TraceEvent::from_json(&e.to_json()).expect("round trip");
+            assert_eq!(parsed, e);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_context() {
+        assert!(TraceEvent::from_json("{}").is_err());
+        assert!(TraceEvent::from_json("{\"ev\":\"martian\"}").is_err());
+        assert!(TraceEvent::from_json("{\"ev\":\"vm-boot\",\"t\":1.0}").is_err());
+        assert!(TraceEvent::from_json("not json").is_err());
     }
 }

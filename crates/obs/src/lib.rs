@@ -25,6 +25,12 @@
 //!   or bench artifact: git SHA, seed, thread count, platform
 //!   fingerprint, policy set and final metrics, sufficient to re-run
 //!   the producing command.
+//! * [`report`] — a streaming trace reducer ([`TraceReducer`]) that
+//!   folds a `--trace` JSONL stream back into per-VM billing and
+//!   utilisation summaries in one constant-memory pass, and a
+//!   reconciliation gate ([`report::check`]) that recomputes cost and
+//!   makespan from the trace and compares them — exactly — against the
+//!   run manifest's gauges (`cws-exp trace-report --check`).
 //!
 //! The crate deliberately depends on nothing else in the workspace (it
 //! sits below `cws-core`), so events carry primitive ids — dense task
@@ -37,12 +43,14 @@ pub mod event;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod report;
 pub mod sink;
 pub mod trace;
 
 pub use event::{PlacementKind, TraceEvent};
 pub use manifest::RunManifest;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use report::{SegmentSummary, TraceReducer, TraceReport, VmSummary};
 pub use sink::{JsonlSink, RingSink, TraceSink};
 pub use trace::{
     clear_sink, emit, flush, install_sink, metrics_enabled, set_metrics_enabled, trace_enabled,

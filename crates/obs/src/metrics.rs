@@ -33,7 +33,12 @@ pub mod names {
     pub const KERNEL_PROBES: &str = "kernel.probes";
     /// Lazily-built per-(region, itype) ready-key reductions.
     pub const KERNEL_KEY_BUILDS: &str = "kernel.key_ready_builds";
-    /// Insertion probes answered from an indexed idle gap (not the tail).
+    /// Insertion *placements* committed inside an indexed idle gap
+    /// (strictly before the VM's tail). Gap-index *maintenance* runs on
+    /// every placement path, but only gap-aware placement can land in a
+    /// gap — the paper's 19 pairings all build append-only schedules,
+    /// so this counter is structurally 0 for them (pinned by a
+    /// regression test; see DESIGN.md §10).
     pub const KERNEL_GAP_HITS: &str = "kernel.gap_index_hits";
     /// Task placements committed by the kernel.
     pub const KERNEL_PLACEMENTS: &str = "kernel.placements";
@@ -58,6 +63,14 @@ pub mod names {
     /// Warm-claim fraction (`hits / (hits + cold)`) of the most recent
     /// service run.
     pub const RUN_POOL_HIT_RATE: &str = "run.pool_hit_rate";
+    /// Histogram of `ScheduleBuilder::probe` wall-clock latencies in
+    /// nanoseconds. The only wall-clock-derived metric in the registry:
+    /// its counts are thread-count-independent, its sum is not.
+    pub const KERNEL_PROBE_LATENCY: &str = "kernel.probe_latency";
+    /// Histogram of service-layer queue waits (delay from a workflow's
+    /// arrival to its first task start) in sim-clock milliseconds —
+    /// deterministic, unlike [`KERNEL_PROBE_LATENCY`].
+    pub const SERVICE_QUEUE_WAIT: &str = "service.queue_wait";
 }
 
 /// Monotonically increasing `u64` counter.
@@ -139,6 +152,16 @@ impl Default for Histogram {
     }
 }
 
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // 65 atomic buckets are noise in debug output; count/sum place it.
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
 impl Histogram {
     /// Record one sample.
     #[inline]
@@ -198,6 +221,50 @@ impl HistogramSnapshot {
         }
         self.count += other.count;
         self.sum += other.sum;
+    }
+
+    /// Upper bound of the values bucket `i` can hold (`0` for bucket 0,
+    /// else `2^i − 1`, saturating at `u64::MAX`).
+    #[must_use]
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64.. => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// The `q`-quantile's bucket upper bound (`q` in `[0, 1]`): the
+    /// smallest bucket bound below which at least `⌈q·count⌉` samples
+    /// fall. Log₂ buckets make this exact to within a factor of two —
+    /// the usual contract of a power-of-two latency histogram. Returns
+    /// 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        Self::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Sparse `(significant-bits, count)` pairs of the non-empty
+    /// buckets, in bucket order — the form the JSON encoding publishes.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
     }
 }
 
@@ -348,8 +415,11 @@ impl MetricsSnapshot {
 
     /// Encode as one JSON object:
     /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
-    /// Histograms serialize their count, sum and mean (per-bucket
-    /// detail stays in-process).
+    /// Each histogram publishes its count, sum, mean, p50/p90/p99
+    /// bucket bounds and the sparse non-empty buckets as
+    /// `[significant_bits, count]` pairs — enough to reconstruct the
+    /// full distribution (`cws-exp trace-report` renders these as
+    /// percentile summaries).
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
@@ -373,12 +443,23 @@ impl MetricsSnapshot {
             }
             let _ = write!(
                 out,
-                "{}:{{\"count\":{},\"sum\":{},\"mean\":{}}}",
+                "{}:{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\
+                 \"buckets\":[",
                 json_str(k),
                 h.count,
                 h.sum,
-                json_f64(h.mean())
+                json_f64(h.mean()),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
             );
+            for (j, (bits, c)) in h.nonzero_buckets().into_iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{bits},{c}]");
+            }
+            out.push_str("]}");
         }
         out.push_str("}}");
         out
@@ -464,7 +545,46 @@ mod tests {
         assert_eq!(
             json,
             "{\"counters\":{\"a.b\":2},\"gauges\":{\"c\":0.5},\
-             \"histograms\":{\"d\":{\"count\":1,\"sum\":3,\"mean\":3}}}"
+             \"histograms\":{\"d\":{\"count\":1,\"sum\":3,\"mean\":3,\
+             \"p50\":3,\"p90\":3,\"p99\":3,\"buckets\":[[2,1]]}}}"
         );
+    }
+
+    #[test]
+    fn quantiles_walk_the_log2_buckets() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(1); // bucket 1, bound 1
+        }
+        for _ in 0..9 {
+            h.record(100); // bucket 7, bound 127
+        }
+        h.record(1_000_000); // bucket 20, bound 2^20 - 1
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.50), 1);
+        assert_eq!(s.quantile(0.90), 1);
+        assert_eq!(s.quantile(0.99), 127);
+        assert_eq!(s.quantile(1.0), (1 << 20) - 1);
+        assert_eq!(s.quantile(0.0), 1, "q=0 still needs one sample");
+        assert_eq!(HistogramSnapshot::default_empty().quantile(0.5), 0);
+        assert_eq!(s.nonzero_buckets(), vec![(1, 90), (7, 9), (20, 1)]);
+    }
+
+    impl HistogramSnapshot {
+        fn default_empty() -> Self {
+            HistogramSnapshot {
+                buckets: [0; HISTOGRAM_BUCKETS],
+                count: 0,
+                sum: 0,
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_u64_range() {
+        assert_eq!(HistogramSnapshot::bucket_upper_bound(0), 0);
+        assert_eq!(HistogramSnapshot::bucket_upper_bound(1), 1);
+        assert_eq!(HistogramSnapshot::bucket_upper_bound(10), 1023);
+        assert_eq!(HistogramSnapshot::bucket_upper_bound(64), u64::MAX);
     }
 }

@@ -72,6 +72,50 @@ fn histogram_totals_are_exact_under_8_thread_contention() {
 }
 
 #[test]
+fn published_histograms_are_exact_under_8_thread_contention() {
+    // The `--metrics` bugfix end to end: histograms must not only
+    // accumulate exactly under contention, the *published* snapshot
+    // JSON must carry them (count, sum, quantiles, sparse buckets)
+    // and be identical to a single-threaded registry that saw the
+    // same samples — integer-only state makes recording commutative.
+    let reg = Arc::new(MetricsRegistry::new());
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let reg = Arc::clone(&reg);
+            s.spawn(move || {
+                let h = reg.histogram("kernel.probe_latency");
+                for i in 0..OPS {
+                    h.record(i % 1000);
+                }
+            });
+        }
+    });
+    let serial = MetricsRegistry::new();
+    let h = serial.histogram("kernel.probe_latency");
+    for _ in 0..THREADS {
+        for i in 0..OPS {
+            h.record(i % 1000);
+        }
+    }
+    let contended = reg.snapshot().to_json();
+    assert_eq!(contended, serial.snapshot().to_json());
+    // And the document actually publishes the histogram section.
+    assert!(
+        contended.contains("\"kernel.probe_latency\":{\"count\":400000,"),
+        "histogram missing from published snapshot: {contended}"
+    );
+    for field in [
+        "\"sum\":",
+        "\"p50\":",
+        "\"p90\":",
+        "\"p99\":",
+        "\"buckets\":[[",
+    ] {
+        assert!(contended.contains(field), "{field} missing: {contended}");
+    }
+}
+
+#[test]
 fn per_worker_registries_merge_identically_in_any_order() {
     // The parallel-sweep pattern: one registry per worker, merged at
     // the end. Totals must be independent of merge order — this is

@@ -120,6 +120,16 @@ pub fn run_service_traced(
                 .gauge(cws_obs::metrics::names::RUN_POOL_HIT_RATE)
                 .set(hits as f64 / (hits + cold) as f64);
         }
+        // Queue-wait distribution in sim-clock milliseconds: derived
+        // from placement starts, so the histogram is deterministic for
+        // a given (workload, platform, seed) at any thread count.
+        let waits = cws_obs::MetricsRegistry::global()
+            .histogram(cws_obs::metrics::names::SERVICE_QUEUE_WAIT);
+        for r in &records {
+            if r.queue_delay_s.is_finite() {
+                waits.record((r.queue_delay_s * 1000.0).round() as u64);
+            }
+        }
     }
 
     let report = ServiceReport::assemble(&platform, cfg, &records, &pool);

@@ -5,7 +5,7 @@ use crate::report::{ObservedTask, SimEvent, SimReport};
 use cws_core::{Schedule, VmId};
 use cws_dag::{TaskId, Workflow};
 use cws_obs as obs;
-use cws_platform::billing::{btus_for_span, BTU_SECONDS};
+use cws_platform::billing::{btus_for_span, BTU_EPSILON, BTU_SECONDS};
 use cws_platform::Platform;
 
 /// Internal event payloads.
@@ -295,9 +295,15 @@ impl<'a> Simulator<'a> {
                 busy += finish - start;
                 end = end.max(finish);
                 // Boundaries crossed while this task ran: consumed time
-                // passes k·BTU at start + (k·BTU − busy_before).
-                let mut k = (before / BTU_SECONDS).floor() as u64 + 1;
-                while (k as f64) * BTU_SECONDS <= busy {
+                // passes k·BTU at start + (k·BTU − busy_before). Start
+                // from the unit already being billed (btus_for_span,
+                // not floor+1: if `before` sat exactly on a BTU
+                // multiple that boundary was already emitted) and stop
+                // with the same epsilon billing itself uses, so the
+                // emitted set is exactly {1, …, billed − 1} even when
+                // busy lands on an exact multiple.
+                let mut k = btus_for_span(before);
+                while (k as f64) * BTU_SECONDS + BTU_EPSILON <= busy {
                     let at = start + (k as f64) * BTU_SECONDS - before;
                     obs::emit(|| obs::TraceEvent::BtuBoundary {
                         vm: vm.id.0,

@@ -10,6 +10,13 @@
 # difference is tie-break nondeterminism the single-seed tier-1 suite
 # cannot see.
 #
+# A third run per (figure, seed) records a --threads 1 trace with
+# --metrics --manifest and pushes it through `cws-exp trace-report
+# --check`: the streaming reducer recomputes cost and makespan from the
+# event stream and the check fails unless they match the manifest's
+# run.cost_usd / run.makespan_s gauges exactly — trace ⇄ metrics
+# reconciliation on every swept artifact.
+#
 # Environment overrides:
 #   SEEDS  — space-separated seed list        (default: "7 42 1337")
 #   FIGS   — space-separated cws-exp commands (default: "fig4 fig5")
@@ -72,7 +79,21 @@ EOF
         fail=1
       fi
     done
-    echo "ok: $fig seed=$seed (threads 1 == threads 8)"
+    # 3. Trace ⇄ metrics reconciliation: record a --threads 1 trace of
+    #    the same cell and require trace-report --check to reproduce
+    #    the manifest gauges exactly from the event stream.
+    tr="$OUTDIR/$fig-s$seed-trace"
+    mkdir -p "$tr"
+    cargo run --release -q -p cws-experiments --bin cws-exp -- \
+      "$fig" --seed "$seed" --threads 1 --format csv \
+      --out "$tr" --trace "$tr/trace.jsonl" --metrics --manifest \
+      >/dev/null 2>/dev/null
+    if ! cargo run --release -q -p cws-experiments --bin cws-exp -- \
+      trace-report "$tr/trace.jsonl" --check >/dev/null; then
+      echo "RECONCILIATION: $fig seed=$seed: trace-report --check diverged from the run manifest" >&2
+      fail=1
+    fi
+    echo "ok: $fig seed=$seed (threads 1 == threads 8, trace reconciles)"
   done
 done
 
