@@ -21,7 +21,16 @@
 //!
 //! ```text
 //! cws-bench [--quick] [--out PATH]
+//! cws-bench --service [--quick] [--out PATH]
 //! ```
+//!
+//! `--service` benchmarks the online engines instead: the legacy
+//! single-loop `cws_service::run_service_summary` against the sharded
+//! streaming `cws_serve::run_sharded_summary` on the light scaling
+//! profile (one UniformBag(4) tenant, immediate reclaim) at 10³, 10⁴
+//! and 10⁵ submissions, asserting byte-identical summaries before
+//! writing tenants/sec per engine to `BENCH_service.json` (with the
+//! same manifest-sibling convention).
 
 use cws_core::state::naive;
 use cws_core::Strategy;
@@ -78,21 +87,149 @@ fn sweep(wf: &Workflow, platform: &Platform, strategies: &[Strategy], reps: usiz
 }
 
 fn usage() -> ! {
-    eprintln!("usage: cws-bench [--quick] [--out PATH]");
+    eprintln!("usage: cws-bench [--service] [--quick] [--out PATH]");
     std::process::exit(2);
+}
+
+/// One scale point of the service-engine benchmark.
+struct ServiceRow {
+    target: usize,
+    tenants: usize,
+    legacy_s: f64,
+    sharded_s: f64,
+}
+
+impl ServiceRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"target_tenants\":{},\"tenants\":{},\"legacy_s\":{},\"sharded_s\":{},\
+             \"legacy_tenants_per_s\":{},\"sharded_tenants_per_s\":{},\"speedup\":{}}}",
+            self.target,
+            self.tenants,
+            self.legacy_s,
+            self.sharded_s,
+            self.tenants as f64 / self.legacy_s,
+            self.tenants as f64 / self.sharded_s,
+            self.legacy_s / self.sharded_s
+        )
+    }
+}
+
+/// `cws-bench --service`: legacy vs sharded service-engine throughput
+/// on the light scaling profile, with the byte-identity contract
+/// re-proven at every scale before anything is timed into the report.
+fn service_bench(quick: bool, out: &PathBuf) {
+    use cws_service::{ArrivalModel, ReclaimPolicy, ServiceConfig, TenantSpec, WorkloadKind};
+
+    const RATE_PER_HOUR: f64 = 50_000.0;
+    const SHARDS: usize = 4;
+    const THREADS: usize = 4;
+
+    let platform = Platform::ec2_paper();
+    let scales: &[usize] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+
+    let mut rows = Vec::new();
+    for &target in scales {
+        let cfg = ServiceConfig {
+            alloc: cws_core::StaticAlloc::HeftStartParExceed,
+            itype: cws_platform::InstanceType::Small,
+            reclaim: ReclaimPolicy::Immediate,
+            boot_time_s: 0.0,
+            tenants: vec![TenantSpec {
+                name: "batch".to_string(),
+                kind: WorkloadKind::UniformBag(4),
+                rate_per_hour: RATE_PER_HOUR,
+            }],
+            model: ArrivalModel::Poisson {
+                horizon_s: target as f64 / RATE_PER_HOUR * 3600.0,
+            },
+            seed: 42,
+        };
+        let start = Instant::now();
+        let legacy = cws_service::run_service_summary(&platform, &cfg);
+        let legacy_s = start.elapsed().as_secs_f64();
+
+        let scfg = cws_serve::ShardedConfig {
+            service: cfg,
+            shards: SHARDS,
+            threads: THREADS,
+            epoch: 64,
+        };
+        let start = Instant::now();
+        let sharded = cws_serve::run_sharded_summary(&platform, &scfg);
+        let sharded_s = start.elapsed().as_secs_f64();
+
+        assert_eq!(
+            legacy.to_json(),
+            sharded.to_json(),
+            "engines diverged at {target} submissions"
+        );
+        let row = ServiceRow {
+            target,
+            tenants: legacy.fleet.workflows,
+            legacy_s,
+            sharded_s,
+        };
+        println!(
+            "{:>7} tenants  legacy {:>8.3}s ({:>9.0}/s)  sharded {:>8.3}s ({:>9.0}/s)  {:>6.2}x",
+            row.tenants,
+            row.legacy_s,
+            row.tenants as f64 / row.legacy_s,
+            row.sharded_s,
+            row.tenants as f64 / row.sharded_s,
+            row.legacy_s / row.sharded_s
+        );
+        rows.push(row);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"service\",\n  \"quick\": {},\n  \
+         \"profile\": \"light: 1 tenant, UniformBag(4), immediate reclaim, {RATE_PER_HOUR} arrivals/hour\",\n  \
+         \"sharded\": {{\"shards\":{SHARDS},\"threads\":{THREADS}}},\n  \"scales\": [\n    {}\n  ]\n}}\n",
+        quick,
+        rows.iter()
+            .map(ServiceRow::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+    );
+    std::fs::write(out, json).unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
+
+    let mut manifest = cws_obs::RunManifest::new("cws-bench");
+    manifest.command = std::env::args().skip(1).collect();
+    manifest.seed = 42;
+    manifest.threads = THREADS;
+    manifest.set_platform_fingerprint(format!("{platform:?}").as_bytes());
+    manifest.policies = vec!["StartParExceed-s".to_string()];
+    manifest.workloads = vec!["ubot4".to_string()];
+    manifest
+        .write_sibling(out)
+        .unwrap_or_else(|e| panic!("write manifest for {}: {e}", out.display()));
+    println!("wrote {} (+ manifest)", out.display());
 }
 
 fn main() {
     let mut quick = false;
-    let mut out = PathBuf::from("BENCH_kernel.json");
+    let mut service = false;
+    let mut out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
-            "--out" => out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--service" => service = true,
+            "--out" => out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             _ => usage(),
         }
     }
+    if service {
+        let out = out.unwrap_or_else(|| PathBuf::from("BENCH_service.json"));
+        service_bench(quick, &out);
+        return;
+    }
+    let out = out.unwrap_or_else(|| PathBuf::from("BENCH_kernel.json"));
     let reps = if quick { 1 } else { 3 };
 
     let platform = Platform::ec2_paper();

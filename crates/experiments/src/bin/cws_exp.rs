@@ -5,6 +5,8 @@
 //! cws-exp <fig3|fig4|fig5|table3|table4|table5|corent|catalog|prices|all>
 //!         [--seed N] [--out DIR] [--format ascii|csv|gnuplot]
 //!         [--trace FILE] [--metrics] [--manifest]
+//! cws-exp serve [--engine legacy|sharded] [--shards N] [--report full|summary]
+//!         [--hours H] [--light] [--listen ADDR]
 //! cws-exp trace-report FILE [--json] [--check]
 //! ```
 //!
@@ -18,6 +20,14 @@
 //! registry and prints its snapshot to stderr at exit; `--manifest`
 //! writes a `<artifact>.manifest.json` provenance file next to every
 //! artifact produced under `--out` (and next to the trace file itself).
+//!
+//! `serve` runs the multi-tenant service engines (`cws-service` /
+//! `cws-serve`) directly: one batch run of a synthetic tenant profile,
+//! or — with `--listen ADDR` — a long-lived daemon accepting JSON-lines
+//! workflow submissions over a unix or TCP socket (see EXPERIMENTS.md
+//! for the wire format). Batch runs respect `--trace`, `--metrics`,
+//! `--manifest` and `--out`; recorded service traces reconcile under
+//! `trace-report --check` against the `service.fleet_*` gauges.
 //!
 //! `trace-report FILE` folds a recorded trace back into per-VM billing
 //! and utilisation summaries in one streaming pass (`--json` for
@@ -34,6 +44,13 @@ use cws_experiments::{
     tables, ExperimentConfig,
 };
 use cws_obs as obs;
+use cws_serve::{
+    run_sharded_service, run_sharded_summary, Daemon, ServeCore, ServeOptions, ShardedConfig,
+};
+use cws_service::{
+    run_service, run_service_summary, ArrivalModel, ReclaimPolicy, ServiceConfig, TenantSpec,
+    WorkloadKind,
+};
 use cws_workloads::{montage_24, Scenario};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -66,6 +83,21 @@ struct Args {
     input: Option<PathBuf>,
     /// `trace-report --check`: reconcile against the manifest sibling.
     check: bool,
+    /// `serve`: which engine runs the batch (`legacy` or `sharded`).
+    engine: String,
+    /// `serve`: warm-pool shard count for the sharded engine.
+    shards: usize,
+    /// `serve`: report mode (`full` or `summary`).
+    report: String,
+    /// `serve`: Poisson horizon in hours for the batch profiles.
+    hours: f64,
+    /// `serve`: swap the paper tenant mix for a single light tenant
+    /// (UniformBag(4), 50 000 arrivals/hour) — the memory-ceiling and
+    /// throughput-scaling profile.
+    light: bool,
+    /// `serve`: daemon mode — accept JSON-lines submissions on this
+    /// unix-socket path (contains `/`) or TCP address.
+    listen: Option<String>,
 }
 
 fn usage() -> ! {
@@ -74,6 +106,8 @@ fn usage() -> ! {
          |frontier|ablation|boundaries|grid|workloads|fleet|gantt|sensitivity|robustness|failures|energy|data|summary|service|all> \
          [--seed N] [--out DIR] [--format ascii|csv|gnuplot] [--threads N] [--json] \
          [--trace FILE] [--metrics] [--manifest]\n       \
+         cws-exp serve [--engine legacy|sharded] [--shards N] [--report full|summary] \
+         [--hours H] [--light] [--listen ADDR] [common flags]\n       \
          cws-exp trace-report FILE [--json] [--check]"
     );
     std::process::exit(2);
@@ -94,6 +128,12 @@ fn parse_args() -> Args {
         manifest: false,
         input: None,
         check: false,
+        engine: "sharded".to_string(),
+        shards: 1,
+        report: "full".to_string(),
+        hours: 2.0,
+        light: false,
+        listen: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -123,6 +163,36 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage());
             }
             "--json" => parsed.json = true,
+            "--engine" => {
+                parsed.engine = match args.next().as_deref() {
+                    Some(e @ ("legacy" | "sharded")) => e.to_string(),
+                    _ => usage(),
+                };
+            }
+            "--shards" => {
+                parsed.shards = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--report" => {
+                parsed.report = match args.next().as_deref() {
+                    Some(m @ ("full" | "summary")) => m.to_string(),
+                    _ => usage(),
+                };
+            }
+            "--hours" => {
+                parsed.hours = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|h: &f64| h.is_finite() && *h > 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--light" => parsed.light = true,
+            "--listen" => {
+                parsed.listen = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "--trace" => {
                 parsed.trace = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
             }
@@ -215,6 +285,143 @@ fn run_trace_report(args: &Args) -> i32 {
             eprintln!("trace-report --check: FAIL: {f}");
         }
         1
+    }
+}
+
+/// Tenant mix for `cws-exp serve` batch runs: the paper profile (three
+/// tenants, 120 s boot, BTU-boundary reclaim) or the `--light` scaling
+/// profile (one UniformBag(4) tenant at 50 000 arrivals/hour, zero
+/// boot, immediate reclaim so the warm set stays empty and machine
+/// lifetimes are bounded) used by the memory-ceiling script and the
+/// service throughput benchmark.
+fn serve_profile(args: &Args) -> ServiceConfig {
+    let horizon_s = args.hours * 3600.0;
+    let (boot_time_s, reclaim, tenants) = if args.light {
+        (
+            0.0,
+            ReclaimPolicy::Immediate,
+            vec![TenantSpec {
+                name: "batch".to_string(),
+                kind: WorkloadKind::UniformBag(4),
+                rate_per_hour: 50_000.0,
+            }],
+        )
+    } else {
+        (
+            120.0,
+            ReclaimPolicy::AtBtuBoundary,
+            vec![
+                TenantSpec {
+                    name: "astro".to_string(),
+                    kind: WorkloadKind::Montage24,
+                    rate_per_hour: 6.0,
+                },
+                TenantSpec {
+                    name: "climate".to_string(),
+                    kind: WorkloadKind::CStem,
+                    rate_per_hour: 4.0,
+                },
+                TenantSpec {
+                    name: "batch".to_string(),
+                    kind: WorkloadKind::BagOfTasks(16),
+                    rate_per_hour: 3.0,
+                },
+            ],
+        )
+    };
+    ServiceConfig {
+        alloc: cws_core::StaticAlloc::HeftStartParExceed,
+        itype: cws_platform::InstanceType::Small,
+        reclaim,
+        boot_time_s,
+        tenants,
+        model: ArrivalModel::Poisson { horizon_s },
+        seed: args.seed,
+    }
+}
+
+/// `cws-exp serve`: the service engines from the command line — either
+/// one batch run of a synthetic profile (legacy or sharded engine, full
+/// or summary report) or a long-lived daemon (`--listen ADDR`) taking
+/// JSON-lines submissions over a unix or TCP socket. Batch runs print
+/// the report JSON to stdout, publish the `service.fleet_*` gauges
+/// under `--metrics` (what `trace-report --check` reconciles a service
+/// trace against) and end with a `peak_rss_kib=N` line on stderr.
+fn run_serve(args: &Args, platform: &cws_platform::Platform) {
+    if let Some(addr) = &args.listen {
+        let daemon = Daemon::bind(addr).expect("bind listen address");
+        let mut core = ServeCore::new(
+            platform,
+            ServeOptions {
+                shards: args.shards,
+                seed: args.seed,
+                ..ServeOptions::default()
+            },
+        );
+        daemon.run(&mut core).expect("serve daemon");
+        println!("{}", core.report().to_json());
+        return;
+    }
+
+    let service = serve_profile(args);
+    let (fleet, json) = match (args.engine.as_str(), args.report.as_str()) {
+        ("legacy", "full") => {
+            let r = run_service(platform, &service);
+            (r.fleet.clone(), r.to_json())
+        }
+        ("legacy", "summary") => {
+            let r = run_service_summary(platform, &service);
+            (r.fleet.clone(), r.to_json())
+        }
+        (_, mode) => {
+            let scfg = ShardedConfig {
+                service,
+                shards: args.shards,
+                threads: args.threads,
+                epoch: 64,
+            };
+            if mode == "summary" {
+                let r = run_sharded_summary(platform, &scfg);
+                (r.fleet.clone(), r.to_json())
+            } else {
+                let r = run_sharded_service(platform, &scfg);
+                (r.fleet.clone(), r.to_json())
+            }
+        }
+    };
+
+    // Fleet gauges are what make a service trace checkable:
+    // `trace-report --check` recomputes all three from the PoolLease /
+    // PoolReclaim stream and demands exact equality.
+    if obs::metrics_enabled() {
+        let reg = obs::MetricsRegistry::global();
+        reg.gauge(obs::metrics::names::SERVICE_FLEET_COST_USD)
+            .set(fleet.cost_usd);
+        reg.gauge(obs::metrics::names::SERVICE_FLEET_VMS)
+            .set(fleet.vms as f64);
+        reg.gauge(obs::metrics::names::SERVICE_FLEET_BTUS)
+            .set(fleet.billed_btus as f64);
+    }
+
+    println!("{json}");
+    if let Some(dir) = &args.out {
+        std::fs::create_dir_all(dir).expect("create output directory");
+        let path = dir.join("serve_report.json");
+        std::fs::write(&path, &json).expect("write serve report");
+        note_artifact(path);
+    }
+    // Peak RSS of the whole process (linux: VmHWM), for the
+    // constant-memory ceiling check in tools/mem_ceiling.sh.
+    if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+        if let Some(kib) = status.lines().find_map(|l| {
+            l.strip_prefix("VmHWM:")?
+                .split_whitespace()
+                .next()?
+                .parse::<u64>()
+                .ok()
+        }) {
+            eprintln!("peak_rss_kib={kib}");
+        }
     }
 }
 
@@ -496,6 +703,7 @@ fn main() {
                 note_artifact(path);
             }
         }
+        "serve" => run_serve(args, &config.platform),
         "catalog" => emit(&tables::table1(), "table1_catalog", args),
         "prices" => emit(&tables::table2(), "table2_prices", args),
         "ablation" => {

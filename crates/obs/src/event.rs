@@ -136,6 +136,37 @@ pub enum TraceEvent {
         /// Arrival time.
         time: f64,
     },
+    /// The online service's warm pool rented a machine. Pool ids are
+    /// **global** (dense over the whole run, never reused), unlike
+    /// [`TraceEvent::VmLease`] ids which restart per schedule — the
+    /// distinct tag is what lets one trace carry both id spaces without
+    /// confusing the reducer's segmentation.
+    PoolLease {
+        /// Global pool rental id (dense over the run).
+        vm: u32,
+        /// Instance-type label.
+        itype: String,
+        /// Region label.
+        region: String,
+        /// Per-BTU price of this machine in its region (USD).
+        price_per_btu: f64,
+        /// Rental start (wall clock; may precede 0 when the boot was
+        /// back-dated so the machine is ready at the arrival).
+        time: f64,
+    },
+    /// The online service's warm pool terminated and billed a machine.
+    PoolReclaim {
+        /// Global pool rental id.
+        vm: u32,
+        /// Termination time (wall clock).
+        time: f64,
+        /// Billed BTUs over the rental.
+        billed_btus: u64,
+        /// Seconds spent executing tasks.
+        busy_s: f64,
+        /// Rental cost in USD (`billed_btus × price_per_btu`).
+        cost_usd: f64,
+    },
     /// The scheduling kernel committed a task placement.
     ProbeDecision {
         /// The task placed.
@@ -164,6 +195,8 @@ impl TraceEvent {
             TraceEvent::TaskFinish { .. } => "task-finish",
             TraceEvent::TransferStart { .. } => "transfer-start",
             TraceEvent::TransferFinish { .. } => "transfer-finish",
+            TraceEvent::PoolLease { .. } => "pool-lease",
+            TraceEvent::PoolReclaim { .. } => "pool-reclaim",
             TraceEvent::ProbeDecision { .. } => "probe-decision",
         }
     }
@@ -179,7 +212,9 @@ impl TraceEvent {
             | TraceEvent::TaskStart { time, .. }
             | TraceEvent::TaskFinish { time, .. }
             | TraceEvent::TransferStart { time, .. }
-            | TraceEvent::TransferFinish { time, .. } => time,
+            | TraceEvent::TransferFinish { time, .. }
+            | TraceEvent::PoolLease { time, .. }
+            | TraceEvent::PoolReclaim { time, .. } => time,
             TraceEvent::ProbeDecision { start, .. } => start,
         }
     }
@@ -236,6 +271,31 @@ impl TraceEvent {
             TraceEvent::TransferFinish { from, to, .. } => {
                 format!("{{\"ev\":\"transfer-finish\",\"t\":{t},\"from\":{from},\"to\":{to}}}")
             }
+            TraceEvent::PoolLease {
+                vm,
+                itype,
+                region,
+                price_per_btu,
+                ..
+            } => format!(
+                "{{\"ev\":\"pool-lease\",\"t\":{t},\"vm\":{vm},\"itype\":{},\"region\":{},\
+                 \"price_per_btu\":{}}}",
+                json_str(itype),
+                json_str(region),
+                json_f64(*price_per_btu)
+            ),
+            TraceEvent::PoolReclaim {
+                vm,
+                billed_btus,
+                busy_s,
+                cost_usd,
+                ..
+            } => format!(
+                "{{\"ev\":\"pool-reclaim\",\"t\":{t},\"vm\":{vm},\"billed_btus\":{billed_btus},\
+                 \"busy_s\":{},\"cost_usd\":{}}}",
+                json_f64(*busy_s),
+                json_f64(*cost_usd)
+            ),
             TraceEvent::ProbeDecision {
                 task,
                 vm,
@@ -333,6 +393,23 @@ impl TraceEvent {
                 to: u("to")?,
                 time: f("t")?,
             }),
+            "pool-lease" => Ok(TraceEvent::PoolLease {
+                vm: u("vm")?,
+                itype: s("itype")?,
+                region: s("region")?,
+                price_per_btu: f("price_per_btu")?,
+                time: f("t")?,
+            }),
+            "pool-reclaim" => Ok(TraceEvent::PoolReclaim {
+                vm: u("vm")?,
+                time: f("t")?,
+                billed_btus: v
+                    .get("billed_btus")
+                    .and_then(json::Value::as_u64)
+                    .ok_or_else(|| "pool-reclaim: missing \"billed_btus\"".to_string())?,
+                busy_s: f("busy_s")?,
+                cost_usd: f("cost_usd")?,
+            }),
             "probe-decision" => Ok(TraceEvent::ProbeDecision {
                 task: u("task")?,
                 vm: u("vm")?,
@@ -426,6 +503,22 @@ mod tests {
                 cost_usd: 0.0,
             }
             .kind(),
+            TraceEvent::PoolLease {
+                vm: 0,
+                itype: "small".into(),
+                region: "eu-dublin".into(),
+                price_per_btu: 0.095,
+                time: 0.0,
+            }
+            .kind(),
+            TraceEvent::PoolReclaim {
+                vm: 0,
+                time: 0.0,
+                billed_btus: 1,
+                busy_s: 0.0,
+                cost_usd: 0.0,
+            }
+            .kind(),
         ];
         let mut sorted = kinds.to_vec();
         sorted.sort_unstable();
@@ -483,6 +576,20 @@ mod tests {
                 start: 100.0,
                 finish: 250.0,
                 kind: PlacementKind::Insert,
+            },
+            TraceEvent::PoolLease {
+                vm: 17,
+                itype: "large".into(),
+                region: "us-east-virginia".into(),
+                price_per_btu: 0.76,
+                time: -42.5,
+            },
+            TraceEvent::PoolReclaim {
+                vm: 17,
+                time: 7200.0,
+                billed_btus: 2,
+                busy_s: 3333.25,
+                cost_usd: 1.52,
             },
         ];
         for e in events {

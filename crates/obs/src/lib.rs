@@ -53,5 +53,6 @@ pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use report::{SegmentSummary, TraceReducer, TraceReport, VmSummary};
 pub use sink::{JsonlSink, RingSink, TraceSink};
 pub use trace::{
-    clear_sink, emit, flush, install_sink, metrics_enabled, set_metrics_enabled, trace_enabled,
+    clear_sink, emit, flush, install_sink, metrics_enabled, quiet, set_metrics_enabled,
+    trace_enabled,
 };

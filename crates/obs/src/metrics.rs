@@ -71,6 +71,14 @@ pub mod names {
     /// arrival to its first task start) in sim-clock milliseconds —
     /// deterministic, unlike [`KERNEL_PROBE_LATENCY`].
     pub const SERVICE_QUEUE_WAIT: &str = "service.queue_wait";
+    /// Final fleet rental cost of a service run, USD — published by
+    /// `cws-exp serve --metrics` and reconciled bit-exactly against the
+    /// trace's pool-reclaim stream by `trace-report --check`.
+    pub const SERVICE_FLEET_COST_USD: &str = "service.fleet_cost_usd";
+    /// Machines rented (and billed) over a service run.
+    pub const SERVICE_FLEET_VMS: &str = "service.fleet_vms";
+    /// BTUs billed over a service run.
+    pub const SERVICE_FLEET_BTUS: &str = "service.fleet_btus";
 }
 
 /// Monotonically increasing `u64` counter.

@@ -186,6 +186,35 @@ impl SegmentSummary {
     }
 }
 
+/// Run-level fold of the service pool's `pool-lease`/`pool-reclaim`
+/// stream. Pool ids are global (dense over the run, never reused), so
+/// this summary lives *outside* the segment machinery: a service trace
+/// interleaves many small schedule segments with pool events, and the
+/// pool fold must survive every segment seal.
+///
+/// `cost_usd` accumulates reclaim costs **in pool-id order** (a
+/// contiguous-prefix drain, exactly like the service layer's own
+/// report fold), so it reconciles bit-exactly with the
+/// `service.fleet_cost_usd` gauge a `cws-exp serve --metrics` run
+/// publishes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolSummary {
+    /// Pool rentals observed.
+    pub leases: u64,
+    /// Pool terminations observed.
+    pub reclaims: u64,
+    /// Machines still live when the trace ended.
+    pub live: u64,
+    /// BTUs billed across all reclaims.
+    pub billed_btus: u64,
+    /// Total rental cost (reclaim costs summed in pool-id order).
+    pub cost_usd: f64,
+    /// Total busy seconds across all reclaims.
+    pub busy_s: f64,
+    /// Pool-stream violations (bad ids, price/cost mismatches).
+    pub violations: Vec<String>,
+}
+
 /// The reduced trace: every segment plus run-level totals.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceReport {
@@ -193,6 +222,9 @@ pub struct TraceReport {
     pub policy: BtuPolicy,
     /// Segment summaries in stream order.
     pub segments: Vec<SegmentSummary>,
+    /// Run-level fold of the service pool stream (all zeros for
+    /// one-shot schedule traces, which carry no pool events).
+    pub pool: PoolSummary,
     /// Total events reduced.
     pub events: u64,
     /// Lines that failed to parse (offset, message) — capped at 16.
@@ -211,6 +243,7 @@ impl TraceReport {
                     .iter()
                     .map(move |v| format!("segment {}: {v}", s.index))
             })
+            .chain(self.pool.violations.iter().map(|v| format!("pool: {v}")))
             .collect()
     }
 
@@ -244,6 +277,15 @@ impl TraceReport {
             "replay totals: {total_btus} BTUs billed, ${total_cost:.3} rental, \
              {total_idle:.0} s idle, {total_mb:.1} MB shipped"
         );
+        if self.pool.leases > 0 {
+            let p = &self.pool;
+            let _ = writeln!(
+                out,
+                "service pool: {} leases, {} reclaims ({} live at end), \
+                 {} BTUs billed, ${:.4} rental, {:.0} s busy",
+                p.leases, p.reclaims, p.live, p.billed_btus, p.cost_usd, p.busy_s
+            );
+        }
         if let Some(last) = self.last_segment() {
             let _ = writeln!(
                 out,
@@ -317,6 +359,17 @@ impl TraceReport {
             self.segments.len(),
             self.parse_errors.len(),
             self.violations().len()
+        );
+        let _ = write!(
+            out,
+            "\"pool\":{{\"leases\":{},\"reclaims\":{},\"live\":{},\"billed_btus\":{},\
+             \"cost_usd\":{},\"busy_s\":{}}},",
+            self.pool.leases,
+            self.pool.reclaims,
+            self.pool.live,
+            self.pool.billed_btus,
+            json_f64(self.pool.cost_usd),
+            json_f64(self.pool.busy_s),
         );
         out.push_str("\"segment_list\":[");
         for (i, s) in self.segments.iter().enumerate() {
@@ -403,6 +456,17 @@ pub struct TraceReducer {
     events: u64,
     parse_errors: Vec<(u64, String)>,
     lines: u64,
+    // ---- run-level service-pool state (outside segments) ----
+    pool: PoolSummary,
+    /// Live pool machines by global id → per-BTU price from the lease.
+    pool_live: BTreeMap<u32, f64>,
+    /// Next expected (dense) pool lease id.
+    pool_next_lease: u32,
+    /// Reclaimed machines awaiting the in-id-order fold:
+    /// id → (billed BTUs, busy seconds, cost USD).
+    pool_done: BTreeMap<u32, (u64, f64, f64)>,
+    /// Next pool id to fold into the running totals.
+    pool_next_fold: u32,
     // ---- current segment state ----
     vms: Vec<Option<VmAcc>>,
     placed: Vec<bool>,
@@ -470,8 +534,79 @@ impl TraceReducer {
         }
     }
 
+    /// Record a pool-stream violation (same cap as segment violations,
+    /// shared budget is fine — a healthy trace has none of either).
+    fn pool_violate(&mut self, msg: String) {
+        if self.pool.violations.len() < MAX_VIOLATIONS {
+            self.pool.violations.push(msg);
+        }
+    }
+
+    /// Fold the contiguous prefix of reclaimed machines into the
+    /// running pool totals, **in pool-id order** — the same fold order
+    /// as the service layer's `ReportAccumulator`, so `cost_usd` is a
+    /// bit-exact replay of its additions.
+    fn pool_drain(&mut self) {
+        while let Some((btus, busy, cost)) = self.pool_done.remove(&self.pool_next_fold) {
+            self.pool.billed_btus += btus;
+            self.pool.busy_s += busy;
+            self.pool.cost_usd += cost;
+            self.pool_next_fold += 1;
+        }
+    }
+
     /// Fold one event.
     pub fn feed(&mut self, e: &TraceEvent) {
+        // Pool events live outside the segment machinery: global ids,
+        // run-level fold, no influence on segmentation.
+        match e {
+            TraceEvent::PoolLease {
+                vm, price_per_btu, ..
+            } => {
+                self.events += 1;
+                if *vm != self.pool_next_lease {
+                    self.pool_violate(format!(
+                        "pool lease vm{vm} is not the next dense id {}",
+                        self.pool_next_lease
+                    ));
+                }
+                self.pool_next_lease = vm + 1;
+                self.pool.leases += 1;
+                self.pool_live.insert(*vm, *price_per_btu);
+                return;
+            }
+            TraceEvent::PoolReclaim {
+                vm,
+                billed_btus,
+                busy_s,
+                cost_usd,
+                ..
+            } => {
+                self.events += 1;
+                match self.pool_live.remove(vm) {
+                    None => self.pool_violate(format!(
+                        "pool-reclaim for unknown or already reclaimed vm{vm}"
+                    )),
+                    Some(price) => {
+                        // Same multiplication the emitter performed —
+                        // must recover bit-exactly.
+                        let expect = *billed_btus as f64 * price;
+                        if *cost_usd != expect {
+                            self.pool_violate(format!(
+                                "pool vm{vm}: reclaim cost {cost_usd} != billed \
+                                 {billed_btus} × price {price}"
+                            ));
+                        }
+                        self.pool.reclaims += 1;
+                        self.pool_done
+                            .insert(*vm, (*billed_btus, *busy_s, *cost_usd));
+                        self.pool_drain();
+                    }
+                }
+                return;
+            }
+            _ => {}
+        }
         if self.starts_new_segment(e) {
             self.seal_segment();
         }
@@ -653,6 +788,9 @@ impl TraceReducer {
                     self.violate(m);
                 }
             }
+            TraceEvent::PoolLease { .. } | TraceEvent::PoolReclaim { .. } => {
+                unreachable!("pool events are folded before segmentation")
+            }
         }
     }
 
@@ -770,9 +908,19 @@ impl TraceReducer {
     #[must_use]
     pub fn finish(mut self) -> TraceReport {
         self.seal_segment();
+        // Stragglers: reclaims stuck behind a never-reclaimed id fold
+        // in id order (a gap already shows up as `live > 0`).
+        let stragglers = std::mem::take(&mut self.pool_done);
+        for (_, (btus, busy, cost)) in stragglers {
+            self.pool.billed_btus += btus;
+            self.pool.busy_s += busy;
+            self.pool.cost_usd += cost;
+        }
+        self.pool.live = self.pool_live.len() as u64;
         TraceReport {
             policy: self.policy,
             segments: self.segments,
+            pool: self.pool,
             events: self.events,
             parse_errors: self.parse_errors,
         }
@@ -867,6 +1015,14 @@ pub fn histogram_summaries(m: &ManifestMetrics) -> String {
 /// same operations in the same order as the kernel, and JSON floats
 /// round-trip bit-exactly. Requires a `--threads 1` trace (higher
 /// thread counts interleave segments).
+///
+/// Traces that carry `pool-lease`/`pool-reclaim` events are *service*
+/// streams: the gate instead reconciles the run-level [`PoolSummary`]
+/// against the `service.fleet_cost_usd` / `service.fleet_vms` /
+/// `service.fleet_btus` gauges published by `cws-exp serve --metrics`
+/// — also exactly, because the pool fold replays the service report's
+/// additions in the same (pool-id) order. Pool ids are global, so this
+/// branch is thread-count independent.
 #[must_use]
 pub fn check(report: &TraceReport, manifest: &ManifestMetrics) -> Vec<String> {
     let mut failures = Vec::new();
@@ -874,6 +1030,56 @@ pub fn check(report: &TraceReport, manifest: &ManifestMetrics) -> Vec<String> {
         failures.push(format!("line {at}: {msg}"));
     }
     failures.extend(report.violations());
+    // A trace carrying pool events is a *service* stream: many small
+    // schedule segments (one per admitted workflow) interleaved with
+    // the pool's global lease/reclaim stream. The run-level quantities
+    // to reconcile are the fleet totals, not any single segment's
+    // schedule gauges.
+    if report.pool.leases > 0 {
+        let p = &report.pool;
+        if p.live > 0 {
+            failures.push(format!(
+                "{} pool machines leased but never reclaimed \
+                 (incomplete service trace?)",
+                p.live
+            ));
+        }
+        if let Some(&cost) = manifest.gauges.get("service.fleet_cost_usd") {
+            if cost != p.cost_usd {
+                failures.push(format!(
+                    "service.fleet_cost_usd {cost} != trace-recomputed {}",
+                    p.cost_usd
+                ));
+            }
+        } else {
+            failures.push(
+                "manifest has no service.fleet_cost_usd gauge (was --metrics on?)".to_string(),
+            );
+        }
+        if let Some(&vms) = manifest.gauges.get("service.fleet_vms") {
+            if vms != p.reclaims as f64 {
+                failures.push(format!(
+                    "service.fleet_vms {vms} != trace-recomputed {}",
+                    p.reclaims
+                ));
+            }
+        } else {
+            failures
+                .push("manifest has no service.fleet_vms gauge (was --metrics on?)".to_string());
+        }
+        if let Some(&btus) = manifest.gauges.get("service.fleet_btus") {
+            if btus != p.billed_btus as f64 {
+                failures.push(format!(
+                    "service.fleet_btus {btus} != trace-recomputed {}",
+                    p.billed_btus
+                ));
+            }
+        } else {
+            failures
+                .push("manifest has no service.fleet_btus gauge (was --metrics on?)".to_string());
+        }
+        return failures;
+    }
     let Some(last) = report.last_segment() else {
         failures.push("trace contains no events".to_string());
         return failures;
@@ -1113,6 +1319,126 @@ mod tests {
         let failures = check(&report, &m);
         assert!(
             failures.iter().any(|f| f.contains("run.cost_usd")),
+            "{failures:?}"
+        );
+    }
+
+    fn pool_lease(vm: u32, price: f64, t: f64) -> TraceEvent {
+        TraceEvent::PoolLease {
+            vm,
+            itype: "small".into(),
+            region: "us-east-virginia".into(),
+            price_per_btu: price,
+            time: t,
+        }
+    }
+
+    fn pool_reclaim(vm: u32, btus: u64, price: f64, t: f64) -> TraceEvent {
+        TraceEvent::PoolReclaim {
+            vm,
+            time: t,
+            billed_btus: btus,
+            busy_s: 100.0 * btus as f64,
+            cost_usd: btus as f64 * price,
+        }
+    }
+
+    /// Pool events ride alongside schedule segments without disturbing
+    /// them, and fold into run-level fleet totals in id order.
+    #[test]
+    fn pool_stream_folds_outside_segments() {
+        let mut r = TraceReducer::new();
+        r.feed(&pool_lease(0, 0.095, 0.0));
+        for e in simple_segment() {
+            r.feed(&e);
+        }
+        r.feed(&pool_lease(1, 0.095, 10.0));
+        // Out-of-id-order reclaims still fold deterministically.
+        r.feed(&pool_reclaim(1, 2, 0.095, 7200.0));
+        r.feed(&pool_reclaim(0, 1, 0.095, 3600.0));
+        let report = r.finish();
+        assert_eq!(report.segments.len(), 1, "pool events never segment");
+        assert!(report.violations().is_empty(), "{:?}", report.violations());
+        assert_eq!(report.pool.leases, 2);
+        assert_eq!(report.pool.reclaims, 2);
+        assert_eq!(report.pool.live, 0);
+        assert_eq!(report.pool.billed_btus, 3);
+        assert_eq!(report.pool.cost_usd, 1.0 * 0.095 + 2.0 * 0.095);
+    }
+
+    #[test]
+    fn pool_stream_violations_are_flagged() {
+        let mut r = TraceReducer::new();
+        r.feed(&pool_lease(1, 0.095, 0.0)); // not dense: expected 0
+        r.feed(&TraceEvent::PoolReclaim {
+            vm: 1,
+            time: 3600.0,
+            billed_btus: 1,
+            busy_s: 10.0,
+            cost_usd: 0.42, // != 1 × 0.095
+        });
+        r.feed(&pool_reclaim(7, 1, 0.095, 3600.0)); // never leased
+        let report = r.finish();
+        let v = report.violations();
+        assert!(
+            v.iter().any(|m| m.contains("not the next dense id")),
+            "{v:?}"
+        );
+        assert!(v.iter().any(|m| m.contains("!= billed")), "{v:?}");
+        assert!(
+            v.iter().any(|m| m.contains("unknown or already reclaimed")),
+            "{v:?}"
+        );
+    }
+
+    /// A service trace (pool events present) is reconciled against the
+    /// `service.fleet_*` gauges instead of the schedule gauges.
+    #[test]
+    fn check_reconciles_service_traces_against_fleet_gauges() {
+        let mut r = TraceReducer::new();
+        for e in simple_segment() {
+            r.feed(&e);
+        }
+        r.feed(&pool_lease(0, 0.095, 0.0));
+        r.feed(&pool_reclaim(0, 3, 0.095, 10800.0));
+        let report = r.finish();
+        let mut m = ManifestMetrics::default();
+        m.gauges
+            .insert("service.fleet_cost_usd".into(), 3.0 * 0.095);
+        m.gauges.insert("service.fleet_vms".into(), 1.0);
+        m.gauges.insert("service.fleet_btus".into(), 3.0);
+        assert!(check(&report, &m).is_empty(), "{:?}", check(&report, &m));
+        // The schedule gauges are not consulted on the service branch…
+        m.gauges.insert("run.cost_usd".into(), 999.0);
+        assert!(check(&report, &m).is_empty());
+        // …but a fleet divergence or a missing gauge fails it.
+        m.gauges.insert("service.fleet_btus".into(), 4.0);
+        let failures = check(&report, &m);
+        assert!(
+            failures.iter().any(|f| f.contains("service.fleet_btus")),
+            "{failures:?}"
+        );
+        let empty = ManifestMetrics::default();
+        let failures = check(&report, &empty);
+        assert!(
+            failures.iter().any(|f| f.contains("was --metrics on?")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn unreclaimed_pool_machines_fail_the_service_check() {
+        let mut r = TraceReducer::new();
+        r.feed(&pool_lease(0, 0.095, 0.0));
+        let report = r.finish();
+        assert_eq!(report.pool.live, 1);
+        let mut m = ManifestMetrics::default();
+        m.gauges.insert("service.fleet_cost_usd".into(), 0.0);
+        m.gauges.insert("service.fleet_vms".into(), 0.0);
+        m.gauges.insert("service.fleet_btus".into(), 0.0);
+        let failures = check(&report, &m);
+        assert!(
+            failures.iter().any(|f| f.contains("never reclaimed")),
             "{failures:?}"
         );
     }

@@ -12,11 +12,17 @@
 
 use crate::event::TraceEvent;
 use crate::sink::TraceSink;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 
 static TRACE_ON: AtomicBool = AtomicBool::new(false);
 static METRICS_ON: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// Per-thread observability mute (see [`quiet`]).
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
 
 fn sink_slot() -> &'static RwLock<Option<Arc<dyn TraceSink>>> {
     static SLOT: std::sync::OnceLock<RwLock<Option<Arc<dyn TraceSink>>>> =
@@ -49,18 +55,38 @@ pub fn clear_sink() {
     }
 }
 
-/// Whether a trace sink is installed.
+/// Whether a trace sink is installed and this thread is not muted.
 #[inline]
 #[must_use]
 pub fn trace_enabled() -> bool {
-    TRACE_ON.load(Ordering::Relaxed)
+    TRACE_ON.load(Ordering::Relaxed) && !QUIET.with(Cell::get)
 }
 
-/// Whether metrics collection is enabled (see [`crate::metrics`]).
+/// Whether metrics collection is enabled (see [`crate::metrics`]) and
+/// this thread is not muted.
 #[inline]
 #[must_use]
 pub fn metrics_enabled() -> bool {
-    METRICS_ON.load(Ordering::Relaxed)
+    METRICS_ON.load(Ordering::Relaxed) && !QUIET.with(Cell::get)
+}
+
+/// Run `f` with tracing *and* metrics suppressed on the current thread.
+///
+/// Counterfactual work — the service engines' cold one-shot reference
+/// schedules, or pipeline stages replayed on worker threads — must not
+/// leave a mark in the observability stream, or the event order (and
+/// hence the recorded trace bytes) would depend on the thread count.
+/// The mute is per-thread and re-entrant; the previous state is
+/// restored even if `f` panics (the guard restores on drop).
+pub fn quiet<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            QUIET.with(|q| q.set(self.0));
+        }
+    }
+    let _guard = Restore(QUIET.with(|q| q.replace(true)));
+    f()
 }
 
 /// Turn global metrics collection on or off.
@@ -132,6 +158,25 @@ mod tests {
         assert!(!trace_enabled());
         assert_eq!(ring.recorded(), 1);
         assert_eq!(ring.events()[0], TraceEvent::VmBoot { vm: 7, time: 1.0 });
+    }
+
+    #[test]
+    fn quiet_mutes_this_thread_and_restores() {
+        let _g = GUARD.lock().unwrap();
+        let ring = Arc::new(RingSink::new(8));
+        install_sink(ring.clone());
+        quiet(|| {
+            assert!(!trace_enabled(), "quiet must mute tracing");
+            emit(|| TraceEvent::VmBoot { vm: 1, time: 0.0 });
+            // Re-entrant: nesting keeps the mute and unwinds cleanly.
+            quiet(|| assert!(!trace_enabled()));
+            assert!(!trace_enabled());
+        });
+        assert!(trace_enabled(), "mute must lift after quiet()");
+        emit(|| TraceEvent::VmBoot { vm: 2, time: 1.0 });
+        clear_sink();
+        assert_eq!(ring.recorded(), 1, "only the unmuted event lands");
+        assert_eq!(ring.events()[0], TraceEvent::VmBoot { vm: 2, time: 1.0 });
     }
 
     #[test]

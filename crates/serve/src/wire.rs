@@ -1,0 +1,339 @@
+//! The workflow interchange format: JSON-lines requests the daemon
+//! accepts over its socket, and the deterministic export of a
+//! [`Workflow`] back into that format.
+//!
+//! This is the first cut of a general interchange schema, so it is
+//! deliberately small. One workflow:
+//!
+//! ```json
+//! {"name": "demo",
+//!  "tasks": [
+//!    {"id": "stage",  "runtime_s": 30.0},
+//!    {"id": "reduce", "runtime_s": 10.0,
+//!     "deps": ["stage", {"task": "stage", "data_mb": 0}]}]}
+//! ```
+//!
+//! - `id` is any unique string; dependency references use it.
+//! - `runtime_s` is the task's base execution time on the reference
+//!   instance type (the paper's task length).
+//! - `deps` entries are either a bare task id (a control dependency,
+//!   no data) or `{"task": id, "data_mb": x}` for a transfer of `x`
+//!   megabytes. Missing `deps` means an entry task.
+//!
+//! A request line is one of:
+//!
+//! ```json
+//! {"tenant": "astro", "workflow": {...}}          // submit, clock = now
+//! {"tenant": "astro", "time": 120.5, "workflow": {...}}
+//! {"cmd": "report"}                               // per-tenant aggregates so far
+//! {"cmd": "shutdown"}                             // final report, then exit
+//! ```
+//!
+//! Parsing reports errors as strings (the daemon echoes them back as
+//! `{"ok": false, "error": ...}`), never panics on untrusted input.
+
+use cws_dag::{DagError, TaskId, Workflow, WorkflowBuilder};
+use cws_obs::json::{json_f64, json_str, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One parsed request line.
+// One `Request` exists per socket line and dies after dispatch; boxing
+// the workflow would buy nothing but an indirection in the hot parse.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a workflow for `tenant`, optionally at simulation time
+    /// `time` (seconds; the daemon clamps it to its monotone clock).
+    Submit {
+        /// Tenant name (created on first submission).
+        tenant: String,
+        /// Requested simulation arrival time, if any.
+        time: Option<f64>,
+        /// The submitted workflow.
+        workflow: Workflow,
+    },
+    /// Ask for the per-tenant cost/makespan report so far.
+    Report,
+    /// Finish the run: terminate the pool, reply with the final
+    /// report, close the connection and stop the daemon.
+    Shutdown,
+}
+
+/// Parse one JSON-line request.
+///
+/// # Errors
+/// Returns a human-readable message for malformed JSON, an unknown
+/// `cmd`, or an invalid workflow (unknown dep, duplicate id, cycle…).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = cws_obs::json::parse(line)?;
+    if let Some(cmd) = v.get("cmd") {
+        return match cmd.as_str() {
+            Some("report") => Ok(Request::Report),
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some(other) => Err(format!("unknown cmd {other:?}")),
+            None => Err("cmd must be a string".to_string()),
+        };
+    }
+    let tenant = v
+        .get("tenant")
+        .and_then(Value::as_str)
+        .ok_or("submission needs a \"tenant\" string")?
+        .to_string();
+    let time = match v.get("time") {
+        None | Some(Value::Null) => None,
+        Some(t) => {
+            let t = t.as_f64().ok_or("\"time\" must be a number")?;
+            if !t.is_finite() || t < 0.0 {
+                return Err("\"time\" must be finite and >= 0".to_string());
+            }
+            Some(t)
+        }
+    };
+    let wf = v.get("workflow").ok_or("submission needs a \"workflow\"")?;
+    Ok(Request::Submit {
+        tenant,
+        time,
+        workflow: parse_workflow(wf)?,
+    })
+}
+
+/// Build a [`Workflow`] from its interchange JSON.
+///
+/// # Errors
+/// Returns a message for schema violations and DAG errors.
+pub fn parse_workflow(v: &Value) -> Result<Workflow, String> {
+    let name = v
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("workflow needs a \"name\" string")?;
+    let tasks = v
+        .get("tasks")
+        .and_then(Value::as_arr)
+        .ok_or("workflow needs a \"tasks\" array")?;
+    if tasks.is_empty() {
+        return Err("workflow has no tasks".to_string());
+    }
+    let mut builder = WorkflowBuilder::new(name);
+    // First pass: declare every task so deps can reference forward.
+    let mut ids: BTreeMap<&str, TaskId> = BTreeMap::new();
+    for t in tasks {
+        let id = t
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or("task needs an \"id\" string")?;
+        let runtime = t
+            .get("runtime_s")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("task {id:?} needs a \"runtime_s\" number"))?;
+        if !runtime.is_finite() || runtime < 0.0 {
+            return Err(format!("task {id:?}: runtime_s must be finite and >= 0"));
+        }
+        if ids.insert(id, builder.task(id, runtime)).is_some() {
+            return Err(format!("duplicate task id {id:?}"));
+        }
+    }
+    // Second pass: edges.
+    for t in tasks {
+        let to_id = t.get("id").and_then(Value::as_str).expect("checked above");
+        let to = ids[to_id];
+        let Some(deps) = t.get("deps") else { continue };
+        let deps = deps
+            .as_arr()
+            .ok_or_else(|| format!("task {to_id:?}: \"deps\" must be an array"))?;
+        for dep in deps {
+            let (from_id, data_mb) = match dep {
+                Value::Str(s) => (s.as_str(), 0.0),
+                Value::Obj(_) => {
+                    let from = dep
+                        .get("task")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| format!("task {to_id:?}: dep needs a \"task\" id"))?;
+                    let mb = match dep.get("data_mb") {
+                        None => 0.0,
+                        Some(x) => x
+                            .as_f64()
+                            .filter(|m| m.is_finite() && *m >= 0.0)
+                            .ok_or_else(|| {
+                                format!("task {to_id:?}: \"data_mb\" must be finite and >= 0")
+                            })?,
+                    };
+                    (from, mb)
+                }
+                _ => {
+                    return Err(format!(
+                        "task {to_id:?}: deps entries are task ids or {{\"task\", \"data_mb\"}}"
+                    ))
+                }
+            };
+            let from = *ids
+                .get(from_id)
+                .ok_or_else(|| format!("task {to_id:?} depends on unknown task {from_id:?}"))?;
+            builder.data_edge(from, to, data_mb);
+        }
+    }
+    // Structural errors — self-loops, duplicate edges, cycles — are
+    // detected here, at build time.
+    builder.build().map_err(|e| dag_error(name, &e))
+}
+
+fn dag_error(context: &str, e: &DagError) -> String {
+    format!("{context:?}: {e:?}")
+}
+
+/// Export a workflow back into the interchange format — tasks in id
+/// order, deps in predecessor order, so the rendering is deterministic
+/// and `parse_workflow(workflow_to_json(wf))` round-trips the DAG.
+#[must_use]
+pub fn workflow_to_json(wf: &Workflow) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"name\":{},\"tasks\":[", json_str(wf.name()));
+    for (i, id) in wf.ids().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let task = wf.task(id);
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"runtime_s\":{}",
+            json_str(&task.name),
+            json_f64(task.base_time)
+        );
+        let preds = wf.predecessors(id);
+        if !preds.is_empty() {
+            out.push_str(",\"deps\":[");
+            for (j, e) in preds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let from = json_str(&wf.task(e.from).name);
+                if e.data_mb > 0.0 {
+                    let _ = write!(
+                        out,
+                        "{{\"task\":{},\"data_mb\":{}}}",
+                        from,
+                        json_f64(e.data_mb)
+                    );
+                } else {
+                    out.push_str(&from);
+                }
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Workflow, String> {
+        parse_workflow(&cws_obs::json::parse(s).expect("valid JSON"))
+    }
+
+    #[test]
+    fn parses_a_diamond() {
+        let wf = parse(
+            r#"{"name":"diamond","tasks":[
+                {"id":"a","runtime_s":10},
+                {"id":"b","runtime_s":20,"deps":["a"]},
+                {"id":"c","runtime_s":30,"deps":[{"task":"a","data_mb":5.5}]},
+                {"id":"d","runtime_s":1,"deps":["b","c"]}]}"#,
+        )
+        .expect("valid workflow");
+        assert_eq!(wf.len(), 4);
+        let ids: Vec<TaskId> = wf.ids().collect();
+        assert_eq!(wf.predecessors(ids[3]).len(), 2);
+        assert_eq!(wf.edge_data(ids[0], ids[2]), Some(5.5));
+        assert_eq!(wf.edge_data(ids[0], ids[1]), Some(0.0));
+    }
+
+    #[test]
+    fn round_trips_through_export() {
+        let src = r#"{"name":"rt","tasks":[
+            {"id":"x","runtime_s":3.5},
+            {"id":"y","runtime_s":7,"deps":[{"task":"x","data_mb":2}]}]}"#;
+        let wf = parse(src).expect("valid");
+        let json = workflow_to_json(&wf);
+        let back = parse(&json).expect("export parses");
+        assert_eq!(back.len(), wf.len());
+        let (a, b): (Vec<TaskId>, Vec<TaskId>) = (wf.ids().collect(), back.ids().collect());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(wf.task(*x).name, back.task(*y).name);
+            assert_eq!(
+                wf.task(*x).base_time.to_bits(),
+                back.task(*y).base_time.to_bits()
+            );
+        }
+        assert_eq!(json, workflow_to_json(&back), "export is a fixed point");
+    }
+
+    #[test]
+    fn rejects_bad_workflows() {
+        for (src, needle) in [
+            (r#"{"tasks":[]}"#, "name"),
+            (r#"{"name":"e","tasks":[]}"#, "no tasks"),
+            (
+                r#"{"name":"e","tasks":[{"id":"a","runtime_s":1},{"id":"a","runtime_s":2}]}"#,
+                "duplicate",
+            ),
+            (
+                r#"{"name":"e","tasks":[{"id":"a","runtime_s":1,"deps":["ghost"]}]}"#,
+                "unknown task",
+            ),
+            (
+                r#"{"name":"e","tasks":[{"id":"a","runtime_s":-4}]}"#,
+                "runtime_s",
+            ),
+            (
+                r#"{"name":"e","tasks":[
+                    {"id":"a","runtime_s":1,"deps":["b"]},
+                    {"id":"b","runtime_s":1,"deps":["a"]}]}"#,
+                "",
+            ),
+        ] {
+            let err = parse(src).expect_err(src);
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn parses_requests() {
+        assert_eq!(parse_request(r#"{"cmd":"report"}"#), Ok(Request::Report));
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        );
+        assert!(parse_request(r#"{"cmd":"dance"}"#).is_err());
+        assert!(parse_request("not json").is_err());
+        let sub = parse_request(
+            r#"{"tenant":"astro","time":12.5,"workflow":
+                {"name":"w","tasks":[{"id":"t","runtime_s":1}]}}"#,
+        )
+        .expect("valid submission");
+        match sub {
+            Request::Submit {
+                tenant,
+                time,
+                workflow,
+            } => {
+                assert_eq!(tenant, "astro");
+                assert_eq!(time, Some(12.5));
+                assert_eq!(workflow.len(), 1);
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_time_is_rejected() {
+        let err = parse_request(
+            r#"{"tenant":"a","time":-1,"workflow":{"name":"w","tasks":[{"id":"t","runtime_s":1}]}}"#,
+        )
+        .expect_err("negative time");
+        assert!(err.contains("time"));
+    }
+}

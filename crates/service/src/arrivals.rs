@@ -10,6 +10,8 @@ use cws_dag::Workflow;
 use cws_workloads::{bag_of_tasks, cstem, mapreduce_default, montage_24, Scenario};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// Which `cws-workloads` generator a tenant submits.
 ///
@@ -26,6 +28,12 @@ pub enum WorkloadKind {
     MapReduce,
     /// A bag of `n` independent tasks.
     BagOfTasks(usize),
+    /// A bag of `n` independent *equal* tasks (the paper's best-case
+    /// scenario: `n·e = BTU`). Runtimes are bounded, so machine
+    /// lifetimes are too — the workload for memory-ceiling and
+    /// throughput scaling runs, where a Pareto tail would pin the
+    /// engines' rental-order billing fold arbitrarily long.
+    UniformBag(usize),
 }
 
 impl WorkloadKind {
@@ -37,11 +45,13 @@ impl WorkloadKind {
             WorkloadKind::CStem => "cstem".to_string(),
             WorkloadKind::MapReduce => "mapreduce".to_string(),
             WorkloadKind::BagOfTasks(n) => format!("bot{n}"),
+            WorkloadKind::UniformBag(n) => format!("ubot{n}"),
         }
     }
 
     /// Materialize one submission: the kind's DAG with Pareto runtimes
-    /// drawn from `seed`.
+    /// drawn from `seed` ([`WorkloadKind::UniformBag`] uses the
+    /// deterministic best-case runtimes instead).
     #[must_use]
     pub fn realize(&self, seed: u64) -> Workflow {
         let shape = match *self {
@@ -49,6 +59,9 @@ impl WorkloadKind {
             WorkloadKind::CStem => cstem(),
             WorkloadKind::MapReduce => mapreduce_default(),
             WorkloadKind::BagOfTasks(n) => bag_of_tasks(n),
+            WorkloadKind::UniformBag(n) => {
+                return Scenario::BestCase.apply(&bag_of_tasks(n));
+            }
         };
         Scenario::Pareto { seed }.apply(&shape)
     }
@@ -93,79 +106,259 @@ pub struct Arrival {
     pub wf: Workflow,
 }
 
+/// One workflow submission before its workflow is materialized: who
+/// arrives when, plus the seed that deterministically produces the
+/// workflow. Realization is the expensive step (RNG draws + DAG
+/// construction), so streaming engines carry tickets and realize as
+/// late as possible — on a worker thread, or one at a time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalTicket {
+    /// Index into the tenant list.
+    pub tenant: usize,
+    /// Submission number within the tenant (0-based).
+    pub seq: usize,
+    /// Wall-clock submission time in seconds.
+    pub time: f64,
+    /// Seed that materializes this submission's workflow.
+    pub wf_seed: u64,
+}
+
+impl ArrivalTicket {
+    /// Materialize the ticket's workflow (pure in `wf_seed` and `kind`).
+    #[must_use]
+    pub fn realize(&self, kind: WorkloadKind) -> Workflow {
+        kind.realize(self.wf_seed)
+    }
+}
+
+/// Per-tenant arrival generator: yields `(time, seq)` pairs in the
+/// tenant's own submission order, lazily for Poisson processes.
+enum TenantGen {
+    Poisson {
+        rng: SmallRng,
+        lambda: f64,
+        horizon_s: f64,
+        t: f64,
+        seq: usize,
+    },
+    Trace {
+        /// `(time, seq)` pairs pre-sorted by `(time, seq)` so the merge
+        /// reproduces the eager global sort even for out-of-order
+        /// trace files.
+        times: std::vec::IntoIter<(f64, usize)>,
+    },
+}
+
+impl TenantGen {
+    fn next(&mut self) -> Option<(f64, usize)> {
+        match self {
+            TenantGen::Poisson {
+                rng,
+                lambda,
+                horizon_s,
+                t,
+                seq,
+            } => {
+                if *lambda <= 0.0 || *horizon_s <= 0.0 {
+                    return None;
+                }
+                let u: f64 = rng.gen(); // [0, 1): 1 - u is in (0, 1], ln is finite
+                *t += -(1.0 - u).ln() / *lambda;
+                if *t >= *horizon_s {
+                    return None;
+                }
+                let s = *seq;
+                *seq += 1;
+                Some((*t, s))
+            }
+            TenantGen::Trace { times } => times.next(),
+        }
+    }
+}
+
+/// Heap key for the k-way merge: min by `(time, tenant, seq)` — the
+/// exact comparator the eager path sorted with.
+struct Head {
+    time: f64,
+    tenant: usize,
+    seq: usize,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Head {}
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest head.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.tenant.cmp(&self.tenant))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Lazy, time-sorted stream of [`ArrivalTicket`]s.
+///
+/// Memory is `O(tenants)` — one generator and one buffered head per
+/// tenant — regardless of how many arrivals the run produces, which is
+/// what lets a million-submission trace run in constant memory. The
+/// merge yields exactly the sequence [`generate_arrivals`] used to
+/// build eagerly: per-tenant orders are consistent with the global
+/// `(time, tenant, seq)` comparator (Poisson times strictly increase;
+/// trace times are pre-sorted per tenant), so the k-way merge and the
+/// eager global sort agree element for element.
+pub struct TicketStream {
+    gens: Vec<TenantGen>,
+    /// Per-tenant workflow-seed stream (`mix_seed(seed, tenant)`).
+    streams: Vec<u64>,
+    heap: BinaryHeap<Head>,
+}
+
+impl TicketStream {
+    /// Build the stream. Validation matches the eager path.
+    ///
+    /// # Panics
+    /// Panics if a rate is negative, the horizon is not finite, or a
+    /// trace contains a negative or non-finite time.
+    #[must_use]
+    pub fn new(tenants: &[TenantSpec], model: &ArrivalModel, seed: u64) -> Self {
+        let mut gens = Vec::with_capacity(tenants.len());
+        let mut streams = Vec::with_capacity(tenants.len());
+        for (ti, tenant) in tenants.iter().enumerate() {
+            streams.push(mix_seed(seed, ti as u64));
+            gens.push(match model {
+                ArrivalModel::Poisson { horizon_s } => {
+                    assert!(
+                        horizon_s.is_finite() && *horizon_s >= 0.0,
+                        "horizon must be finite and non-negative"
+                    );
+                    assert!(
+                        tenant.rate_per_hour.is_finite() && tenant.rate_per_hour >= 0.0,
+                        "rate must be finite and non-negative"
+                    );
+                    TenantGen::Poisson {
+                        rng: SmallRng::seed_from_u64(streams[ti]),
+                        lambda: tenant.rate_per_hour / 3600.0,
+                        horizon_s: *horizon_s,
+                        t: 0.0,
+                        seq: 0,
+                    }
+                }
+                ArrivalModel::Trace(per_tenant) => {
+                    let mut times: Vec<(f64, usize)> = per_tenant
+                        .get(ti)
+                        .map(|ts| {
+                            ts.iter()
+                                .enumerate()
+                                .map(|(seq, &t)| {
+                                    assert!(t.is_finite() && t >= 0.0, "trace times must be >= 0");
+                                    (t, seq)
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    times.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                    TenantGen::Trace {
+                        times: times.into_iter(),
+                    }
+                }
+            });
+        }
+        let mut heap = BinaryHeap::with_capacity(gens.len());
+        for (tenant, gen) in gens.iter_mut().enumerate() {
+            if let Some((time, seq)) = gen.next() {
+                heap.push(Head { time, tenant, seq });
+            }
+        }
+        TicketStream {
+            gens,
+            streams,
+            heap,
+        }
+    }
+}
+
+impl Iterator for TicketStream {
+    type Item = ArrivalTicket;
+
+    fn next(&mut self) -> Option<ArrivalTicket> {
+        let Head { time, tenant, seq } = self.heap.pop()?;
+        if let Some((t, s)) = self.gens[tenant].next() {
+            self.heap.push(Head {
+                time: t,
+                tenant,
+                seq: s,
+            });
+        }
+        Some(ArrivalTicket {
+            tenant,
+            seq,
+            time,
+            wf_seed: mix_seed(self.streams[tenant], 0x5743_0000 | seq as u64),
+        })
+    }
+}
+
+/// Lazy, time-sorted stream of materialized [`Arrival`]s — the ticket
+/// stream plus realization, for engines that consume workflows one at
+/// a time on the driving thread.
+pub struct ArrivalStream {
+    tickets: TicketStream,
+    kinds: Vec<WorkloadKind>,
+}
+
+impl ArrivalStream {
+    /// Build the stream (see [`TicketStream::new`] for validation).
+    ///
+    /// # Panics
+    /// Panics on the same invalid inputs as [`TicketStream::new`].
+    #[must_use]
+    pub fn new(tenants: &[TenantSpec], model: &ArrivalModel, seed: u64) -> Self {
+        ArrivalStream {
+            tickets: TicketStream::new(tenants, model, seed),
+            kinds: tenants.iter().map(|t| t.kind).collect(),
+        }
+    }
+}
+
+impl Iterator for ArrivalStream {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        let ticket = self.tickets.next()?;
+        Some(Arrival {
+            tenant: ticket.tenant,
+            seq: ticket.seq,
+            time: ticket.time,
+            wf: ticket.realize(self.kinds[ticket.tenant]),
+        })
+    }
+}
+
 /// Generate the full, time-sorted arrival list for a service run.
 ///
 /// Deterministic: tenant `i` draws inter-arrival gaps and workflow
 /// runtimes from the stream `mix_seed(seed, i)`, so the result is a pure
 /// function of `(tenants, model, seed)`. Ties in time order break by
-/// tenant index, then submission number.
+/// tenant index, then submission number. This is simply
+/// [`ArrivalStream`] collected; engines that can consume arrivals one
+/// at a time should iterate the stream instead of materializing it.
 ///
 /// # Panics
 /// Panics if a rate is negative, the horizon is not finite, or a trace
 /// contains a negative or non-finite time.
 #[must_use]
 pub fn generate_arrivals(tenants: &[TenantSpec], model: &ArrivalModel, seed: u64) -> Vec<Arrival> {
-    let mut arrivals: Vec<Arrival> = Vec::new();
-    for (ti, tenant) in tenants.iter().enumerate() {
-        let stream = mix_seed(seed, ti as u64);
-        let times: Vec<f64> = match model {
-            ArrivalModel::Poisson { horizon_s } => {
-                assert!(
-                    horizon_s.is_finite() && *horizon_s >= 0.0,
-                    "horizon must be finite and non-negative"
-                );
-                assert!(
-                    tenant.rate_per_hour.is_finite() && tenant.rate_per_hour >= 0.0,
-                    "rate must be finite and non-negative"
-                );
-                poisson_times(stream, tenant.rate_per_hour / 3600.0, *horizon_s)
-            }
-            ArrivalModel::Trace(per_tenant) => per_tenant
-                .get(ti)
-                .map(|ts| {
-                    for &t in ts {
-                        assert!(t.is_finite() && t >= 0.0, "trace times must be >= 0");
-                    }
-                    ts.clone()
-                })
-                .unwrap_or_default(),
-        };
-        for (seq, &time) in times.iter().enumerate() {
-            let wf_seed = mix_seed(stream, 0x5743_0000 | seq as u64);
-            arrivals.push(Arrival {
-                tenant: ti,
-                seq,
-                time,
-                wf: tenant.kind.realize(wf_seed),
-            });
-        }
-    }
-    arrivals.sort_by(|a, b| {
-        a.time
-            .total_cmp(&b.time)
-            .then(a.tenant.cmp(&b.tenant))
-            .then(a.seq.cmp(&b.seq))
-    });
-    arrivals
-}
-
-/// Poisson arrival times in `[0, horizon_s)` with rate `lambda` per
-/// second, via exponential inter-arrival gaps.
-fn poisson_times(stream_seed: u64, lambda: f64, horizon_s: f64) -> Vec<f64> {
-    if lambda <= 0.0 || horizon_s <= 0.0 {
-        return Vec::new();
-    }
-    let mut rng = SmallRng::seed_from_u64(stream_seed);
-    let mut t = 0.0_f64;
-    let mut out = Vec::new();
-    loop {
-        let u: f64 = rng.gen(); // [0, 1): 1 - u is in (0, 1], ln is finite
-        t += -(1.0 - u).ln() / lambda;
-        if t >= horizon_s {
-            return out;
-        }
-        out.push(t);
-    }
+    ArrivalStream::new(tenants, model, seed).collect()
 }
 
 #[cfg(test)]
@@ -271,6 +464,78 @@ mod tests {
         assert_ne!(t0.to_bits(), t1.to_bits(), "Pareto redraw per arrival");
     }
 
+    /// The lazy k-way merge must reproduce the eager
+    /// materialize-then-sort order element for element — including for
+    /// trace files whose per-tenant times are out of order.
+    #[test]
+    fn stream_matches_eager_sort() {
+        let tenants = two_tenants(9.0);
+        for model in [
+            ArrivalModel::Poisson {
+                horizon_s: 3.0 * 3600.0,
+            },
+            ArrivalModel::Trace(vec![vec![400.0, 10.0, 10.0], vec![10.0, 5.0]]),
+        ] {
+            // Eager reference: materialize per tenant, then globally sort
+            // with the documented comparator (the pre-stream algorithm).
+            let mut eager: Vec<(usize, usize, f64)> = Vec::new();
+            for ti in 0..tenants.len() {
+                let mut gen = match &model {
+                    ArrivalModel::Poisson { horizon_s } => TenantGen::Poisson {
+                        rng: SmallRng::seed_from_u64(mix_seed(11, ti as u64)),
+                        lambda: tenants[ti].rate_per_hour / 3600.0,
+                        horizon_s: *horizon_s,
+                        t: 0.0,
+                        seq: 0,
+                    },
+                    ArrivalModel::Trace(per_tenant) => {
+                        // Unsorted on purpose: seq is list position.
+                        let ts: Vec<(f64, usize)> = per_tenant[ti]
+                            .iter()
+                            .enumerate()
+                            .map(|(s, &t)| (t, s))
+                            .collect();
+                        TenantGen::Trace {
+                            times: ts.into_iter(),
+                        }
+                    }
+                };
+                while let Some((time, seq)) = gen.next() {
+                    eager.push((ti, seq, time));
+                }
+            }
+            eager.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+            let streamed: Vec<(usize, usize, f64)> = TicketStream::new(&tenants, &model, 11)
+                .map(|t| (t.tenant, t.seq, t.time))
+                .collect();
+            assert_eq!(streamed.len(), eager.len());
+            for (s, e) in streamed.iter().zip(&eager) {
+                assert_eq!((s.0, s.1, s.2.to_bits()), (e.0, e.1, e.2.to_bits()));
+            }
+        }
+    }
+
+    #[test]
+    fn tickets_realize_the_same_workflows_as_arrivals() {
+        let tenants = two_tenants(12.0);
+        let model = ArrivalModel::Poisson { horizon_s: 1800.0 };
+        let arrivals = generate_arrivals(&tenants, &model, 21);
+        let tickets: Vec<ArrivalTicket> = TicketStream::new(&tenants, &model, 21).collect();
+        assert_eq!(arrivals.len(), tickets.len());
+        assert!(!arrivals.is_empty());
+        for (a, t) in arrivals.iter().zip(&tickets) {
+            assert_eq!(
+                (a.tenant, a.seq, a.time.to_bits()),
+                (t.tenant, t.seq, t.time.to_bits())
+            );
+            let wf = t.realize(tenants[t.tenant].kind);
+            assert_eq!(wf.len(), a.wf.len());
+            let sum =
+                |w: &cws_dag::Workflow| -> f64 { w.ids().map(|id| w.task(id).base_time).sum() };
+            assert_eq!(sum(&wf).to_bits(), sum(&a.wf).to_bits());
+        }
+    }
+
     #[test]
     fn workload_kinds_realize() {
         for kind in [
@@ -278,6 +543,7 @@ mod tests {
             WorkloadKind::CStem,
             WorkloadKind::MapReduce,
             WorkloadKind::BagOfTasks(7),
+            WorkloadKind::UniformBag(4),
         ] {
             let wf = kind.realize(3);
             assert!(!wf.is_empty(), "{} is non-empty", kind.name());

@@ -20,10 +20,13 @@
 //! | [`campaign`] | parallel sweep over arrival rates × strategies × reclaim policies (crossbeam scoped threads, bit-reproducible) |
 //!
 //! Everything is deterministic for a fixed seed: arrival times and
-//! workflow shapes derive from per-tenant RNG streams, the event loop
-//! reuses `cws-sim`'s FIFO-tie-breaking [`cws_sim::EventQueue`], and the
-//! campaign driver assigns every grid cell an independent seed so the
-//! thread count never changes a single byte of the output.
+//! workflow shapes derive from per-tenant RNG streams, arrivals stream
+//! lazily in `(time, tenant, seq)` order (the same FIFO tie-breaking
+//! `cws-sim`'s event queue applies), and the campaign driver assigns
+//! every grid cell an independent seed so the thread count never
+//! changes a single byte of the output. The sharded streaming engine
+//! in `cws-serve` builds on the same [`arrivals`], [`pool`] billing
+//! and [`report::ReportAccumulator`] primitives.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -34,11 +37,19 @@ pub mod engine;
 pub mod pool;
 pub mod report;
 
-pub use arrivals::{generate_arrivals, Arrival, ArrivalModel, TenantSpec, WorkloadKind};
+pub use arrivals::{
+    generate_arrivals, Arrival, ArrivalModel, ArrivalStream, ArrivalTicket, TenantSpec,
+    TicketStream, WorkloadKind,
+};
 pub use campaign::{run_campaign, CampaignCell, CampaignReport, CampaignSpec};
-pub use engine::{run_service, run_service_traced, ServiceConfig, ServiceTrace, WorkflowRecord};
-pub use pool::{PoolVm, ReclaimPolicy, VmPool};
-pub use report::{FleetReport, ServiceReport, TenantReport};
+pub use engine::{
+    run_service, run_service_summary, run_service_traced, ServiceConfig, ServiceTrace,
+    WorkflowRecord,
+};
+pub use pool::{reclaim_deadline, PoolVm, ReclaimPolicy, VmPool};
+pub use report::{
+    FleetReport, ReportAccumulator, ReportMode, ServiceReport, ServiceSummary, TenantReport,
+};
 
 /// SplitMix64 finalizer — the stateless mixing function used to derive
 /// independent RNG streams (per tenant, per arrival, per campaign cell)

@@ -81,11 +81,30 @@ impl PoolVm {
         self.billed_btus() as f64 * BTU_SECONDS
     }
 
-    fn add_tenant_busy(&mut self, tenant: usize, seconds: f64) {
+    /// Attribute `seconds` of busy time to `tenant` (first-use order —
+    /// the attribution list is *not* sorted, so cost splits fold in a
+    /// deterministic, reproducible order).
+    pub fn add_tenant_busy(&mut self, tenant: usize, seconds: f64) {
         if let Some(e) = self.busy_by_tenant.iter_mut().find(|(t, _)| *t == tenant) {
             e.1 += seconds;
         } else {
             self.busy_by_tenant.push((tenant, seconds));
+        }
+    }
+}
+
+/// The wall-clock instant at which an idle machine is reclaimed under
+/// `policy` — shared by [`VmPool`] and the sharded pool in `cws-serve`
+/// so the two engines cannot disagree on a boundary.
+#[must_use]
+pub fn reclaim_deadline(policy: ReclaimPolicy, vm: &PoolVm) -> f64 {
+    match policy {
+        ReclaimPolicy::Immediate => vm.available_at,
+        ReclaimPolicy::AtBtuBoundary => {
+            // End of the wall-clock BTU that contains the idle start
+            // (a machine going idle exactly on a boundary terminates
+            // there: `btus_for_span` already bills that boundary).
+            vm.rented_at + btus_for_span(vm.available_at - vm.rented_at) as f64 * BTU_SECONDS
         }
     }
 }
@@ -113,15 +132,7 @@ impl VmPool {
 
     /// The wall-clock instant at which an idle machine is reclaimed.
     fn reclaim_deadline(&self, vm: &PoolVm) -> f64 {
-        match self.policy {
-            ReclaimPolicy::Immediate => vm.available_at,
-            ReclaimPolicy::AtBtuBoundary => {
-                // End of the wall-clock BTU that contains the idle start
-                // (a machine going idle exactly on a boundary terminates
-                // there: `btus_for_span` already bills that boundary).
-                vm.rented_at + btus_for_span(vm.available_at - vm.rented_at) as f64 * BTU_SECONDS
-            }
-        }
+        reclaim_deadline(self.policy, vm)
     }
 
     /// Terminate every idle machine whose reclaim deadline has passed by
@@ -150,7 +161,7 @@ impl VmPool {
                 .counter(obs::metrics::names::POOL_RECLAIMS)
                 .inc();
         }
-        obs::emit(|| obs::TraceEvent::VmReclaim {
+        obs::emit(|| obs::TraceEvent::PoolReclaim {
             vm: i as u32,
             time: deadline,
             billed_btus: vm.billed_btus(),
@@ -251,7 +262,7 @@ impl VmPool {
                     p.add_tenant_busy(tenant, busy);
                     cold += 1;
                     let pool_id = self.vms.len() as u32;
-                    obs::emit(|| obs::TraceEvent::VmLease {
+                    obs::emit(|| obs::TraceEvent::PoolLease {
                         vm: pool_id,
                         itype: p.itype.name().to_string(),
                         region: p.region.id().to_string(),

@@ -17,9 +17,18 @@
 # run.cost_usd / run.makespan_s gauges exactly — trace ⇄ metrics
 # reconciliation on every swept artifact.
 #
+# A final shard-matrix leg covers the sharded service engine
+# (cws-serve): for every seed, a legacy `cws-exp serve` run at
+# --threads 1 is the reference; sharded runs across shards x threads
+# must reproduce its report and trace byte-for-byte, and the recorded
+# service trace must reconcile under `trace-report --check` (the
+# PoolLease/PoolReclaim stream vs the manifest's service.fleet_*
+# gauges).
+#
 # Environment overrides:
 #   SEEDS  — space-separated seed list        (default: "7 42 1337")
 #   FIGS   — space-separated cws-exp commands (default: "fig4 fig5")
+#   SHARDS — shard counts for the serve leg   (default: "1 2 8")
 #   OUTDIR — scratch directory               (default: target/seed-matrix)
 
 set -euo pipefail
@@ -27,6 +36,7 @@ cd "$(dirname "$0")/.."
 
 SEEDS="${SEEDS:-7 42 1337}"
 FIGS="${FIGS:-fig4 fig5}"
+SHARDS="${SHARDS:-1 2 8}"
 OUTDIR="${OUTDIR:-target/seed-matrix}"
 
 rm -rf "$OUTDIR"
@@ -97,8 +107,45 @@ EOF
   done
 done
 
+# 4. Shard matrix: the sharded service engine must be byte-identical
+#    to the legacy engine — report and trace — at every shard and
+#    thread count, and the legacy service trace must reconcile against
+#    the run's service.fleet_* gauges.
+for seed in $SEEDS; do
+  ref="$OUTDIR/serve-s$seed-legacy"
+  mkdir -p "$ref"
+  cargo run --release -q -p cws-experiments --bin cws-exp -- \
+    serve --engine legacy --hours 1 --seed "$seed" --threads 1 \
+    --out "$ref" --trace "$ref/trace.jsonl" --metrics --manifest \
+    >/dev/null 2>/dev/null
+  if ! cargo run --release -q -p cws-experiments --bin cws-exp -- \
+    trace-report "$ref/trace.jsonl" --check >/dev/null; then
+    echo "RECONCILIATION: serve seed=$seed: service trace diverged from the fleet gauges" >&2
+    fail=1
+  fi
+  for shards in $SHARDS; do
+    for threads in 1 8; do
+      d="$OUTDIR/serve-s$seed-sh$shards-t$threads"
+      mkdir -p "$d"
+      cargo run --release -q -p cws-experiments --bin cws-exp -- \
+        serve --engine sharded --shards "$shards" --threads "$threads" \
+        --hours 1 --seed "$seed" --out "$d" --trace "$d/trace.jsonl" \
+        >/dev/null 2>/dev/null
+      if ! cmp -s "$ref/serve_report.json" "$d/serve_report.json"; then
+        echo "NONDETERMINISM: serve seed=$seed shards=$shards threads=$threads: report differs from legacy" >&2
+        fail=1
+      fi
+      if ! cmp -s "$ref/trace.jsonl" "$d/trace.jsonl"; then
+        echo "NONDETERMINISM: serve seed=$seed shards=$shards threads=$threads: trace bytes differ from legacy" >&2
+        fail=1
+      fi
+    done
+  done
+  echo "ok: serve seed=$seed (legacy == sharded over shards [$SHARDS] x threads [1 8], trace reconciles)"
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "seed matrix FAILED — see NONDETERMINISM lines above" >&2
   exit 1
 fi
-echo "seed matrix clean: seeds [$SEEDS] x figs [$FIGS]"
+echo "seed matrix clean: seeds [$SEEDS] x figs [$FIGS] + serve shard matrix [$SHARDS]"
