@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cws_core::state::naive;
-use cws_core::Strategy;
-use cws_platform::Platform;
+use cws_core::{KernelTables, ScheduleBuilder, Strategy};
+use cws_platform::{InstanceType, Platform};
 use cws_workloads::random::{layered_dag, LayeredShape};
 use cws_workloads::{montage_24, DataSizeModel, Scenario};
 use std::hint::black_box;
@@ -43,6 +43,49 @@ fn bench(c: &mut Criterion) {
             );
         }
     }
+    group.finish();
+
+    // probe_all vs N independent probes: the batched API answers every
+    // rented VM's start time in one pass over the SoA lanes; the
+    // sequential loop re-resolves each VM through the probe cache. The
+    // fixture is mid-schedule — half the layered DAG placed round-robin
+    // on 32 small VMs — so both paths see real cross-VM arrivals.
+    let tables = KernelTables::build(&layered, &platform);
+    let mut sb = ScheduleBuilder::with_tables(&layered, &platform, &tables);
+    let order = layered.topological_order().to_vec();
+    let (placed, rest) = order.split_at(order.len() / 2);
+    for (i, &t) in placed.iter().enumerate() {
+        if sb.vms().len() < 32 {
+            sb.place_on_new(t, InstanceType::Small);
+        } else {
+            let vm = sb.vms()[i % 32].id;
+            sb.place_on(t, vm);
+        }
+    }
+    let probe_task = rest[0];
+    let vm_ids: Vec<_> = sb.vms().iter().map(|v| v.id).collect();
+
+    let mut group = c.benchmark_group("probe");
+    group.bench_function("probe_all/layered-1000x32vms", |b| {
+        b.iter(|| {
+            let mut batch = sb.probe_all(black_box(probe_task));
+            let mut acc = 0.0;
+            for &vm in &vm_ids {
+                acc += batch.start_of(vm);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("probe_each/layered-1000x32vms", |b| {
+        b.iter(|| {
+            let mut probe = sb.probe(black_box(probe_task));
+            let mut acc = 0.0;
+            for &vm in &vm_ids {
+                acc += probe.start_on(vm);
+            }
+            black_box(acc)
+        })
+    });
     group.finish();
 }
 

@@ -1,16 +1,22 @@
 //! `cws-bench` — fixed-workload perf baseline for the scheduling kernel.
 //!
 //! Runs the four paper workflows (Montage, CSTEM, MapReduce, Sequential)
-//! plus a 1000-task random layered DAG through all 19 paper pairings,
-//! first on the fast kernel (cached exec/transfer tables + per-VM gap
-//! index, see `cws_core::state`) and then on the naive reference kernel
+//! plus 1000-task and 10000-task random layered DAGs through all 19
+//! paper pairings, first on the fast kernel (shared exec/transfer
+//! tables, pooled probe scratch, batched probes + per-VM gap index, see
+//! `cws_core::state`) and then on the naive reference kernel
 //! (`cws_core::state::naive`, compiled in via the `naive` feature), and
 //! writes wall-clock seconds, schedules/sec and the fast-vs-naive
-//! speedup to `BENCH_kernel.json`.
+//! speedup to `BENCH_kernel.json`. The fast pass lends one
+//! `KernelTables` set per workload to all of its schedules, exactly as
+//! `cws-experiments`' matrix runner does.
 //!
 //! Both passes accumulate a makespan checksum that must match exactly —
 //! the equivalence claim the property tests make is re-proven on every
-//! bench run, on the real workloads being timed.
+//! bench run, on the real workloads being timed. The run **fails (exit
+//! 1)** if any workload's fast-vs-naive speedup drops below 1.0×, so a
+//! fast-path regression on any size class turns CI red instead of
+//! shipping silently.
 //!
 //! After the timed passes (which run with observability disabled, so
 //! the numbers stay comparable across revisions), one *untimed*
@@ -33,7 +39,7 @@
 //! same manifest-sibling convention).
 
 use cws_core::state::naive;
-use cws_core::Strategy;
+use cws_core::{KernelTables, Strategy};
 use cws_dag::Workflow;
 use cws_platform::Platform;
 use cws_workloads::random::{layered_dag, LayeredShape};
@@ -71,13 +77,25 @@ impl WorkloadReport {
 
 /// Time `reps` full 19-pairing sweeps over `wf`, returning wall-clock
 /// seconds and a makespan checksum for cross-kernel comparison.
-fn sweep(wf: &Workflow, platform: &Platform, strategies: &[Strategy], reps: usize) -> (f64, f64) {
+///
+/// The fast pass lends shared [`KernelTables`] to every schedule; the
+/// timing therefore includes the (amortised) table build, as a real
+/// sweep's does. The naive pass gets `None` — the reference kernel
+/// ignores offered tables by design.
+fn sweep(
+    wf: &Workflow,
+    platform: &Platform,
+    strategies: &[Strategy],
+    reps: usize,
+    share_tables: bool,
+) -> (f64, f64) {
     let mut checksum = 0.0;
     let start = Instant::now();
+    let tables = share_tables.then(|| KernelTables::build(wf, platform));
     for _ in 0..reps {
         for s in strategies {
             let t = Instant::now();
-            checksum += s.schedule(wf, platform).makespan();
+            checksum += s.schedule_with(wf, platform, tables.as_ref()).makespan();
             if std::env::var_os("CWS_BENCH_TRACE").is_some() {
                 eprintln!("  {:<24} {:>9.4}s", s.label(), t.elapsed().as_secs_f64());
             }
@@ -236,36 +254,73 @@ fn main() {
     let strategies = Strategy::paper_set();
     let scenario = Scenario::Pareto { seed: 42 };
 
-    let mut workloads: Vec<Workflow> = paper_workflows()
+    // (workflow, reps): the 10k-task DAG always runs at 1 rep — its
+    // naive sweep alone is tens of seconds, and one rep is plenty of
+    // signal at that size — so full-mode runtime stays bounded. The
+    // paper workflows sit at the other extreme: a 19-pairing sweep over
+    // ~24 tasks takes well under a millisecond, where timer noise alone
+    // can read as a phantom 0.9x "regression" against the ≥1.0x gate,
+    // so they run 200x more reps to push each timed window past ~10ms.
+    let mut workloads: Vec<(Workflow, usize)> = paper_workflows()
         .iter()
-        .map(|wf| scenario.apply(&DataSizeModel::CpuIntensive.apply(wf)))
+        .map(|wf| {
+            let wf = scenario.apply(&DataSizeModel::CpuIntensive.apply(wf));
+            let reps = if wf.len() < 100 { reps * 200 } else { reps };
+            (wf, reps)
+        })
         .collect();
-    workloads.push(scenario.apply(&layered_dag(LayeredShape {
-        levels: 10,
-        min_width: 100,
-        max_width: 100,
-        edge_prob: 0.3,
-        seed: 42,
-    })));
+    workloads.push((
+        scenario.apply(&layered_dag(LayeredShape {
+            levels: 10,
+            min_width: 100,
+            max_width: 100,
+            edge_prob: 0.3,
+            seed: 42,
+        })),
+        reps,
+    ));
+    workloads.push((
+        scenario.apply(&layered_dag(LayeredShape {
+            levels: 20,
+            min_width: 500,
+            max_width: 500,
+            edge_prob: 0.05,
+            seed: 42,
+        })),
+        1,
+    ));
 
     let mut reports = Vec::new();
-    for wf in &workloads {
-        let (fast_s, fast_sum) = sweep(wf, &platform, &strategies, reps);
-        naive::set_reference_kernel(true);
-        let (naive_s, naive_sum) = sweep(wf, &platform, &strategies, reps);
-        naive::set_reference_kernel(false);
-        assert_eq!(
-            fast_sum,
-            naive_sum,
-            "{}: fast kernel diverged from the naive reference",
-            wf.name()
-        );
+    for (wf, wf_reps) in &workloads {
+        // All but the 10k-task DAG take the min over three interleaved
+        // sweep pairs: their windows are short enough that one
+        // scheduler hiccup on either side can fake a ±10% swing, and
+        // the minimum is the standard least-interference estimate. The
+        // 10k-task naive sweep times tens of seconds, where a single
+        // pair is stable (and three would triple the run).
+        let attempts = if wf.len() < 5000 { 3 } else { 1 };
+        let mut fast_s = f64::INFINITY;
+        let mut naive_s = f64::INFINITY;
+        for _ in 0..attempts {
+            let (fast, fast_sum) = sweep(wf, &platform, &strategies, *wf_reps, true);
+            naive::set_reference_kernel(true);
+            let (naive, naive_sum) = sweep(wf, &platform, &strategies, *wf_reps, false);
+            naive::set_reference_kernel(false);
+            assert_eq!(
+                fast_sum,
+                naive_sum,
+                "{}: fast kernel diverged from the naive reference",
+                wf.name()
+            );
+            fast_s = fast_s.min(fast);
+            naive_s = naive_s.min(naive);
+        }
         let r = WorkloadReport {
             name: wf.name().to_string(),
             tasks: wf.len(),
             fast_s,
             naive_s,
-            schedules: strategies.len() * reps,
+            schedules: strategies.len() * wf_reps,
         };
         println!(
             "{:<24} {:>5} tasks  fast {:>8.3}s  naive {:>8.3}s  {:>6.2}x  ({:.0} schedules/s)",
@@ -286,15 +341,32 @@ fn main() {
         naive_total / fast_total
     );
 
+    // Per-workload floor: the fast kernel must never lose to the naive
+    // reference, on any size class. A regression here (like the 0.88x
+    // cstem of the first raw-speed round) fails the bench run — and the
+    // CI job running it — rather than shipping silently.
+    let slow: Vec<&WorkloadReport> = reports.iter().filter(|r| r.speedup() < 1.0).collect();
+    if !slow.is_empty() {
+        for r in &slow {
+            eprintln!(
+                "FAIL {}: fast kernel slower than naive ({:.4}x < 1.0x)",
+                r.name,
+                r.speedup()
+            );
+        }
+        std::process::exit(1);
+    }
+
     // Untimed instrumented pass: one sweep of every workload with the
     // cws-obs counters on, so the report carries the kernel's work
     // profile (probe/key-build/placement counts) without perturbing the
     // timings above.
     cws_obs::MetricsRegistry::global().reset();
     cws_obs::set_metrics_enabled(true);
-    for wf in &workloads {
+    for (wf, _) in &workloads {
+        let tables = KernelTables::build(wf, &platform);
         for s in &strategies {
-            let _ = s.schedule(wf, &platform);
+            let _ = s.schedule_with(wf, &platform, Some(&tables));
         }
     }
     cws_obs::set_metrics_enabled(false);
@@ -330,7 +402,10 @@ fn main() {
     manifest.threads = 1;
     manifest.set_platform_fingerprint(format!("{platform:?}").as_bytes());
     manifest.policies = strategies.iter().map(Strategy::label).collect();
-    manifest.workloads = workloads.iter().map(|w| w.name().to_string()).collect();
+    manifest.workloads = workloads
+        .iter()
+        .map(|(w, _)| w.name().to_string())
+        .collect();
     manifest.metrics = snapshot;
     manifest
         .write_sibling(&out)

@@ -9,8 +9,8 @@
 //! per Sect. IV.
 
 use crate::schedule::Schedule;
-use crate::state::ScheduleBuilder;
-use cws_dag::{critical_path, TaskId, Workflow};
+use crate::state::{KernelTables, ScheduleBuilder};
+use cws_dag::{TaskId, Workflow};
 use cws_platform::{billing::btus_for_span, InstanceType, Platform};
 
 const N_TYPES: usize = InstanceType::ALL.len();
@@ -37,8 +37,24 @@ pub fn schedule_one_vm_per_task(
     types: &[InstanceType],
     label: impl Into<String>,
 ) -> Schedule {
+    schedule_one_vm_per_task_with(wf, platform, types, label, None)
+}
+
+/// [`schedule_one_vm_per_task`] borrowing shared [`KernelTables`] when a
+/// sweep has them.
+///
+/// # Panics
+/// Panics unless `types` has exactly one entry per task.
+#[must_use]
+pub fn schedule_one_vm_per_task_with(
+    wf: &Workflow,
+    platform: &Platform,
+    types: &[InstanceType],
+    label: impl Into<String>,
+    tables: Option<&KernelTables>,
+) -> Schedule {
     assert_eq!(types.len(), wf.len(), "one type per task");
-    let mut sb = ScheduleBuilder::new(wf, platform);
+    let mut sb = ScheduleBuilder::with_optional_tables(wf, platform, tables);
     for &task in wf.topological_order() {
         sb.place_on_new(task, types[task.index()]);
     }
@@ -60,6 +76,18 @@ pub fn baseline_cost(wf: &Workflow, platform: &Platform) -> f64 {
 /// stays within `budget`.
 #[must_use]
 pub fn cpa_eager_types(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<InstanceType> {
+    cpa_eager_types_with(wf, platform, budget, None)
+}
+
+/// [`cpa_eager_types`] borrowing the execution-time rows of shared
+/// [`KernelTables`] (bit-identical entries) instead of rebuilding them.
+#[must_use]
+pub fn cpa_eager_types_with(
+    wf: &Workflow,
+    platform: &Platform,
+    budget: f64,
+    tables: Option<&KernelTables>,
+) -> Vec<InstanceType> {
     #[cfg(any(test, feature = "naive"))]
     if crate::state::naive::reference_kernel_enabled() {
         return cpa_eager_types_reference(wf, platform, budget);
@@ -69,17 +97,24 @@ pub fn cpa_eager_types(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<I
     // computed exactly as the direct `execution_time` / `transfer_time` /
     // `one_vm_per_task_cost` calls compute it, so the loop's decisions
     // are unchanged.
-    let et: Vec<[f64; N_TYPES]> = wf
-        .ids()
-        .map(|t| {
-            let base = wf.task(t).base_time;
-            let mut row = [0.0; N_TYPES];
-            for (j, it) in InstanceType::ALL.iter().enumerate() {
-                row[j] = it.execution_time(base);
-            }
-            row
-        })
-        .collect();
+    let owned_et: Vec<[f64; N_TYPES]>;
+    let et: &[[f64; N_TYPES]] = match tables {
+        Some(t) => t.exec_rows(),
+        None => {
+            owned_et = wf
+                .ids()
+                .map(|t| {
+                    let base = wf.task(t).base_time;
+                    let mut row = [0.0; N_TYPES];
+                    for (j, it) in InstanceType::ALL.iter().enumerate() {
+                        row[j] = it.execution_time(base);
+                    }
+                    row
+                })
+                .collect();
+            &owned_et
+        }
+    };
     let term: Vec<[f64; N_TYPES]> = et
         .iter()
         .map(|row| {
@@ -100,22 +135,130 @@ pub fn cpa_eager_types(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<I
         .network
         .path_latency_s(platform.default_region, platform.default_region);
 
+    // Successor CSR with a per-edge communication-cost cache. Each
+    // cached entry is exactly what the reference's comm closure computes
+    // — `data_mb / bw[from][to] + lat` — and an upgrade changes the
+    // operands of only the upgraded task's incident edges, so only those
+    // entries are recomputed. The per-round critical-path walk below
+    // replicates `cws_dag::critical_path` on the CSR: same edge order,
+    // same `f64::max` fold, same `max_by` keep-on-Greater tie-breaks —
+    // every comparison sees bit-identical keys in the identical order.
+    let n = wf.len();
+    let mut succ_off: Vec<u32> = Vec::with_capacity(n + 1);
+    let mut edge_from: Vec<u32> = Vec::new();
+    let mut edge_to: Vec<u32> = Vec::new();
+    let mut edge_data: Vec<f64> = Vec::new();
+    succ_off.push(0);
+    for t in wf.ids() {
+        for e in wf.successors(t) {
+            edge_from.push(t.0);
+            edge_to.push(e.to.0);
+            edge_data.push(e.data_mb);
+        }
+        succ_off.push(edge_to.len() as u32);
+    }
+    // Flat in-edge CSR (edge ids grouped by target, ascending within
+    // each group) — one contiguous lane instead of a Vec per node.
+    let mut in_off: Vec<u32> = vec![0; n + 1];
+    for &to in &edge_to {
+        in_off[to as usize + 1] += 1;
+    }
+    for i in 0..n {
+        in_off[i + 1] += in_off[i];
+    }
+    let mut in_edge: Vec<u32> = vec![0; edge_to.len()];
+    let mut in_cursor = in_off.clone();
+    for (k, &to) in edge_to.iter().enumerate() {
+        let c = &mut in_cursor[to as usize];
+        in_edge[*c as usize] = k as u32;
+        *c += 1;
+    }
+    let comm_val = |k: usize, types: &[InstanceType]| -> f64 {
+        edge_data[k]
+            / bw[types[edge_from[k] as usize] as usize][types[edge_to[k] as usize] as usize]
+            + lat
+    };
+
     let mut types = vec![InstanceType::Small; wf.len()];
+    let mut comm: Vec<f64> = (0..edge_data.len()).map(|k| comm_val(k, &types)).collect();
     let mut terms: Vec<f64> = term.iter().map(|row| row[0]).collect();
     let mut prefix = vec![0.0; wf.len()];
+    let mut rank = vec![0.0; n];
+    let mut tail = vec![0.0; n];
+    let mut contrib = vec![0.0; edge_data.len()];
+    let mut dirty = vec![false; n];
+    let entries = wf.entries();
+    let order = wf.topological_order();
+    // Position of each task in the *reverse* topological order, so an
+    // incremental rank refresh can start its sweep at the upgraded task
+    // (every task's predecessors sit strictly later in that order).
+    let mut rev_pos = vec![0u32; n];
+    for (idx, &id) in order.iter().rev().enumerate() {
+        rev_pos[id.index()] = idx as u32;
+    }
+    // Initial upward ranks, as `cws_dag::upward_ranks` computes them: a
+    // reverse-topological sweep folding `comm + rank[succ]` with
+    // `f64::max` from 0.0 in successor order. Two caches make the
+    // per-upgrade refresh incremental: `contrib[k] = comm[k] +
+    // rank[to]` per edge and `tail[i] = max(0, contribs of i)` per
+    // node. All contributions are positive finite floats, for which
+    // `f64::max` is order-independent in value, so a tail recomputed
+    // from cached contributions — or left untouched because a changed
+    // contribution neither was nor beats the cached max — is bitwise
+    // the value the full fold would produce.
+    for &id in order.iter().rev() {
+        let i = id.index();
+        let mut t = 0.0_f64;
+        for k in succ_off[i] as usize..succ_off[i + 1] as usize {
+            contrib[k] = comm[k] + rank[edge_to[k] as usize];
+            t = t.max(contrib[k]);
+        }
+        tail[i] = t;
+        rank[i] = et[i][types[i] as usize] + t;
+    }
     loop {
-        let cp = critical_path(
-            wf,
-            |t| et[t.index()][types[t.index()] as usize],
-            |e| e.data_mb / bw[types[e.from.index()] as usize][types[e.to.index()] as usize] + lat,
-        );
+        // Entry with the largest rank; `max_by` keeps the accumulator
+        // only on Greater, so ties fall to the reversed-id order (the
+        // smaller id wins), exactly as in `critical_path`.
+        let mut start = entries[0];
+        for &a in &entries[1..] {
+            let ord = rank[start.index()]
+                .total_cmp(&rank[a.index()])
+                .then(a.0.cmp(&start.0));
+            if ord != std::cmp::Ordering::Greater {
+                start = a;
+            }
+        }
+        // Walk the path, collecting the upgradeable tasks on it
+        // (`cp.tasks` filtered, in path order).
+        let mut candidates: Vec<TaskId> = Vec::new();
+        let mut cur = start;
+        loop {
+            if types[cur.index()].next_faster().is_some() {
+                candidates.push(cur);
+            }
+            let ci = cur.index();
+            let mut next: Option<(f64, u32)> = None;
+            for k in succ_off[ci] as usize..succ_off[ci + 1] as usize {
+                // `contrib` is kept exactly at `comm + rank[to]`, so the
+                // cached entry carries the same bits the sum would.
+                let key = contrib[k];
+                let to = edge_to[k];
+                next = match next {
+                    Some((bk, bt))
+                        if bk.total_cmp(&key).then(to.cmp(&bt)) == std::cmp::Ordering::Greater =>
+                    {
+                        Some((bk, bt))
+                    }
+                    _ => Some((key, to)),
+                };
+            }
+            match next {
+                Some((_, t)) => cur = TaskId(t),
+                None => break,
+            }
+        }
         // Candidate upgrades on the critical path, slowest task first.
-        let mut candidates: Vec<TaskId> = cp
-            .tasks
-            .iter()
-            .copied()
-            .filter(|t| types[t.index()].next_faster().is_some())
-            .collect();
         candidates.sort_by(|a, b| {
             let ea = et[a.index()][types[a.index()] as usize];
             let eb = et[b.index()][types[b.index()] as usize];
@@ -145,6 +288,64 @@ pub fn cpa_eager_types(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<I
             if cost <= budget + 1e-9 {
                 types[i] = faster;
                 terms[i] = term[i][faster as usize];
+                // Only edges touching the upgraded task see different
+                // bandwidth operands; refresh those comm entries, then
+                // chase the change up the reverse-topological order. A
+                // predecessor is re-examined only when a refreshed
+                // contribution could move its tail — it beats the cached
+                // max or the stale value *was* the max — which prunes
+                // the ancestor region whose max path avoids the
+                // upgraded task.
+                for k in succ_off[i] as usize..succ_off[i + 1] as usize {
+                    comm[k] = comm_val(k, &types);
+                    contrib[k] = comm[k] + rank[edge_to[k] as usize];
+                }
+                let mut t0 = 0.0_f64;
+                for &c in &contrib[succ_off[i] as usize..succ_off[i + 1] as usize] {
+                    t0 = t0.max(c);
+                }
+                tail[i] = t0;
+                rank[i] = et[i][types[i] as usize] + t0;
+                for &k in &in_edge[in_off[i] as usize..in_off[i + 1] as usize] {
+                    let k = k as usize;
+                    comm[k] = comm_val(k, &types);
+                    let old = contrib[k];
+                    let new = comm[k] + rank[i];
+                    if new != old {
+                        contrib[k] = new;
+                        let p = edge_from[k] as usize;
+                        if new > tail[p] || old == tail[p] {
+                            dirty[p] = true;
+                        }
+                    }
+                }
+                for idx in rev_pos[i] as usize + 1..n {
+                    let j = order[n - 1 - idx].index();
+                    if !std::mem::replace(&mut dirty[j], false) {
+                        continue;
+                    }
+                    let mut t = 0.0_f64;
+                    for &c in &contrib[succ_off[j] as usize..succ_off[j + 1] as usize] {
+                        t = t.max(c);
+                    }
+                    tail[j] = t;
+                    let new = et[j][types[j] as usize] + t;
+                    if new != rank[j] {
+                        rank[j] = new;
+                        for &k in &in_edge[in_off[j] as usize..in_off[j + 1] as usize] {
+                            let k = k as usize;
+                            let old = contrib[k];
+                            let c = comm[k] + new;
+                            if c != old {
+                                contrib[k] = c;
+                                let p = edge_from[k] as usize;
+                                if c > tail[p] || old == tail[p] {
+                                    dirty[p] = true;
+                                }
+                            }
+                        }
+                    }
+                }
                 upgraded = true;
                 break;
             }
@@ -164,7 +365,7 @@ pub fn cpa_eager_types(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<I
 fn cpa_eager_types_reference(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<InstanceType> {
     let mut types = vec![InstanceType::Small; wf.len()];
     loop {
-        let cp = critical_path(
+        let cp = cws_dag::critical_path(
             wf,
             |t| types[t.index()].execution_time(wf.task(t).base_time),
             |e| platform.transfer_time(e.data_mb, types[e.from.index()], types[e.to.index()]),
@@ -205,13 +406,27 @@ fn cpa_eager_types_reference(wf: &Workflow, platform: &Platform, budget: f64) ->
 /// `budget_multiplier × baseline_cost` (the paper uses 4).
 #[must_use]
 pub fn cpa_eager(wf: &Workflow, platform: &Platform, budget_multiplier: f64) -> Schedule {
+    cpa_eager_with(wf, platform, budget_multiplier, None)
+}
+
+/// [`cpa_eager`] borrowing shared [`KernelTables`] when a sweep has them.
+///
+/// # Panics
+/// Panics if `budget_multiplier < 1.0`.
+#[must_use]
+pub fn cpa_eager_with(
+    wf: &Workflow,
+    platform: &Platform,
+    budget_multiplier: f64,
+    tables: Option<&KernelTables>,
+) -> Schedule {
     assert!(
         budget_multiplier >= 1.0,
         "budget multiplier must be at least 1, got {budget_multiplier}"
     );
     let budget = budget_multiplier * baseline_cost(wf, platform);
-    let types = cpa_eager_types(wf, platform, budget);
-    schedule_one_vm_per_task(wf, platform, &types, "CPA-Eager")
+    let types = cpa_eager_types_with(wf, platform, budget, tables);
+    schedule_one_vm_per_task_with(wf, platform, &types, "CPA-Eager", tables)
 }
 
 #[cfg(test)]

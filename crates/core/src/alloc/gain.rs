@@ -10,8 +10,9 @@
 //! gain." (Sect. III-B). The budget is twice the HEFT + OneVMperTask
 //! small-instance cost, per Sect. IV.
 
-use super::cpa::{baseline_cost, schedule_one_vm_per_task};
+use super::cpa::{baseline_cost, schedule_one_vm_per_task_with};
 use crate::schedule::Schedule;
+use crate::state::KernelTables;
 use cws_dag::{TaskId, Workflow};
 use cws_platform::{billing::btus_for_span, InstanceType, Platform};
 use std::cmp::Ordering;
@@ -140,6 +141,18 @@ fn push_row(
 /// that the changed slot cannot affect.
 #[must_use]
 pub fn gain_types(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<InstanceType> {
+    gain_types_with(wf, platform, budget, None)
+}
+
+/// [`gain_types`] borrowing the execution-time rows of shared
+/// [`KernelTables`] (bit-identical entries) instead of rebuilding them.
+#[must_use]
+pub fn gain_types_with(
+    wf: &Workflow,
+    platform: &Platform,
+    budget: f64,
+    tables: Option<&KernelTables>,
+) -> Vec<InstanceType> {
     #[cfg(any(test, feature = "naive"))]
     if crate::state::naive::reference_kernel_enabled() {
         return gain_types_reference(wf, platform, budget);
@@ -147,17 +160,24 @@ pub fn gain_types(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<Instan
     // Per-(task, type) execution time and BTU rent, hoisted out of the
     // loop. Values are computed exactly as `gain_matrix` and
     // `one_vm_per_task_cost` compute them.
-    let et: Vec<[f64; N_TYPES]> = wf
-        .ids()
-        .map(|t| {
-            let base = wf.task(t).base_time;
-            let mut row = [0.0; N_TYPES];
-            for (j, it) in InstanceType::ALL.iter().enumerate() {
-                row[j] = it.execution_time(base);
-            }
-            row
-        })
-        .collect();
+    let owned_et: Vec<[f64; N_TYPES]>;
+    let et: &[[f64; N_TYPES]] = match tables {
+        Some(t) => t.exec_rows(),
+        None => {
+            owned_et = wf
+                .ids()
+                .map(|t| {
+                    let base = wf.task(t).base_time;
+                    let mut row = [0.0; N_TYPES];
+                    for (j, it) in InstanceType::ALL.iter().enumerate() {
+                        row[j] = it.execution_time(base);
+                    }
+                    row
+                })
+                .collect();
+            &owned_et
+        }
+    };
     let term: Vec<[f64; N_TYPES]> = et
         .iter()
         .map(|row| {
@@ -200,9 +220,26 @@ pub fn gain_types(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<Instan
             if versions[i] != e.version {
                 continue;
             }
+            let new_term = term[i][e.to as usize];
+            // O(1) reject for trials far over budget. `acc` is the
+            // left-to-right rent sum of the current assignment; swapping
+            // slot i's term associatively approximates the trial's exact
+            // sequential re-sum to within the standard float-summation
+            // error bound — all terms are positive, so `n·ε·(acc +
+            // new_term)`, inflated 64× for slack, dominates the
+            // divergence. When even `approx − margin` exceeds the
+            // accepted threshold the exact sum must too, so skipping it
+            // changes no decision; anything closer falls through to the
+            // exact sequential sum below.
+            let approx = acc - terms[i] + new_term;
+            let margin = 64.0 * wf.len() as f64 * f64::EPSILON * (acc + new_term);
+            if approx - margin > budget + 1e-9 {
+                tried.push(e);
+                continue;
+            }
             // Total rent with the trial type in slot i, in the exact
             // task order of `one_vm_per_task_cost`.
-            let mut cost = prefix[i] + term[i][e.to as usize];
+            let mut cost = prefix[i] + new_term;
             for &x in &terms[i + 1..] {
                 cost += x;
             }
@@ -265,13 +302,27 @@ fn gain_types_reference(wf: &Workflow, platform: &Platform, budget: f64) -> Vec<
 /// `budget_multiplier × baseline_cost` (the paper uses 2).
 #[must_use]
 pub fn gain(wf: &Workflow, platform: &Platform, budget_multiplier: f64) -> Schedule {
+    gain_with(wf, platform, budget_multiplier, None)
+}
+
+/// [`gain`] borrowing shared [`KernelTables`] when a sweep has them.
+///
+/// # Panics
+/// Panics if `budget_multiplier < 1.0`.
+#[must_use]
+pub fn gain_with(
+    wf: &Workflow,
+    platform: &Platform,
+    budget_multiplier: f64,
+    tables: Option<&KernelTables>,
+) -> Schedule {
     assert!(
         budget_multiplier >= 1.0,
         "budget multiplier must be at least 1, got {budget_multiplier}"
     );
     let budget = budget_multiplier * baseline_cost(wf, platform);
-    let types = gain_types(wf, platform, budget);
-    schedule_one_vm_per_task(wf, platform, &types, "GAIN")
+    let types = gain_types_with(wf, platform, budget, tables);
+    schedule_one_vm_per_task_with(wf, platform, &types, "GAIN", tables)
 }
 
 #[cfg(test)]

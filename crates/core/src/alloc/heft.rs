@@ -11,7 +11,7 @@
 use super::ranking::rank_order_by;
 use crate::provisioning::ProvisioningPolicy;
 use crate::schedule::Schedule;
-use crate::state::ScheduleBuilder;
+use crate::state::{KernelTables, ScheduleBuilder};
 use cws_dag::{TaskId, Workflow};
 use cws_platform::{InstanceType, Platform};
 
@@ -40,7 +40,19 @@ pub fn heft(
     policy: ProvisioningPolicy,
     itype: InstanceType,
 ) -> Schedule {
-    let mut sb = ScheduleBuilder::new(wf, platform);
+    heft_with(wf, platform, policy, itype, None)
+}
+
+/// [`heft`] borrowing shared [`KernelTables`] when a sweep has them.
+#[must_use]
+pub fn heft_with(
+    wf: &Workflow,
+    platform: &Platform,
+    policy: ProvisioningPolicy,
+    itype: InstanceType,
+    tables: Option<&KernelTables>,
+) -> Schedule {
+    let mut sb = ScheduleBuilder::with_optional_tables(wf, platform, tables);
     for task in heft_order(wf, platform, itype) {
         match policy.pick_vm(&sb, task) {
             Some(vm) => sb.place_on(task, vm),

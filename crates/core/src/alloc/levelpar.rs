@@ -9,7 +9,7 @@
 
 use crate::provisioning::ProvisioningPolicy;
 use crate::schedule::Schedule;
-use crate::state::ScheduleBuilder;
+use crate::state::{KernelTables, ScheduleBuilder};
 use cws_dag::{TaskId, Workflow};
 use cws_platform::{InstanceType, Platform};
 
@@ -45,13 +45,29 @@ pub fn all_par(
     policy: ProvisioningPolicy,
     itype: InstanceType,
 ) -> Schedule {
+    all_par_with(wf, platform, policy, itype, None)
+}
+
+/// [`all_par`] borrowing shared [`KernelTables`] when a sweep has them.
+///
+/// # Panics
+/// Panics if `policy` is not one of the two `AllPar*` variants.
+#[must_use]
+pub fn all_par_with(
+    wf: &Workflow,
+    platform: &Platform,
+    policy: ProvisioningPolicy,
+    itype: InstanceType,
+    tables: Option<&KernelTables>,
+) -> Schedule {
     assert!(
         policy.is_all_par(),
         "all_par requires an AllPar* policy, got {policy}"
     );
-    let mut sb = ScheduleBuilder::new(wf, platform);
+    let mut sb = ScheduleBuilder::with_optional_tables(wf, platform, tables);
+    let mut used_in_level = crate::vm::VmSet::new();
     for level in wf.levels() {
-        let mut used_in_level: Vec<crate::vm::VmId> = Vec::new();
+        used_in_level.clear();
         for task in level_et_descending(wf, level) {
             let vm = match policy.pick_vm_in_level(&sb, task, &used_in_level) {
                 Some(vm) => {
@@ -60,7 +76,7 @@ pub fn all_par(
                 }
                 None => sb.place_on_new(task, itype),
             };
-            used_in_level.push(vm);
+            used_in_level.insert(vm);
         }
     }
     sb.build(format!("{}-{}", policy.name(), itype.suffix()))

@@ -33,15 +33,15 @@ pub mod ranking;
 pub mod sheft;
 
 pub use botpack::bot_ffd;
-pub use cpa::cpa_eager;
-pub use gain::gain;
+pub use cpa::{cpa_eager, cpa_eager_with};
+pub use gain::{gain, gain_with};
 pub use hcoc::{hcoc, HcocOutcome, PrivateCloud};
-pub use heft::heft;
+pub use heft::{heft, heft_with};
 pub use heftins::heft_insertion;
 pub use heftpool::{heft_pool, PoolSpec};
-pub use levelpar::all_par;
+pub use levelpar::{all_par, all_par_with};
 pub use minmin::{list_schedule, ListRule};
-pub use onelns::{all_par_1lns, all_par_1lns_dyn};
+pub use onelns::{all_par_1lns, all_par_1lns_dyn, all_par_1lns_dyn_with, all_par_1lns_with};
 pub use pch::pch;
 pub use ranking::{best_insertion, min_finish, rank_order_by};
 pub use sheft::{sheft_deadline, DeadlineOutcome};

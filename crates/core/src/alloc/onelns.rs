@@ -18,8 +18,7 @@
 //! runs out.
 
 use crate::schedule::Schedule;
-use crate::state::ScheduleBuilder;
-use crate::vm::VmId;
+use crate::state::{KernelTables, ScheduleBuilder};
 use cws_dag::{TaskId, Workflow};
 use cws_platform::{billing::btus_for_span, InstanceType, Platform};
 
@@ -70,6 +69,14 @@ fn reduce_level_with(wf: &Workflow, level: &[TaskId], ready: impl Fn(TaskId) -> 
     const EPS: f64 = 1e-9;
     let order = level_et_descending(wf, level);
     let capacity = order.first().map(|&t| wf.task(t).base_time).unwrap_or(0.0);
+    // The caller's readiness closure walks placed predecessors on every
+    // call, and `chain_end` below consults it per merge trial — cache
+    // one value per level task so each is computed exactly once.
+    let mut ready_of = vec![0.0_f64; wf.len()];
+    for &t in level {
+        ready_of[t.index()] = ready(t);
+    }
+    let ready = |t: TaskId| ready_of[t.index()];
     let horizon = level
         .iter()
         .map(|&t| ready(t) + wf.task(t).base_time)
@@ -118,35 +125,25 @@ fn place_level_chains(
     chains: &[Chain],
     itype_of: impl Fn(usize) -> InstanceType,
 ) {
-    let mut used_in_level: Vec<VmId> = Vec::new();
+    let mut used_in_level = crate::vm::VmSet::new();
     for (ci, chain) in chains.iter().enumerate() {
         let want = itype_of(ci);
         // Execute the chain's tasks in readiness order (earliest maximal
         // predecessor finish first). Chains are *formed* by descending
         // execution time, but running a late-ready task first would stall
         // the VM and inflate the level makespan past the longest task —
-        // which the reduction promises not to do.
-        let mut chain_order = chain.tasks.clone();
-        chain_order.sort_by(|&a, &b| {
-            let ready = |t: TaskId| {
-                sb.workflow()
-                    .predecessors(t)
-                    .iter()
-                    .map(|e| {
-                        sb.placement(e.from)
-                            // Levels are scheduled in topological order,
-                            // so every predecessor is already placed.
-                            // cws-lint: allow(unwrap-in-kernel)
-                            .expect("previous levels are placed")
-                            .finish
-                    })
-                    .fold(0.0_f64, f64::max)
-            };
-            ready(a).total_cmp(&ready(b)).then(a.0.cmp(&b.0))
-        });
+        // which the reduction promises not to do. Readiness is computed
+        // once per task, not once per sort comparison.
+        let mut keyed: Vec<(f64, TaskId)> = chain
+            .tasks
+            .iter()
+            .map(|&t| (placed_ready(sb, t), t))
+            .collect();
+        keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1 .0.cmp(&b.1 .0)));
+        let chain_order: Vec<TaskId> = keyed.into_iter().map(|(_, t)| t).collect();
         let first = chain_order[0];
-        let candidate = sb
-            .earliest_start_vm_where(first, |v| v.itype == want && !used_in_level.contains(&v.id));
+        let candidate =
+            sb.earliest_start_vm_where(first, |v| v.itype == want && !used_in_level.contains(v.id));
         let vm = match candidate {
             Some(vm) => {
                 let duration: f64 = chain.tasks.iter().map(|&t| sb.exec_time(t, want)).sum();
@@ -167,7 +164,7 @@ fn place_level_chains(
         for &t in &chain_order[1..] {
             sb.place_on(t, vm);
         }
-        used_in_level.push(vm);
+        used_in_level.insert(vm);
     }
 }
 
@@ -191,7 +188,18 @@ fn placed_ready(sb: &ScheduleBuilder<'_>, t: TaskId) -> f64 {
 /// Schedule `wf` with the `AllPar1LnS` strategy on small instances.
 #[must_use]
 pub fn all_par_1lns(wf: &Workflow, platform: &Platform) -> Schedule {
-    let mut sb = ScheduleBuilder::new(wf, platform);
+    all_par_1lns_with(wf, platform, None)
+}
+
+/// [`all_par_1lns`] borrowing shared [`KernelTables`] when a sweep has
+/// them.
+#[must_use]
+pub fn all_par_1lns_with(
+    wf: &Workflow,
+    platform: &Platform,
+    tables: Option<&KernelTables>,
+) -> Schedule {
+    let mut sb = ScheduleBuilder::with_optional_tables(wf, platform, tables);
     for level in wf.levels() {
         let chains = reduce_level_scheduled(wf, level, |t| placed_ready(&sb, t));
         place_level_chains(&mut sb, &chains, |_| InstanceType::Small);
@@ -295,7 +303,18 @@ pub fn optimize_level_types(
 /// parallelism reduction plus per-level budgeted speed upgrades.
 #[must_use]
 pub fn all_par_1lns_dyn(wf: &Workflow, platform: &Platform) -> Schedule {
-    let mut sb = ScheduleBuilder::new(wf, platform);
+    all_par_1lns_dyn_with(wf, platform, None)
+}
+
+/// [`all_par_1lns_dyn`] borrowing shared [`KernelTables`] when a sweep
+/// has them.
+#[must_use]
+pub fn all_par_1lns_dyn_with(
+    wf: &Workflow,
+    platform: &Platform,
+    tables: Option<&KernelTables>,
+) -> Schedule {
+    let mut sb = ScheduleBuilder::with_optional_tables(wf, platform, tables);
     for level in wf.levels() {
         let chains = reduce_level_scheduled(wf, level, |t| placed_ready(&sb, t));
         let budget = level_budget(wf, platform, level);

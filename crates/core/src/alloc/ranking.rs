@@ -44,8 +44,9 @@ pub fn min_finish(candidates: impl Iterator<Item = (VmId, f64)>) -> Option<(VmId
 
 /// Best insertion slot for `task` across `pool`: the VM (and resulting
 /// finish time) where gap-insertion finishes the task earliest. One
-/// [`ScheduleBuilder::probe`] serves every pool member, so the ready
-/// reduction over `task`'s predecessors is paid once, not per VM.
+/// [`ScheduleBuilder::probe_all`] serves every pool member: the batched
+/// pass pays the ready reduction over `task`'s predecessors once and
+/// warms every candidate key, so the per-VM step is a gap-index lookup.
 #[must_use]
 pub fn best_insertion(
     sb: &ScheduleBuilder<'_>,
@@ -53,9 +54,9 @@ pub fn best_insertion(
     itype: InstanceType,
     pool: &[VmId],
 ) -> Option<(VmId, f64)> {
-    let mut probe = sb.probe(task);
+    let mut batch = sb.probe_all(task);
     min_finish(pool.iter().map(|&vm| {
-        let start = probe.insertion_start_on(vm);
+        let start = batch.insertion_start_of(vm);
         (vm, start + sb.exec_time(task, itype))
     }))
 }

@@ -7,6 +7,8 @@
 
 use crate::metrics::{RelativeMetrics, ScheduleMetrics};
 use crate::schedule::Schedule;
+use crate::state::KernelTables;
+use crate::strategy::Strategy;
 use cws_dag::Workflow;
 use cws_platform::{InstanceType, Platform};
 use serde::{Deserialize, Serialize};
@@ -80,6 +82,27 @@ pub fn compare(
         utilization: [left.utilization(), right.utilization()],
         moved_tasks: moved,
     }
+}
+
+/// Schedule both strategies and compare, sharing one [`KernelTables`]
+/// build between the two sides.
+///
+/// Building the exec/bandwidth/latency tables is `O(V·T + R²)` per
+/// schedule; a comparison needs them twice for the same
+/// `(workflow, platform)` key, so this entry point builds them once and
+/// lends them to both [`Strategy::schedule_with`] calls. Bit-identical
+/// to scheduling each side independently.
+#[must_use]
+pub fn compare_strategies(
+    wf: &Workflow,
+    platform: &Platform,
+    left: Strategy,
+    right: Strategy,
+) -> ScheduleComparison {
+    let tables = KernelTables::build(wf, platform);
+    let l = left.schedule_with(wf, platform, Some(&tables));
+    let r = right.schedule_with(wf, platform, Some(&tables));
+    compare(wf, platform, &l, &r)
 }
 
 impl ScheduleComparison {
@@ -200,6 +223,22 @@ mod tests {
         assert!(text.contains("OneVMperTask-s"));
         assert!(text.contains("AllParExceed-m"));
         assert!(text.contains("utilization"));
+    }
+
+    #[test]
+    fn compare_strategies_matches_independent_schedules() {
+        let (wf, p, l, r) = setup();
+        let c = compare_strategies(
+            &wf,
+            &p,
+            Strategy::BASELINE,
+            Strategy::parse("AllParExceed-m").unwrap(),
+        );
+        let d = compare(&wf, &p, &l, &r);
+        assert_eq!(c.left.makespan, d.left.makespan);
+        assert_eq!(c.right.makespan, d.right.makespan);
+        assert_eq!(c.right.cost, d.right.cost);
+        assert_eq!(c.moved_tasks, d.moved_tasks);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use crate::alloc::{heft_insertion, heft_pool, list_schedule, ListRule, PoolSpec};
 use crate::schedule::Schedule;
-use crate::state::naive;
+use crate::state::{naive, KernelTables, ScheduleBuilder};
 use crate::strategy::Strategy;
 use cws_dag::Workflow;
 use cws_platform::{InstanceType, Platform};
@@ -117,5 +117,91 @@ proptest! {
                 list_schedule(&wf, &p, rule, InstanceType::Small, machines)
             });
         }
+    }
+
+    /// All 19 pairings through the *reused-table* path: one
+    /// [`KernelTables`] build lent to every schedule must reproduce the
+    /// naive reference bit for bit, exactly as the per-schedule build
+    /// does.
+    #[test]
+    fn paper_set_with_shared_tables_is_bit_identical(wf in arb_layered()) {
+        let p = Platform::ec2_paper();
+        let tables = KernelTables::build(&wf, &p);
+        for strategy in Strategy::paper_set() {
+            assert_kernels_agree(&wf, &p, &strategy.label(), || {
+                strategy.schedule_with(&wf, &p, Some(&tables))
+            });
+        }
+        // 19 fast schedules used the tables; the reference runs ignore
+        // offered tables by design, so they add nothing here.
+        prop_assert_eq!(tables.uses(), 19);
+    }
+
+    /// [`ScheduleBuilder::probe_all`] answers exactly what a fresh
+    /// sequential [`ScheduleBuilder::probe`] would, for every rented VM,
+    /// at every step of a growing schedule.
+    #[test]
+    fn probe_all_matches_sequential_probes(wf in arb_layered()) {
+        let p = Platform::ec2_paper();
+        let tables = KernelTables::build(&wf, &p);
+        let mut sb = ScheduleBuilder::with_tables(&wf, &p, &tables);
+        for &task in wf.topological_order() {
+            let batch_starts: Vec<f64> = {
+                let mut batch = sb.probe_all(task);
+                sb.vms().iter().map(|v| v.id).collect::<Vec<_>>()
+                    .into_iter().map(|id| batch.start_of(id)).collect()
+            };
+            let probe_starts: Vec<f64> = {
+                let mut probe = sb.probe(task);
+                sb.vms().iter().map(|v| v.id).collect::<Vec<_>>()
+                    .into_iter().map(|id| probe.start_on(id)).collect()
+            };
+            prop_assert_eq!(&batch_starts, &probe_starts, "task {:?}", task);
+            // Grow the schedule so later probes see occupied VMs: spill
+            // every third task onto a new VM, pack the rest greedily.
+            let spill = task.index() % 3 == 0 || sb.vms().is_empty();
+            if spill {
+                sb.place_on_new(task, InstanceType::Small);
+            } else {
+                let best = batch_starts
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| crate::vm::VmId(u32::try_from(i).unwrap()))
+                    .unwrap();
+                sb.place_on(task, best);
+            }
+        }
+    }
+}
+
+/// The ISSUE-7 acceptance seeds: all 19 pairings through the shared
+/// [`KernelTables`] path, bit-identical to the naive reference at each
+/// pinned seed.
+#[test]
+fn paper_set_with_shared_tables_at_pinned_seeds() {
+    let p = Platform::ec2_paper();
+    for seed in [7u64, 42, 1337] {
+        let wf = Scenario::Pareto { seed }.apply(&layered_dag(LayeredShape {
+            levels: 5,
+            min_width: 2,
+            max_width: 8,
+            edge_prob: 0.35,
+            seed,
+        }));
+        let tables = KernelTables::build(&wf, &p);
+        for strategy in Strategy::paper_set() {
+            let fast = strategy.schedule_with(&wf, &p, Some(&tables));
+            let reference = with_reference_kernel(|| strategy.schedule(&wf, &p));
+            assert!(
+                fast == reference,
+                "{} diverged from the naive reference at seed {seed} \
+                 (fast makespan {}, reference makespan {})",
+                strategy.label(),
+                fast.makespan(),
+                reference.makespan()
+            );
+        }
+        assert_eq!(tables.uses(), 19, "seed {seed}");
     }
 }

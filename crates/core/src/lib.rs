@@ -42,11 +42,11 @@ pub mod vm;
 #[cfg(test)]
 mod fastpath_tests;
 
-pub use compare::{compare, ScheduleComparison};
+pub use compare::{compare, compare_strategies, ScheduleComparison};
 pub use metrics::{RelativeMetrics, ScheduleMetrics};
 pub use pooled::{pooled_static, PooledSchedule, WarmVm};
 pub use provisioning::ProvisioningPolicy;
 pub use schedule::{Schedule, ScheduleError, TaskPlacement, VmMetrics};
-pub use state::ScheduleBuilder;
+pub use state::{BatchProbe, KernelTables, ScheduleBuilder, TaskProbe};
 pub use strategy::{DynamicBudgets, StaticAlloc, Strategy};
 pub use vm::{Vm, VmId};

@@ -132,8 +132,9 @@ pub fn pooled_static(
             }
         }
     } else {
+        let mut used_in_level = crate::vm::VmSet::new();
         for level in wf.levels() {
-            let mut used_in_level: Vec<VmId> = Vec::new();
+            used_in_level.clear();
             for task in level_et_descending(wf, level) {
                 let vm = match policy.pick_vm_in_level(&sb, task, &used_in_level) {
                     Some(vm) => {
@@ -142,7 +143,7 @@ pub fn pooled_static(
                     }
                     None => place_fresh_or_warm(&mut sb, task, itype, require_fit),
                 };
-                used_in_level.push(vm);
+                used_in_level.insert(vm);
             }
         }
     }

@@ -6,7 +6,7 @@
 //! decision procedure lives in [`ProvisioningPolicy::pick_vm`].
 
 use crate::state::ScheduleBuilder;
-use crate::vm::VmId;
+use crate::vm::{VmId, VmSet};
 use cws_dag::TaskId;
 use serde::{Deserialize, Serialize};
 
@@ -114,7 +114,7 @@ impl ProvisioningPolicy {
     }
 
     /// Decide the host VM for `task` inside a level of parallel tasks
-    /// (the AllPar pairing of Table I). `used_in_level` lists VMs already
+    /// (the AllPar pairing of Table I). `used_in_level` marks VMs already
     /// claimed by other tasks of the same level — parallel tasks must not
     /// share a VM, so those are excluded. Each parallel task goes to "its
     /// own VM — existing or new": among the free VMs the one that lets
@@ -129,9 +129,9 @@ impl ProvisioningPolicy {
         self,
         sb: &ScheduleBuilder<'_>,
         task: TaskId,
-        used_in_level: &[VmId],
+        used_in_level: &VmSet,
     ) -> Option<VmId> {
-        let reusable = |v: &crate::vm::Vm| !used_in_level.contains(&v.id);
+        let reusable = |v: &crate::vm::Vm| !used_in_level.contains(v.id);
         match self {
             ProvisioningPolicy::OneVmPerTask => None,
             ProvisioningPolicy::AllParExceed | ProvisioningPolicy::StartParExceed => {
@@ -251,12 +251,13 @@ mod tests {
         let vm = sb.place_on_new(TaskId(0), InstanceType::Small);
         // p1 may reuse the entry's VM…
         assert_eq!(
-            ProvisioningPolicy::AllParExceed.pick_vm_in_level(&sb, TaskId(1), &[]),
+            ProvisioningPolicy::AllParExceed.pick_vm_in_level(&sb, TaskId(1), &VmSet::new()),
             Some(vm)
         );
         // …but p2 must not share with p1 if p1 claimed it
+        let claimed: VmSet = [vm].into_iter().collect();
         assert_eq!(
-            ProvisioningPolicy::AllParExceed.pick_vm_in_level(&sb, TaskId(2), &[vm]),
+            ProvisioningPolicy::AllParExceed.pick_vm_in_level(&sb, TaskId(2), &claimed),
             None
         );
     }
@@ -272,12 +273,12 @@ mod tests {
         let mut sb = ScheduleBuilder::new(&wf, &p);
         sb.place_on_new(TaskId(0), InstanceType::Small);
         assert_eq!(
-            ProvisioningPolicy::AllParNotExceed.pick_vm_in_level(&sb, TaskId(1), &[]),
+            ProvisioningPolicy::AllParNotExceed.pick_vm_in_level(&sb, TaskId(1), &VmSet::new()),
             None,
             "500s does not fit the 200s left"
         );
         assert!(ProvisioningPolicy::AllParExceed
-            .pick_vm_in_level(&sb, TaskId(1), &[])
+            .pick_vm_in_level(&sb, TaskId(1), &VmSet::new())
             .is_some());
     }
 

@@ -36,6 +36,23 @@
 //! [`ScheduleBuilder::candidates_for`] exposes the resulting candidate
 //! stream to the allocation strategies in place of hand-rolled scans.
 //!
+//! # Raw-speed round 2
+//!
+//! On top of the cached tables, the builder keeps its hot state in an
+//! arena/struct-of-arrays layout: dense per-VM `vm_avail`/`vm_key`
+//! lanes mirror `vms`, and every probe borrows a pooled
+//! [`ProbeScratch`] workspace (hosts, flattened edges, arrival scratch,
+//! epoch-stamped per-VM local-ready), so steady-state probing performs
+//! **zero heap allocation**. [`ScheduleBuilder::probe_all`] evaluates
+//! every rented VM's start time in one batched pass over those lanes —
+//! the replacement for per-VM query loops in the HEFT/MinMin inner
+//! loops. Sweeps amortise table construction across schedules by
+//! building one [`KernelTables`] per `(dag, platform)` key and handing
+//! it to [`ScheduleBuilder::with_tables`] (counted by
+//! `kernel.table_reuse_hits`), and DAGs under [`SMALL_DAG_TASKS`] tasks
+//! skip exec-table setup entirely ([`ExecSource::Direct`]), which is
+//! what keeps the fast path ≥ 1× on the paper's 20-task workloads.
+//!
 //! The fast path performs the *same floating-point operations* as the
 //! naive code: `f64::max` is exact, so regrouping the ready-time
 //! max-reduction per host VM is bit-identical, and the cached transfer
@@ -54,6 +71,8 @@ use cws_dag::{TaskId, Workflow};
 use cws_obs as obs;
 use cws_platform::billing::fits_in_current_btu;
 use cws_platform::{InstanceType, Platform, Region};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 const EPS: f64 = 1e-9;
@@ -61,6 +80,18 @@ const N_TYPES: usize = InstanceType::ALL.len();
 const N_REGIONS: usize = Region::ALL.len();
 const N_KEYS: usize = N_REGIONS * N_TYPES;
 const N_PAIRS: usize = N_TYPES * N_TYPES;
+
+/// Task-count threshold of the size-based dispatch: a builder for a DAG
+/// strictly smaller than this (and without shared [`KernelTables`])
+/// skips exec-table construction entirely and computes execution times
+/// on demand — `InstanceType::execution_time` is one multiply, so for
+/// the paper's 20–80-task DAGs the table never pays for its own
+/// allocation. Calibrated with `cws-bench`: the paper workloads
+/// (20–76 tasks) are all faster without the table, layered-10x100
+/// (1000 tasks) is ~10× faster with it; anywhere in 100..1000 is flat.
+/// Bit-identity is unaffected — the table holds exactly
+/// `execution_time`'s results.
+const SMALL_DAG_TASKS: usize = 128;
 
 /// Index of an (instance-type, instance-type) pair in a transfer row.
 #[inline]
@@ -72,6 +103,178 @@ fn pair_idx(from: InstanceType, to: InstanceType) -> usize {
 #[inline]
 fn key_idx(region: Region, itype: InstanceType) -> usize {
     (region as usize) * N_TYPES + (itype as usize)
+}
+
+/// Immutable, shareable kernel tables for one `(workflow, platform)`
+/// pair: the task × instance-type execution-time table plus the two
+/// factors of every transfer time (path bandwidth per type pair, path
+/// latency per region pair).
+///
+/// A sweep builds 57 schedules per workload (19 pairings × 3 repeats)
+/// but only ever needs **one** table set per `(dag, platform)` key —
+/// build it once with [`KernelTables::build`] and hand it to every
+/// [`ScheduleBuilder::with_tables`]. Each use after the first bumps the
+/// `kernel.table_reuse_hits` counter. The tables are `Sync` (interior
+/// state is one relaxed atomic), so parallel sweep workers can borrow
+/// one set concurrently.
+///
+/// Entries are exactly what a builder would compute for itself
+/// (`execution_time`, `path_bandwidth_mbps`, `path_latency_s`), so
+/// shared-table schedules are bit-identical to owned-table ones.
+#[derive(Debug)]
+pub struct KernelTables {
+    /// `exec[task][itype]` execution-time table.
+    exec: Vec<[f64; N_TYPES]>,
+    /// Path-latency table: `lat[from_region][to_region]`.
+    lat: [[f64; N_REGIONS]; N_REGIONS],
+    /// Path-bandwidth table: `bw[pair_idx(from, to)]` in MB/s.
+    bw: [f64; N_PAIRS],
+    /// Builders constructed over these tables (relaxed; only the
+    /// zero/non-zero transition matters, for reuse counting).
+    uses: AtomicU64,
+}
+
+impl KernelTables {
+    /// Build the tables for `wf` on `platform`.
+    ///
+    /// # Panics
+    /// Panics if any edge carries a negative transfer size (the same
+    /// validation a table-owning builder performs up front).
+    #[must_use]
+    pub fn build(wf: &Workflow, platform: &Platform) -> Self {
+        let net = &platform.network;
+        for e in wf.edges() {
+            assert!(
+                e.data_mb >= 0.0,
+                "transfer size must be non-negative, got {}",
+                e.data_mb
+            );
+        }
+        let exec = wf
+            .ids()
+            .map(|t| {
+                let base = wf.task(t).base_time;
+                let mut row = [0.0; N_TYPES];
+                for (j, it) in InstanceType::ALL.iter().enumerate() {
+                    row[j] = it.execution_time(base);
+                }
+                row
+            })
+            .collect();
+        let mut lat = [[0.0; N_REGIONS]; N_REGIONS];
+        for (i, &a) in Region::ALL.iter().enumerate() {
+            for (j, &b) in Region::ALL.iter().enumerate() {
+                lat[i][j] = net.path_latency_s(a, b);
+            }
+        }
+        let mut bw = [0.0; N_PAIRS];
+        for &ft in &InstanceType::ALL {
+            for &tt in &InstanceType::ALL {
+                bw[pair_idx(ft, tt)] = net.path_bandwidth_mbps(ft, tt);
+            }
+        }
+        KernelTables {
+            exec,
+            lat,
+            bw,
+            uses: AtomicU64::new(0),
+        }
+    }
+
+    /// The execution-time rows (`[task][itype]`), for strategy upgrade
+    /// loops (CPA-Eager, GAIN) that want to borrow instead of rebuild.
+    #[must_use]
+    pub fn exec_rows(&self) -> &[[f64; N_TYPES]] {
+        &self.exec
+    }
+
+    /// How many builders borrowed these tables so far.
+    #[must_use]
+    pub fn uses(&self) -> u64 {
+        self.uses.load(Ordering::Relaxed)
+    }
+}
+
+/// Where a builder's execution-time entries come from — the size-based
+/// dispatch at the heart of the "small DAGs never pay setup" rule.
+#[derive(Debug, Clone)]
+enum ExecSource<'a> {
+    /// Builder-owned table (large DAG, no shared tables offered).
+    Owned(Vec<[f64; N_TYPES]>),
+    /// Borrowed from a shared [`KernelTables`] (sweep amortisation).
+    Shared(&'a KernelTables),
+    /// No table at all: compute `execution_time` on demand. Used below
+    /// [`SMALL_DAG_TASKS`] and by naive-reference builders (which never
+    /// read it — every query short-circuits into [`naive`] first).
+    Direct,
+}
+
+/// Reusable probe workspace, pooled on the builder so consecutive
+/// probes perform **zero** heap allocation once the vectors have grown
+/// to the schedule's high-water mark. Contents are meaningless between
+/// probes; [`ScheduleBuilder::probe`] re-initialises what it uses.
+#[derive(Debug, Default)]
+struct ProbeScratch {
+    /// Distinct predecessor hosts, in first-encounter order.
+    hosts: Vec<HostPreds>,
+    /// Flattened predecessor edges.
+    edges: Vec<ProbeEdge>,
+    /// Per-host arrival scratch for `key_ready` (first `hosts.len()`
+    /// entries live).
+    arrivals: Vec<f64>,
+    /// `local_ready[vm]`: max predecessor finish hosted on that VM,
+    /// valid only where `local_epoch[vm] == epoch` — the epoch stamp
+    /// replaces the O(V) `vec![NEG_INFINITY; vms.len()]` refill the
+    /// old probe paid per call.
+    local_ready: Vec<f64>,
+    /// Epoch stamp per VM slot (see `local_ready`).
+    local_epoch: Vec<u64>,
+    /// `host_slot[vm]`: this VM's index into `hosts`, valid only where
+    /// `host_epoch[vm] == epoch` — turns the per-predecessor "seen this
+    /// host yet?" test into O(1) instead of a scan over `hosts`, which
+    /// dominated probe setup for tasks whose predecessors span many VMs
+    /// (the AllPar norm on wide levels).
+    host_slot: Vec<u32>,
+    /// Epoch stamp per VM slot (see `host_slot`).
+    host_epoch: Vec<u64>,
+    /// Current probe epoch; bumped once per probe.
+    epoch: u64,
+    /// Per-VM batched start times, filled by
+    /// [`ScheduleBuilder::probe_all`].
+    starts: Vec<f64>,
+}
+
+/// One-slot pool for [`ProbeScratch`]: the probe takes the workspace at
+/// construction and its `Drop` returns it. A `Cell` keeps the take/put
+/// free of borrow bookkeeping on the hot path.
+struct ScratchCell(Cell<Option<ProbeScratch>>);
+
+impl ScratchCell {
+    fn new() -> Self {
+        ScratchCell(Cell::new(None))
+    }
+
+    fn take(&self) -> ProbeScratch {
+        self.0.take().unwrap_or_default()
+    }
+
+    fn put(&self, scratch: ProbeScratch) {
+        self.0.set(Some(scratch));
+    }
+}
+
+impl std::fmt::Debug for ScratchCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ScratchCell(..)")
+    }
+}
+
+impl Clone for ScratchCell {
+    /// Clones start with an empty pool — scratch contents are
+    /// meaningless between probes and regrow on first use.
+    fn clone(&self) -> Self {
+        ScratchCell::new()
+    }
 }
 
 /// Per-VM idle-window index: the gaps an insertion-policy task may fill
@@ -150,6 +353,7 @@ struct KernelCounters {
     placements: Arc<obs::Counter>,
     schedules: Arc<obs::Counter>,
     pool_hits: Arc<obs::Counter>,
+    table_reuse: Arc<obs::Counter>,
     /// Wall-clock probe latency in nanoseconds. The one metric whose
     /// *sum* is machine-dependent; its count stays deterministic (one
     /// sample per probe), which is what the thread-matrix regression
@@ -168,6 +372,7 @@ impl KernelCounters {
             placements: reg.counter(names::KERNEL_PLACEMENTS),
             schedules: reg.counter(names::KERNEL_SCHEDULES),
             pool_hits: reg.counter(names::POOL_HITS),
+            table_reuse: reg.counter(names::KERNEL_TABLE_REUSE),
             probe_latency: reg.histogram(names::KERNEL_PROBE_LATENCY),
         }
     }
@@ -190,18 +395,27 @@ pub struct ScheduleBuilder<'a> {
     /// For each entry of `vms`, the warm-slot index it was claimed from
     /// (`None` = fresh rental). Maintained in lock-step with `vms`.
     origins: Vec<Option<usize>>,
-    /// Execution-time table: `exec[task][itype]`. Empty when the naive
-    /// reference kernel is active — the reference pass must not pay (or
-    /// benefit from) fast-path construction.
-    exec: Vec<[f64; N_TYPES]>,
+    /// Execution-time source: owned table, shared [`KernelTables`]
+    /// borrow, or on-demand computation (small DAGs and the naive
+    /// reference, which must not pay or benefit from fast-path setup).
+    exec: ExecSource<'a>,
     /// Path-latency table: `lat[from_region][to_region]`.
     lat: [[f64; N_REGIONS]; N_REGIONS],
     /// Path-bandwidth table: `bw[pair_idx(from, to)]` in MB/s. A
     /// transfer then costs `data_mb / bw[pair] + lat[fr][tr]` — the same
     /// division and add the platform's `transfer_time` performs.
     bw: [f64; N_PAIRS],
+    /// Struct-of-arrays mirror of `vms`: per-VM availability (`meter`
+    /// tail), refreshed on every placement so probe scans touch one
+    /// dense `f64` lane instead of striding through whole `Vm` structs.
+    vm_avail: Vec<f64>,
+    /// Struct-of-arrays mirror of `vms`: each VM's `(region, itype)`
+    /// candidate key as a [`key_idx`] code, for the batched probe pass.
+    vm_key: Vec<u16>,
     /// Per-VM idle-window index, in lock-step with `vms`.
     gaps: Vec<VmGaps>,
+    /// Pooled probe workspace (see [`ProbeScratch`]).
+    scratch: ScratchCell,
     /// Running `(busy_seconds, id)` argmax over `vms` (ties towards the
     /// smaller id). Valid because busy time never decreases.
     busiest: Option<(f64, VmId)>,
@@ -227,13 +441,64 @@ impl<'a> ScheduleBuilder<'a> {
     /// renting fresh ones (see [`crate::pooled`] for the claiming rules).
     #[must_use]
     pub fn with_warm_pool(wf: &'a Workflow, platform: &'a Platform, warm: &[WarmVm]) -> Self {
+        Self::construct(wf, platform, warm, None)
+    }
+
+    /// Start an empty schedule borrowing pre-built [`KernelTables`]
+    /// instead of computing exec/bandwidth/latency tables afresh — the
+    /// cross-schedule amortisation a sweep uses to build 57 schedules
+    /// per workload from one table set. Bit-identical to [`Self::new`].
+    ///
+    /// # Panics
+    /// Panics if `tables` was built for a workflow of a different size.
+    #[must_use]
+    pub fn with_tables(wf: &'a Workflow, platform: &'a Platform, tables: &'a KernelTables) -> Self {
+        Self::construct(wf, platform, &[], Some(tables))
+    }
+
+    /// [`Self::with_tables`] when tables are at hand, [`Self::new`]
+    /// otherwise — the form the strategies' `_with` entry points thread
+    /// through.
+    #[must_use]
+    pub fn with_optional_tables(
+        wf: &'a Workflow,
+        platform: &'a Platform,
+        tables: Option<&'a KernelTables>,
+    ) -> Self {
+        Self::construct(wf, platform, &[], tables)
+    }
+
+    fn construct(
+        wf: &'a Workflow,
+        platform: &'a Platform,
+        warm: &[WarmVm],
+        tables: Option<&'a KernelTables>,
+    ) -> Self {
         let net = &platform.network;
         #[cfg(any(test, feature = "naive"))]
         let kernel_naive = naive::reference_kernel_enabled();
         #[cfg(not(any(test, feature = "naive")))]
         let kernel_naive = false;
+        let counters = obs::metrics_enabled().then(KernelCounters::fetch);
+        let shared = if kernel_naive { None } else { tables };
         let exec = if kernel_naive {
-            Vec::new()
+            // Never read: every query short-circuits into `naive` first.
+            // Offered tables are ignored entirely (no use is recorded)
+            // so the reference pass keeps its original cost profile.
+            ExecSource::Direct
+        } else if let Some(t) = shared {
+            assert_eq!(
+                t.exec.len(),
+                wf.len(),
+                "kernel tables were built for a different workflow"
+            );
+            let prev = t.uses.fetch_add(1, Ordering::Relaxed);
+            if prev > 0 {
+                if let Some(c) = &counters {
+                    c.table_reuse.inc();
+                }
+            }
+            ExecSource::Shared(t)
         } else {
             // The naive kernel validates sizes inside `transfer_time`;
             // the table path divides directly, so validate up front.
@@ -244,29 +509,40 @@ impl<'a> ScheduleBuilder<'a> {
                     e.data_mb
                 );
             }
-            wf.ids()
-                .map(|t| {
-                    let base = wf.task(t).base_time;
-                    let mut row = [0.0; N_TYPES];
-                    for (j, it) in InstanceType::ALL.iter().enumerate() {
-                        row[j] = it.execution_time(base);
-                    }
-                    row
-                })
-                .collect()
+            if wf.len() < SMALL_DAG_TASKS {
+                ExecSource::Direct
+            } else {
+                ExecSource::Owned(
+                    wf.ids()
+                        .map(|t| {
+                            let base = wf.task(t).base_time;
+                            let mut row = [0.0; N_TYPES];
+                            for (j, it) in InstanceType::ALL.iter().enumerate() {
+                                row[j] = it.execution_time(base);
+                            }
+                            row
+                        })
+                        .collect(),
+                )
+            }
         };
-        let mut lat = [[0.0; N_REGIONS]; N_REGIONS];
-        for (i, &a) in Region::ALL.iter().enumerate() {
-            for (j, &b) in Region::ALL.iter().enumerate() {
-                lat[i][j] = net.path_latency_s(a, b);
+        let (lat, bw) = if let Some(t) = shared {
+            (t.lat, t.bw)
+        } else {
+            let mut lat = [[0.0; N_REGIONS]; N_REGIONS];
+            for (i, &a) in Region::ALL.iter().enumerate() {
+                for (j, &b) in Region::ALL.iter().enumerate() {
+                    lat[i][j] = net.path_latency_s(a, b);
+                }
             }
-        }
-        let mut bw = [0.0; N_PAIRS];
-        for &ft in &InstanceType::ALL {
-            for &tt in &InstanceType::ALL {
-                bw[pair_idx(ft, tt)] = net.path_bandwidth_mbps(ft, tt);
+            let mut bw = [0.0; N_PAIRS];
+            for &ft in &InstanceType::ALL {
+                for &tt in &InstanceType::ALL {
+                    bw[pair_idx(ft, tt)] = net.path_bandwidth_mbps(ft, tt);
+                }
             }
-        }
+            (lat, bw)
+        };
         ScheduleBuilder {
             wf,
             platform,
@@ -278,12 +554,15 @@ impl<'a> ScheduleBuilder<'a> {
             exec,
             lat,
             bw,
+            vm_avail: Vec::new(),
+            vm_key: Vec::new(),
             gaps: Vec::new(),
+            scratch: ScratchCell::new(),
             busiest: None,
             #[cfg(any(test, feature = "naive"))]
             kernel_naive,
             trace_on: obs::trace_enabled(),
-            counters: obs::metrics_enabled().then(KernelCounters::fetch),
+            counters,
         }
     }
 
@@ -317,6 +596,19 @@ impl<'a> ScheduleBuilder<'a> {
         self.placements[task.index()]
     }
 
+    /// Fast-path execution-time lookup, dispatched on the builder's
+    /// [`ExecSource`]. `Direct` computes the same one-multiply
+    /// `execution_time` a table entry holds, so all three sources are
+    /// bit-identical.
+    #[inline]
+    fn exec_entry(&self, task: TaskId, itype: InstanceType) -> f64 {
+        match &self.exec {
+            ExecSource::Owned(t) => t[task.index()][itype as usize],
+            ExecSource::Shared(t) => t.exec[task.index()][itype as usize],
+            ExecSource::Direct => itype.execution_time(self.wf.task(task).base_time),
+        }
+    }
+
     /// Execution time of `task` on an instance of type `itype`.
     #[must_use]
     pub fn exec_time(&self, task: TaskId, itype: InstanceType) -> f64 {
@@ -324,7 +616,7 @@ impl<'a> ScheduleBuilder<'a> {
         if self.kernel_naive {
             return naive::exec_time(self, task, itype);
         }
-        self.exec[task.index()][itype as usize]
+        self.exec_entry(task, itype)
     }
 
     /// Earliest time the inputs of `task` are available on a VM of type
@@ -428,35 +720,59 @@ impl<'a> ScheduleBuilder<'a> {
             c.probes.inc();
             std::time::Instant::now() // cws-lint: allow(wall-clock-in-sim)
         });
-        let mut hosts: Vec<HostPreds> = Vec::new();
-        let mut edges: Vec<ProbeEdge> = Vec::new();
-        let mut local_ready: Vec<f64> = Vec::new();
+        let mut scratch = self.scratch.take();
+        scratch.hosts.clear();
+        scratch.edges.clear();
         if !self.is_naive() {
-            local_ready = vec![f64::NEG_INFINITY; self.vms.len()];
+            // Epoch stamp instead of refilling `local_ready` with
+            // NEG_INFINITY per probe: a slot is live only when its
+            // stamp matches the current epoch, and a stale slot reads
+            // as NEG_INFINITY — `NEG_INFINITY.max(x) == x` exactly, so
+            // direct-set on first touch is bit-identical to the refill.
+            scratch.epoch += 1;
+            if scratch.local_epoch.len() < self.vms.len() {
+                scratch.local_epoch.resize(self.vms.len(), 0);
+                scratch
+                    .local_ready
+                    .resize(self.vms.len(), f64::NEG_INFINITY);
+                scratch.host_epoch.resize(self.vms.len(), 0);
+                scratch.host_slot.resize(self.vms.len(), 0);
+            }
             let preds = self.wf.predecessors(task);
-            edges.reserve(preds.len());
+            scratch.edges.reserve(preds.len());
             for e in preds {
                 let p = self.placements[e.from.index()]
                     .unwrap_or_else(|| panic!("predecessor {} of {task} not placed", e.from));
-                let slot = match hosts.iter().position(|h| h.vm == p.vm) {
-                    Some(i) => i,
-                    None => {
-                        let hv = &self.vms[p.vm.index()];
-                        hosts.push(HostPreds {
-                            vm: p.vm,
-                            region: hv.region,
-                            itype: hv.itype,
-                        });
-                        hosts.len() - 1
-                    }
+                let i = p.vm.index();
+                let slot = if scratch.host_epoch[i] == scratch.epoch {
+                    scratch.host_slot[i] as usize
+                } else {
+                    let hv = &self.vms[i];
+                    scratch.hosts.push(HostPreds {
+                        vm: p.vm,
+                        region: hv.region,
+                        itype: hv.itype,
+                    });
+                    scratch.host_epoch[i] = scratch.epoch;
+                    scratch.host_slot[i] = (scratch.hosts.len() - 1) as u32;
+                    scratch.hosts.len() - 1
                 };
-                let lr = &mut local_ready[p.vm.index()];
-                *lr = lr.max(p.finish);
-                edges.push(ProbeEdge {
+                if scratch.local_epoch[i] == scratch.epoch {
+                    scratch.local_ready[i] = scratch.local_ready[i].max(p.finish);
+                } else {
+                    scratch.local_epoch[i] = scratch.epoch;
+                    scratch.local_ready[i] = p.finish;
+                }
+                scratch.edges.push(ProbeEdge {
                     host: slot as u32,
                     data_mb: e.data_mb,
                     finish: p.finish,
                 });
+            }
+            if scratch.arrivals.len() < scratch.hosts.len() {
+                scratch
+                    .arrivals
+                    .resize(scratch.hosts.len(), f64::NEG_INFINITY);
             }
         }
         if let (Some(c), Some(t0)) = (&self.counters, timed) {
@@ -465,12 +781,46 @@ impl<'a> ScheduleBuilder<'a> {
         TaskProbe {
             sb: self,
             task,
-            arrivals: vec![f64::NEG_INFINITY; hosts.len()],
-            hosts,
-            edges,
-            local_ready,
+            scratch,
             keys: [None; N_KEYS],
         }
+    }
+
+    /// Batched multi-candidate probe: evaluate **every** rented VM's
+    /// start time for `task` in one cache-friendly pass over the dense
+    /// `vm_key`/`vm_avail` lanes, instead of N independent per-VM
+    /// queries. Ready keys are still built lazily per distinct
+    /// `(region, itype)` key in VM-id first-encounter order, so the
+    /// `kernel.key_ready_builds` counter (and every float operation)
+    /// matches the sequential loops it replaces.
+    ///
+    /// # Panics
+    /// Panics if a predecessor of `task` has not been placed yet.
+    #[must_use]
+    pub fn probe_all(&self, task: TaskId) -> BatchProbe<'_, 'a> {
+        let mut probe = self.probe(task);
+        if !self.is_naive() {
+            if probe.scratch.starts.len() < self.vms.len() {
+                probe.scratch.starts.resize(self.vms.len(), 0.0);
+            }
+            for i in 0..self.vms.len() {
+                let ki = self.vm_key[i] as usize;
+                let key = probe.key_ready_idx(ki);
+                let cross = if key.top_vm == VmId(i as u32) {
+                    key.second
+                } else {
+                    key.top
+                };
+                let local = if probe.scratch.local_epoch[i] == probe.scratch.epoch {
+                    probe.scratch.local_ready[i]
+                } else {
+                    f64::NEG_INFINITY
+                };
+                let ready = cross.max(0.0).max(local);
+                probe.scratch.starts[i] = ready.max(self.vm_avail[i]);
+            }
+        }
+        BatchProbe { probe }
     }
 
     /// The candidate (VM, start, finish) triples `task` would get on
@@ -480,14 +830,14 @@ impl<'a> ScheduleBuilder<'a> {
     /// # Panics
     /// Panics if a predecessor of `task` has not been placed yet.
     pub fn candidates_for(&self, task: TaskId) -> impl Iterator<Item = Candidate> + '_ {
-        let mut probe = self.probe(task);
+        let mut batch = self.probe_all(task);
         self.vms.iter().map(move |v| {
-            let start = probe.start_on(v.id);
+            let start = batch.start_of(v.id);
             Candidate {
                 vm: v.id,
                 itype: v.itype,
                 start,
-                finish: start + probe.sb.exec_time(task, v.itype),
+                finish: start + self.exec_time(task, v.itype),
             }
         })
     }
@@ -508,6 +858,8 @@ impl<'a> ScheduleBuilder<'a> {
         let finish = start + self.exec_time(task, itype);
         vm.push_task(task, start, finish);
         self.vms.push(vm);
+        self.vm_avail.push(self.vms[id.index()].available_at());
+        self.vm_key.push(key_idx(region, itype) as u16);
         self.origins.push(None);
         let mut gaps = VmGaps::new(self.platform.boot_time_s);
         gaps.note_append(start, finish);
@@ -595,6 +947,8 @@ impl<'a> ScheduleBuilder<'a> {
         let finish = start + self.exec_time(task, itype);
         vm.push_task(task, start, finish);
         self.vms.push(vm);
+        self.vm_avail.push(self.vms[id.index()].available_at());
+        self.vm_key.push(key_idx(region, itype) as u16);
         self.origins.push(Some(slot));
         // A claimed slot may start before `boot_time_s`; `note_append`
         // then opens no gap, matching the naive scan whose cursor starts
@@ -618,6 +972,7 @@ impl<'a> ScheduleBuilder<'a> {
         let itype = self.vms[vm.index()].itype;
         let finish = start + self.exec_time(task, itype);
         self.vms[vm.index()].push_task(task, start, finish);
+        self.vm_avail[vm.index()] = self.vms[vm.index()].available_at();
         self.gaps[vm.index()].note_append(start, finish);
         self.refresh_busiest(vm);
         self.set_placement(task, vm, start, finish);
@@ -635,7 +990,7 @@ impl<'a> ScheduleBuilder<'a> {
         }
         let v = &self.vms[vm.index()];
         let ready = self.ready_time(task, Some(vm), v.itype, v.region);
-        let duration = self.exec[task.index()][v.itype as usize];
+        let duration = self.exec_entry(task, v.itype);
         self.gaps[vm.index()].earliest_fit(ready, duration)
     }
 
@@ -650,6 +1005,7 @@ impl<'a> ScheduleBuilder<'a> {
         // `kernel.gap_index_hits` counter measures.
         let gap_hit = start + EPS < self.gaps[vm.index()].tail;
         self.vms[vm.index()].insert_task(task, start, finish);
+        self.vm_avail[vm.index()] = self.vms[vm.index()].available_at();
         self.gaps[vm.index()].note_insert(start, finish);
         self.refresh_busiest(vm);
         self.set_placement(task, vm, start, finish);
@@ -782,17 +1138,48 @@ impl<'a> ScheduleBuilder<'a> {
         if self.kernel_naive {
             return naive::earliest_start_vm_where(self, task, keep);
         }
+        // One probe, then a single fused pass: each kept VM's start time
+        // is computed inline (the same per-key lazy ready reduction
+        // `probe_all` performs, producing the same bits) and folded into
+        // the running min immediately — no intermediate `starts` lane,
+        // no second scan. The comparator is the sequential `min_by`'s —
+        // earliest start, then largest busy time, then smallest id; ids
+        // are unique so the order is total and first-vs-last min never
+        // matters.
         let mut probe = self.probe(task);
-        self.vms
-            .iter()
-            .filter(|v| keep(v))
-            .map(|v| (v.id, probe.start_on(v.id), v.busy_seconds()))
-            .min_by(|(ia, sa, ba), (ib, sb, bb)| {
-                sa.total_cmp(sb)
-                    .then(bb.total_cmp(ba))
-                    .then(ia.0.cmp(&ib.0))
-            })
-            .map(|(id, _, _)| id)
+        let mut best: Option<(VmId, f64, f64)> = None;
+        for v in &self.vms {
+            if !keep(v) {
+                continue;
+            }
+            let i = v.id.index();
+            let key = probe.key_ready_idx(self.vm_key[i] as usize);
+            let cross = if key.top_vm == v.id {
+                key.second
+            } else {
+                key.top
+            };
+            let local = if probe.scratch.local_epoch[i] == probe.scratch.epoch {
+                probe.scratch.local_ready[i]
+            } else {
+                f64::NEG_INFINITY
+            };
+            let start = cross.max(0.0).max(local).max(self.vm_avail[i]);
+            let busy = v.busy_seconds();
+            best = match best {
+                Some((bid, bs, bb))
+                    if start
+                        .total_cmp(&bs)
+                        .then(bb.total_cmp(&busy))
+                        .then(v.id.0.cmp(&bid.0))
+                        != std::cmp::Ordering::Less =>
+                {
+                    Some((bid, bs, bb))
+                }
+                _ => Some((v.id, start, busy)),
+            };
+        }
+        best.map(|(id, _, _)| id)
     }
 
     /// Number of tasks still unplaced.
@@ -875,53 +1262,66 @@ struct KeyReady {
 }
 
 /// Per-task probe answering candidate-VM queries in O(1); see
-/// [`ScheduleBuilder::probe`].
+/// [`ScheduleBuilder::probe`]. Its workspace is taken from the
+/// builder's scratch pool at construction and returned on drop, so a
+/// strategy's probe loop allocates nothing after the first probe.
 #[derive(Debug)]
 pub struct TaskProbe<'b, 'a> {
     sb: &'b ScheduleBuilder<'a>,
     task: TaskId,
-    hosts: Vec<HostPreds>,
-    edges: Vec<ProbeEdge>,
-    /// Per-host arrival scratch, reused by every [`Self::key_ready`]
-    /// call (in lock-step with `hosts`).
-    arrivals: Vec<f64>,
-    /// `local_ready[vm.index()]`: max predecessor finish hosted on that
-    /// VM (`NEG_INFINITY` when it hosts none) — the ready contribution
-    /// when the candidate *is* that host, answered without scanning
-    /// `hosts`.
-    local_ready: Vec<f64>,
+    scratch: ProbeScratch,
     keys: [Option<KeyReady>; N_KEYS],
+}
+
+impl Drop for TaskProbe<'_, '_> {
+    fn drop(&mut self) {
+        self.sb.scratch.put(std::mem::take(&mut self.scratch));
+    }
 }
 
 impl TaskProbe<'_, '_> {
     /// The (lazily computed) cross-host reduction for one candidate key.
     fn key_ready(&mut self, region: Region, itype: InstanceType) -> KeyReady {
-        let ki = key_idx(region, itype);
+        self.key_ready_idx(key_idx(region, itype))
+    }
+
+    /// [`Self::key_ready`] addressed by pre-encoded [`key_idx`] code
+    /// (the form the batched pass reads straight off `vm_key`).
+    fn key_ready_idx(&mut self, ki: usize) -> KeyReady {
         if let Some(k) = self.keys[ki] {
             return k;
         }
+        let region = Region::ALL[ki / N_TYPES];
+        let itype = InstanceType::ALL[ki % N_TYPES];
         let sb = self.sb;
         if let Some(c) = &sb.counters {
             c.key_builds.inc();
         }
-        for a in &mut self.arrivals {
+        let ProbeScratch {
+            hosts,
+            edges,
+            arrivals,
+            ..
+        } = &mut self.scratch;
+        let n_hosts = hosts.len();
+        for a in &mut arrivals[..n_hosts] {
             *a = f64::NEG_INFINITY;
         }
-        for e in &self.edges {
-            let h = &self.hosts[e.host as usize];
+        for e in edges.iter() {
+            let h = &hosts[e.host as usize];
             // Same operation order as the naive path: the transfer
             // (bandwidth share + latency) is summed first, then added
             // to the predecessor finish. `f64::max` is exact, so the
             // per-host max is order-independent.
             let transfer = e.data_mb / sb.bw[pair_idx(h.itype, itype)]
                 + sb.lat[h.region as usize][region as usize];
-            let a = &mut self.arrivals[e.host as usize];
+            let a = &mut arrivals[e.host as usize];
             *a = a.max(e.finish + transfer);
         }
         let mut top = f64::NEG_INFINITY;
         let mut top_vm = VmId(u32::MAX);
         let mut second = f64::NEG_INFINITY;
-        for (h, &arrival) in self.hosts.iter().zip(&self.arrivals) {
+        for (h, &arrival) in hosts.iter().zip(arrivals.iter()) {
             if arrival > top {
                 second = top;
                 top = arrival;
@@ -939,6 +1339,17 @@ impl TaskProbe<'_, '_> {
         k
     }
 
+    /// Epoch-checked local-ready read: NEG_INFINITY when no predecessor
+    /// of the probed task is hosted on VM slot `i`.
+    #[inline]
+    fn local_ready_at(&self, i: usize) -> f64 {
+        if self.scratch.local_epoch[i] == self.scratch.epoch {
+            self.scratch.local_ready[i]
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
     /// Ready time of the task on candidate VM `vm` (intra-VM edges cost
     /// zero). Equals `ScheduleBuilder::ready_time(task, Some(vm), ..)`.
     pub fn ready_on(&mut self, vm: VmId) -> f64 {
@@ -947,8 +1358,8 @@ impl TaskProbe<'_, '_> {
             let v = &self.sb.vms[vm.index()];
             return naive::ready_time(self.sb, self.task, Some(vm), v.itype, v.region);
         }
-        let v = &self.sb.vms[vm.index()];
-        let key = self.key_ready(v.region, v.itype);
+        let ki = self.sb.vm_key[vm.index()] as usize;
+        let key = self.key_ready_idx(ki);
         let cross = if key.top_vm == vm {
             key.second
         } else {
@@ -956,7 +1367,7 @@ impl TaskProbe<'_, '_> {
         };
         // NEG_INFINITY (no local predecessor) is the identity of the
         // max, matching the "host not found" case of a scan.
-        cross.max(0.0).max(self.local_ready[vm.index()])
+        cross.max(0.0).max(self.local_ready_at(vm.index()))
     }
 
     /// Ready time on a *new* VM of `itype` in `region` (every transfer
@@ -971,7 +1382,12 @@ impl TaskProbe<'_, '_> {
 
     /// Start time the task would get on `vm` (append policy).
     pub fn start_on(&mut self, vm: VmId) -> f64 {
-        let available = self.sb.vms[vm.index()].available_at();
+        #[cfg(any(test, feature = "naive"))]
+        if self.sb.kernel_naive {
+            let available = self.sb.vms[vm.index()].available_at();
+            return self.ready_on(vm).max(available);
+        }
+        let available = self.sb.vm_avail[vm.index()];
         self.ready_on(vm).max(available)
     }
 
@@ -989,7 +1405,7 @@ impl TaskProbe<'_, '_> {
         }
         let ready = self.ready_on(vm);
         let v = &self.sb.vms[vm.index()];
-        let duration = self.sb.exec[self.task.index()][v.itype as usize];
+        let duration = self.sb.exec_entry(self.task, v.itype);
         self.sb.gaps[vm.index()].earliest_fit(ready, duration)
     }
 
@@ -997,6 +1413,50 @@ impl TaskProbe<'_, '_> {
     pub fn insertion_finish_on(&mut self, vm: VmId) -> f64 {
         let itype = self.sb.vms[vm.index()].itype;
         self.insertion_start_on(vm) + self.sb.exec_time(self.task, itype)
+    }
+}
+
+/// The result of [`ScheduleBuilder::probe_all`]: one batched pass has
+/// already computed the task's start time on every rented VM, so the
+/// per-candidate accessors are plain array reads. Fresh-VM and
+/// insertion queries delegate to the underlying [`TaskProbe`] (whose
+/// ready keys the batch pass warmed), so a strategy can compare
+/// existing-VM, new-VM and gap-insertion candidates from one probe.
+#[derive(Debug)]
+pub struct BatchProbe<'b, 'a> {
+    probe: TaskProbe<'b, 'a>,
+}
+
+impl BatchProbe<'_, '_> {
+    /// Start time the task would get on `vm` (append policy). Equals
+    /// `TaskProbe::start_on(vm)`.
+    pub fn start_of(&mut self, vm: VmId) -> f64 {
+        #[cfg(any(test, feature = "naive"))]
+        if self.probe.sb.kernel_naive {
+            return self.probe.start_on(vm);
+        }
+        self.probe.scratch.starts[vm.index()]
+    }
+
+    /// Finish time the task would get on `vm` (append policy).
+    pub fn finish_of(&mut self, vm: VmId) -> f64 {
+        let itype = self.probe.sb.vms[vm.index()].itype;
+        self.start_of(vm) + self.probe.sb.exec_time(self.probe.task, itype)
+    }
+
+    /// Ready time on a *new* VM of `itype` in `region`.
+    pub fn fresh_ready(&mut self, itype: InstanceType, region: Region) -> f64 {
+        self.probe.ready_fresh(itype, region)
+    }
+
+    /// Earliest start on `vm` under the insertion policy.
+    pub fn insertion_start_of(&mut self, vm: VmId) -> f64 {
+        self.probe.insertion_start_on(vm)
+    }
+
+    /// Finish time on `vm` under the insertion policy.
+    pub fn insertion_finish_of(&mut self, vm: VmId) -> f64 {
+        self.probe.insertion_finish_on(vm)
     }
 }
 

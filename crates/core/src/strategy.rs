@@ -7,9 +7,12 @@
 //! enumerates them in legend order; [`Strategy::schedule`] runs any of
 //! them.
 
-use crate::alloc::{all_par, all_par_1lns, all_par_1lns_dyn, cpa_eager, gain, heft};
+use crate::alloc::{
+    all_par_1lns_dyn_with, all_par_1lns_with, all_par_with, cpa_eager_with, gain_with, heft_with,
+};
 use crate::provisioning::ProvisioningPolicy;
 use crate::schedule::Schedule;
+use crate::state::KernelTables;
 use cws_dag::Workflow;
 use cws_platform::{InstanceType, Platform};
 use serde::{Deserialize, Serialize};
@@ -190,18 +193,33 @@ impl Strategy {
     /// ```
     #[must_use]
     pub fn schedule(&self, wf: &Workflow, platform: &Platform) -> Schedule {
+        self.schedule_with(wf, platform, None)
+    }
+
+    /// [`Self::schedule`] borrowing shared [`KernelTables`]: a sweep
+    /// builds one table set per `(workflow, platform)` key and threads
+    /// it through all 57 schedules instead of letting each builder
+    /// recompute exec/bandwidth/latency tables. Bit-identical to
+    /// [`Self::schedule`].
+    #[must_use]
+    pub fn schedule_with(
+        &self,
+        wf: &Workflow,
+        platform: &Platform,
+        tables: Option<&KernelTables>,
+    ) -> Schedule {
         match *self {
             Strategy::Static { alloc, itype } => {
                 if alloc.uses_heft() {
-                    heft(wf, platform, alloc.provisioning(), itype)
+                    heft_with(wf, platform, alloc.provisioning(), itype, tables)
                 } else {
-                    all_par(wf, platform, alloc.provisioning(), itype)
+                    all_par_with(wf, platform, alloc.provisioning(), itype, tables)
                 }
             }
-            Strategy::CpaEager(b) => cpa_eager(wf, platform, b.cpa_multiplier),
-            Strategy::Gain(b) => gain(wf, platform, b.gain_multiplier),
-            Strategy::AllPar1LnS => all_par_1lns(wf, platform),
-            Strategy::AllPar1LnSDyn => all_par_1lns_dyn(wf, platform),
+            Strategy::CpaEager(b) => cpa_eager_with(wf, platform, b.cpa_multiplier, tables),
+            Strategy::Gain(b) => gain_with(wf, platform, b.gain_multiplier, tables),
+            Strategy::AllPar1LnS => all_par_1lns_with(wf, platform, tables),
+            Strategy::AllPar1LnSDyn => all_par_1lns_dyn_with(wf, platform, tables),
         }
     }
 

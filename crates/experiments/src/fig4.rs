@@ -73,8 +73,8 @@ pub fn fig4_threaded(config: &ExperimentConfig, threads: usize) -> Vec<Fig4Panel
     prepared
         .iter()
         .zip(matrix)
-        .map(|((m, _), results)| Fig4Panel {
-            workflow: m.name().to_string(),
+        .map(|(row, results)| Fig4Panel {
+            workflow: row.wf.name().to_string(),
             points: results
                 .into_iter()
                 .map(|r: StrategyResult| Fig4Point {

@@ -63,8 +63,8 @@ pub fn fig5_threaded(config: &ExperimentConfig, threads: usize) -> Vec<Fig5Panel
     prepared
         .iter()
         .zip(matrix)
-        .map(|((m, _), results)| Fig5Panel {
-            workflow: m.name().to_string(),
+        .map(|(row, results)| Fig5Panel {
+            workflow: row.wf.name().to_string(),
             bars: results
                 .into_iter()
                 .map(|r| Fig5Bar {

@@ -1,6 +1,6 @@
 //! Shared experiment runner: one (workflow, scenario, strategy) cell.
 
-use cws_core::{RelativeMetrics, ScheduleMetrics, Strategy};
+use cws_core::{KernelTables, RelativeMetrics, ScheduleMetrics, Strategy};
 use cws_dag::Workflow;
 use cws_platform::Platform;
 use cws_workloads::{DataSizeModel, Scenario};
@@ -74,7 +74,25 @@ pub fn run_strategy(
     strategy: Strategy,
     baseline: &ScheduleMetrics,
 ) -> StrategyResult {
-    let schedule = strategy.schedule(wf, &config.platform);
+    run_strategy_with(config, wf, strategy, baseline, None)
+}
+
+/// [`run_strategy`] borrowing shared [`KernelTables`]. A matrix run
+/// schedules the same materialized workflow 19+ times; lending one
+/// table set to every cell skips the per-schedule exec/bandwidth table
+/// rebuild without changing a single bit of output.
+///
+/// # Panics
+/// As [`run_strategy`].
+#[must_use]
+pub fn run_strategy_with(
+    config: &ExperimentConfig,
+    wf: &Workflow,
+    strategy: Strategy,
+    baseline: &ScheduleMetrics,
+    tables: Option<&KernelTables>,
+) -> StrategyResult {
+    let schedule = strategy.schedule_with(wf, &config.platform, tables);
     schedule
         .validate(wf, &config.platform)
         .unwrap_or_else(|e| panic!("{} produced an invalid schedule: {e}", strategy.label()));
@@ -94,31 +112,62 @@ pub fn run_strategy(
 /// workflow.
 #[must_use]
 pub fn baseline_metrics(config: &ExperimentConfig, wf: &Workflow) -> ScheduleMetrics {
-    let schedule = Strategy::BASELINE.schedule(wf, &config.platform);
+    baseline_metrics_with(config, wf, None)
+}
+
+/// [`baseline_metrics`] borrowing shared [`KernelTables`].
+#[must_use]
+pub fn baseline_metrics_with(
+    config: &ExperimentConfig,
+    wf: &Workflow,
+    tables: Option<&KernelTables>,
+) -> ScheduleMetrics {
+    let schedule = Strategy::BASELINE.schedule_with(wf, &config.platform, tables);
     ScheduleMetrics::of(&schedule, wf, &config.platform)
 }
 
-/// Run the full 19-strategy paper set on a materialized workflow.
+/// Run the full 19-strategy paper set on a materialized workflow,
+/// building the exec/bandwidth tables once and sharing them across all
+/// 19 schedules plus the baseline.
 #[must_use]
 pub fn run_all_strategies(config: &ExperimentConfig, wf: &Workflow) -> Vec<StrategyResult> {
-    let baseline = baseline_metrics(config, wf);
+    let tables = KernelTables::build(wf, &config.platform);
+    let baseline = baseline_metrics_with(config, wf, Some(&tables));
     Strategy::paper_set()
         .into_iter()
-        .map(|s| run_strategy(config, wf, s, &baseline))
+        .map(|s| run_strategy_with(config, wf, s, &baseline, Some(&tables)))
         .collect()
 }
 
-/// A materialized workflow plus its precomputed baseline metrics — one
-/// row of a [`run_matrix`] call.
-pub type PreparedWorkflow = (Workflow, ScheduleMetrics);
+/// A materialized workflow plus everything a matrix run shares across
+/// its strategy cells: the precomputed baseline metrics and the
+/// immutable exec/bandwidth/latency [`KernelTables`] for the
+/// `(workflow, platform)` key — one row of a [`run_matrix`] call.
+#[derive(Debug)]
+pub struct PreparedWorkflow {
+    /// The materialized workflow (runtimes and payloads rewritten).
+    pub wf: Workflow,
+    /// `OneVMperTask-s` baseline metrics, computed once.
+    pub baseline: ScheduleMetrics,
+    /// Shared kernel tables, built once and lent to every cell.
+    pub tables: KernelTables,
+}
 
-/// Materialize `wf` under `scenario` and compute its baseline once, so a
-/// matrix run shares both across every strategy cell.
+/// Materialize `wf` under `scenario`, build its [`KernelTables`] and
+/// compute its baseline once, so a matrix run shares all three across
+/// every strategy cell. The baseline schedule here is the tables' first
+/// use, which keeps the `kernel.table_reuse_hits` counter independent
+/// of [`run_matrix`]'s thread count.
 #[must_use]
 pub fn prepare(config: &ExperimentConfig, wf: &Workflow, scenario: Scenario) -> PreparedWorkflow {
     let m = config.materialize(wf, scenario);
-    let baseline = baseline_metrics(config, &m);
-    (m, baseline)
+    let tables = KernelTables::build(&m, &config.platform);
+    let baseline = baseline_metrics_with(config, &m, Some(&tables));
+    PreparedWorkflow {
+        wf: m,
+        baseline,
+        tables,
+    }
 }
 
 /// Run every strategy on every prepared workflow, fanning the
@@ -163,8 +212,14 @@ pub fn run_matrix(
             let res_tx = res_tx.clone();
             scope.spawn(move |_| {
                 while let Ok((p, s)) = job_rx.recv() {
-                    let (wf, baseline) = &prepared[p];
-                    let result = run_strategy(config, wf, strategies[s], baseline);
+                    let row = &prepared[p];
+                    let result = run_strategy_with(
+                        config,
+                        &row.wf,
+                        strategies[s],
+                        &row.baseline,
+                        Some(&row.tables),
+                    );
                     res_tx.send((p, s, result)).expect("result channel open");
                 }
             });

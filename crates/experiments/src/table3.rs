@@ -69,7 +69,7 @@ pub fn table3_threaded(config: &ExperimentConfig, threads: usize) -> Vec<Table3C
         .iter()
         .zip(&prepared)
         .zip(matrix)
-        .map(|(((scenario, _), (m, _)), results)| classify_cell(*scenario, m.name(), results))
+        .map(|(((scenario, _), row), results)| classify_cell(*scenario, row.wf.name(), results))
         .collect()
 }
 

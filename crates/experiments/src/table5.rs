@@ -118,7 +118,7 @@ pub fn table5_threaded(config: &ExperimentConfig, threads: usize) -> Vec<Table5R
     prepared
         .iter()
         .zip(matrix)
-        .map(|((m, _), results)| row_from_results(m, &results))
+        .map(|(row, results)| row_from_results(&row.wf, &results))
         .collect()
 }
 

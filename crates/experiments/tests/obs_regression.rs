@@ -197,6 +197,45 @@ fn matrix_metric_totals_are_identical_across_thread_counts() {
     );
 }
 
+/// Pin the cross-schedule table-reuse accounting on a Fig. 4-style
+/// sweep: [`prepare`] builds one `KernelTables` set per
+/// `(workflow, platform)` key and its baseline schedule is the first
+/// use, so every later borrow — all 19 matrix cells per workload — is
+/// a reuse hit. The invariant the counter documents:
+/// `kernel.table_reuse_hits == kernel.schedules_built − distinct keys`.
+#[test]
+fn table_reuse_hits_equal_schedules_minus_distinct_keys() {
+    let _g = obs_lock();
+    obs::clear_sink();
+    let registry = obs::MetricsRegistry::global();
+    obs::set_metrics_enabled(true);
+    registry.reset();
+
+    let cfg = ExperimentConfig {
+        validate_with_sim: false,
+        ..ExperimentConfig::default()
+    };
+    let scenario = Scenario::Pareto { seed: cfg.seed };
+    let prepared: Vec<_> = paper_workflows()
+        .iter()
+        .map(|wf| prepare(&cfg, wf, scenario))
+        .collect();
+    let _ = run_matrix(&cfg, &prepared, &Strategy::paper_set(), 1);
+    obs::set_metrics_enabled(false);
+
+    let snap = registry.snapshot();
+    let distinct_keys = prepared.len() as u64; // one table set per workload
+    assert_eq!(
+        snap.counter(names::KERNEL_TABLE_REUSE),
+        snap.counter(names::KERNEL_SCHEDULES) - distinct_keys,
+        "every schedule after a key's first must borrow its tables"
+    );
+    // Concretely: 4 workloads × (1 baseline + 19 cells) = 80 schedules,
+    // of which the 4 baselines are first uses.
+    assert_eq!(snap.counter(names::KERNEL_SCHEDULES), 80);
+    assert_eq!(snap.counter(names::KERNEL_TABLE_REUSE), 76);
+}
+
 /// Filling a real idle gap through the insertion policy must increment
 /// `kernel.gap_index_hits` (the 19 paper pairings never consult the gap
 /// index, so the bench profile legitimately reports 0 — this pins the

@@ -44,6 +44,12 @@ pub mod names {
     pub const KERNEL_PLACEMENTS: &str = "kernel.placements";
     /// Schedules frozen by `ScheduleBuilder::build`.
     pub const KERNEL_SCHEDULES: &str = "kernel.schedules_built";
+    /// Builders constructed borrowing an already-used shared
+    /// `KernelTables` (every use of a table set after its first). On a
+    /// sweep that builds one table set per `(dag, platform)` key this
+    /// equals `schedules_built − distinct keys` — pinned by a
+    /// regression test in `cws-experiments`.
+    pub const KERNEL_TABLE_REUSE: &str = "kernel.table_reuse_hits";
     /// Warm pool slots claimed instead of fresh rentals.
     pub const POOL_HITS: &str = "pool.hits";
     /// Fresh (cold) rentals made by pooled scheduling.
