@@ -201,6 +201,7 @@ fn entropy_source(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
 /// provably never iterate).
 const ARTIFACT_CRATES: &[&str] = &[
     "crates/core/",
+    "crates/dag/",
     "crates/sim/",
     "crates/experiments/",
     "crates/obs/",

@@ -41,7 +41,7 @@
 //! On top of the cached tables, the builder keeps its hot state in an
 //! arena/struct-of-arrays layout: dense per-VM `vm_avail`/`vm_key`
 //! lanes mirror `vms`, and every probe borrows a pooled
-//! [`ProbeScratch`] workspace (hosts, flattened edges, arrival scratch,
+//! `ProbeScratch` workspace (hosts, flattened edges, arrival scratch,
 //! epoch-stamped per-VM local-ready), so steady-state probing performs
 //! **zero heap allocation**. [`ScheduleBuilder::probe_all`] evaluates
 //! every rented VM's start time in one batched pass over those lanes —
@@ -49,15 +49,15 @@
 //! loops. Sweeps amortise table construction across schedules by
 //! building one [`KernelTables`] per `(dag, platform)` key and handing
 //! it to [`ScheduleBuilder::with_tables`] (counted by
-//! `kernel.table_reuse_hits`), and DAGs under [`SMALL_DAG_TASKS`] tasks
-//! skip exec-table setup entirely ([`ExecSource::Direct`]), which is
+//! `kernel.table_reuse_hits`), and DAGs under `SMALL_DAG_TASKS` tasks
+//! skip exec-table setup entirely (`ExecSource::Direct`), which is
 //! what keeps the fast path ≥ 1× on the paper's 20-task workloads.
 //!
 //! The fast path performs the *same floating-point operations* as the
 //! naive code: `f64::max` is exact, so regrouping the ready-time
 //! max-reduction per host VM is bit-identical, and the cached transfer
 //! factors are added in the original `size/bw + latency` order. The
-//! [`naive`] module keeps the original implementations (compiled only
+//! `naive` module keeps the original implementations (compiled only
 //! for tests and under the `naive` feature) and the `fastpath_tests`
 //! property suite proves schedule-level equality on random DAGs across
 //! every strategy pairing. The single documented deviation: idle gaps

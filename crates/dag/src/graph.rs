@@ -234,8 +234,28 @@ impl WorkflowBuilder {
 
     /// Add a task with a reference execution time; returns its id.
     pub fn task(&mut self, name: impl Into<String>, base_time: f64) -> TaskId {
+        self.task_detailed(name, base_time, 0.0, None)
+    }
+
+    /// Add a task with all optional attributes: input data size in
+    /// megabytes and an application-level task type (the interchange
+    /// format's `input_mb` and `type` fields). Returns its id.
+    pub fn task_detailed(
+        &mut self,
+        name: impl Into<String>,
+        base_time: f64,
+        input_mb: f64,
+        kind: Option<String>,
+    ) -> TaskId {
+        assert!(
+            input_mb.is_finite() && input_mb >= 0.0,
+            "input_mb must be finite and non-negative, got {input_mb}"
+        );
         let id = TaskId(self.tasks.len() as u32);
-        self.tasks.push(Task::new(id, name, base_time));
+        let mut t = Task::new(id, name, base_time);
+        t.input_mb = input_mb;
+        t.kind = kind;
+        self.tasks.push(t);
         id
     }
 

@@ -22,6 +22,7 @@ pub mod critical;
 pub mod dot;
 pub mod error;
 pub mod graph;
+pub mod interchange;
 pub mod metrics;
 pub mod ops;
 pub mod paths;
@@ -31,6 +32,7 @@ pub mod task;
 pub use critical::{critical_path, downward_ranks, upward_ranks, CriticalPath};
 pub use error::DagError;
 pub use graph::{Edge, Workflow, WorkflowBuilder};
+pub use interchange::InterchangeError;
 pub use metrics::StructureMetrics;
 pub use ops::{chain, reachability, transitive_reduction, union};
 pub use paths::{alap_times, b_levels, path_clusters, slacks, t_levels};

@@ -37,6 +37,10 @@ pub struct Task {
     /// Total size of the task's input data in megabytes (used by
     /// data-intensive analyses; CPU-bound experiments leave it small).
     pub input_mb: f64,
+    /// Optional application-level task type (e.g. `mProjectPP` for a
+    /// Montage projection). Carried through the interchange format's
+    /// `type` field; `None` for workloads that do not classify tasks.
+    pub kind: Option<String>,
 }
 
 impl Task {
@@ -52,6 +56,7 @@ impl Task {
             name: name.into(),
             base_time,
             input_mb: 0.0,
+            kind: None,
         }
     }
 }

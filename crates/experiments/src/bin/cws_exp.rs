@@ -8,6 +8,10 @@
 //! cws-exp serve [--engine legacy|sharded] [--shards N] [--report full|summary]
 //!         [--hours H] [--light] [--listen ADDR]
 //! cws-exp trace-report FILE [--json] [--check]
+//! cws-exp sweep --workflow FILE.json [--threads N] [common flags]
+//! cws-exp validate FILE.json
+//! cws-exp import WFCOMMONS.json [--out DIR]
+//! cws-exp export NAME [--out DIR]
 //! ```
 //!
 //! Without `--out` the selected artifact prints to stdout in the chosen
@@ -36,12 +40,25 @@
 //! events, and exits non-zero unless they match the manifest's
 //! `run.cost_usd` / `run.makespan_s` gauges exactly — record the trace
 //! with `--threads 1 --metrics --manifest` for this to be meaningful.
+//!
+//! The interchange commands work with `cws-dag` JSON workflow documents
+//! (normative spec: `docs/interchange.md`): `sweep --workflow FILE`
+//! runs all 19 paper pairings over the document's DAG **as given** (its
+//! `runtime_s` values are the measured runtimes — no scenario is
+//! applied); `validate FILE` parses and validates a document, printing
+//! a structural summary (exit 0) or the precise error path (exit 1);
+//! `import FILE` converts a WfCommons/WorkflowHub trace to the
+//! interchange format on stdout; `export NAME` renders a named
+//! generator workflow (`montage-24`, `epigenomics-8x12`,
+//! `cybershake-1000`, …) as an interchange document. `--workflow FILE`
+//! is also accepted by `fig4`/`fig5` to run their panel over an
+//! imported trace instead of the four paper workflows.
 
 use cws_experiments::report::Table;
 use cws_experiments::{
     ablation, boundaries, characterize, corent, data_intensive, energy, failures, fig3, fig4, fig5,
     fleet, frontier, robustness, sensitivity, service_sweep, summary, table3, table4, table5,
-    tables, ExperimentConfig,
+    tables, trace_sweep, ExperimentConfig,
 };
 use cws_obs as obs;
 use cws_serve::{
@@ -98,6 +115,8 @@ struct Args {
     /// `serve`: daemon mode — accept JSON-lines submissions on this
     /// unix-socket path (contains `/`) or TCP address.
     listen: Option<String>,
+    /// Interchange workflow document for `sweep` / `fig4` / `fig5`.
+    workflow: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -108,7 +127,11 @@ fn usage() -> ! {
          [--trace FILE] [--metrics] [--manifest]\n       \
          cws-exp serve [--engine legacy|sharded] [--shards N] [--report full|summary] \
          [--hours H] [--light] [--listen ADDR] [common flags]\n       \
-         cws-exp trace-report FILE [--json] [--check]"
+         cws-exp trace-report FILE [--json] [--check]\n       \
+         cws-exp sweep --workflow FILE.json [--threads N] [common flags]\n       \
+         cws-exp validate FILE.json\n       \
+         cws-exp import WFCOMMONS.json [--out DIR]\n       \
+         cws-exp export NAME [--out DIR]"
     );
     std::process::exit(2);
 }
@@ -134,6 +157,7 @@ fn parse_args() -> Args {
         hours: 2.0,
         light: false,
         listen: None,
+        workflow: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -198,9 +222,14 @@ fn parse_args() -> Args {
             }
             "--metrics" => parsed.metrics = true,
             "--manifest" => parsed.manifest = true,
+            "--workflow" => {
+                parsed.workflow = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
             other
-                if parsed.command == "trace-report"
-                    && !other.starts_with('-')
+                if matches!(
+                    parsed.command.as_str(),
+                    "trace-report" | "validate" | "import" | "export"
+                ) && !other.starts_with('-')
                     && parsed.input.is_none() =>
             {
                 parsed.input = Some(PathBuf::from(other));
@@ -285,6 +314,132 @@ fn run_trace_report(args: &Args) -> i32 {
             eprintln!("trace-report --check: FAIL: {f}");
         }
         1
+    }
+}
+
+/// `cws-exp validate FILE.json`: parse and validate an interchange
+/// document. Prints a structural summary and exits 0 when valid; the
+/// precise error path and exits 1 when invalid; exits 2 on usage/IO
+/// problems. The CI `interchange` job gates on these exit codes.
+fn run_validate(args: &Args) -> i32 {
+    let Some(path) = &args.input else {
+        eprintln!("validate: missing workflow FILE argument");
+        return 2;
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("validate: read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    match cws_dag::interchange::validate(&src) {
+        Ok(s) => {
+            println!(
+                "{}: valid cws-dag v{} — {} tasks, {} edges, depth {}, \
+                 {:.1} s total work, {:.1} MB on edges",
+                s.name, s.version, s.tasks, s.edges, s.depth, s.total_work_s, s.total_data_mb
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("{}: invalid — {e}", path.display());
+            1
+        }
+    }
+}
+
+/// `cws-exp import WFCOMMONS.json [--out DIR]`: convert a WfCommons /
+/// WorkflowHub trace document into the `cws-dag` interchange format.
+/// The document prints to stdout; with `--out DIR` it is also written
+/// to `DIR/<workflow-name>.json`. Exit 0 on success, 1 on a rejected
+/// trace, 2 on usage/IO problems.
+fn run_import(args: &Args) -> i32 {
+    let Some(path) = &args.input else {
+        eprintln!("import: missing WfCommons FILE argument");
+        return 2;
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("import: read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let wf = match cws_workloads::import_wfcommons(&src) {
+        Ok(wf) => wf,
+        Err(e) => {
+            eprintln!("import: {}: {e}", path.display());
+            return 1;
+        }
+    };
+    let json = wf.to_json();
+    println!("{json}");
+    eprintln!(
+        "import: {} — {} tasks, {} edges, depth {}",
+        wf.name(),
+        wf.len(),
+        wf.edge_count(),
+        wf.depth()
+    );
+    if let Some(dir) = &args.out {
+        std::fs::create_dir_all(dir).expect("create output directory");
+        let out = dir.join(format!("{}.json", wf.name()));
+        std::fs::write(&out, format!("{json}\n")).expect("write interchange document");
+        eprintln!("import: wrote {}", out.display());
+    }
+    0
+}
+
+/// `cws-exp export NAME [--out DIR]`: render a generator workflow as an
+/// interchange document (stdout; with `--out DIR` also
+/// `DIR/<name>.json`). Names are the generator catalogue of
+/// `cws_workloads::named_workflow` — `montage-24`, `cstem`,
+/// `epigenomics-8x12`, `cybershake-1000`, `layered-10x100`, … Exit 0
+/// on success, 1 for an unknown name, 2 on usage problems.
+fn run_export(args: &Args) -> i32 {
+    let Some(name) = args.input.as_ref().and_then(|p| p.to_str()) else {
+        eprintln!("export: missing workflow NAME argument");
+        return 2;
+    };
+    let Some(wf) = cws_workloads::named_workflow(name) else {
+        eprintln!(
+            "export: unknown workflow {name:?} (try montage-24, cstem, mapreduce-8x8x4, \
+             sequential-N, montage-PxO, epigenomics-LxC, cybershake-N, ligo-GxB, layered-LxW)"
+        );
+        return 1;
+    };
+    let json = wf.to_json();
+    println!("{json}");
+    if let Some(dir) = &args.out {
+        std::fs::create_dir_all(dir).expect("create output directory");
+        let out = dir.join(format!("{}.json", wf.name()));
+        std::fs::write(&out, format!("{json}\n")).expect("write interchange document");
+        eprintln!("export: wrote {}", out.display());
+    }
+    0
+}
+
+/// Load the `--workflow FILE.json` interchange document for `sweep` /
+/// `fig4` / `fig5`, exiting with the `validate` exit codes on failure.
+fn load_workflow(args: &Args) -> cws_dag::Workflow {
+    let Some(path) = &args.workflow else {
+        eprintln!("{}: missing --workflow FILE.json", args.command);
+        std::process::exit(2);
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: read {}: {e}", args.command, path.display());
+            std::process::exit(2);
+        }
+    };
+    match cws_dag::Workflow::from_json(&src) {
+        Ok(wf) => wf,
+        Err(e) => {
+            eprintln!("{}: {}: {e}", args.command, path.display());
+            std::process::exit(1);
+        }
     }
 }
 
@@ -448,8 +603,12 @@ fn write_files(table: &Table, name: &str, dir: &Path) {
 
 fn main() {
     let args = parse_args();
-    if args.command == "trace-report" {
-        std::process::exit(run_trace_report(&args));
+    match args.command.as_str() {
+        "trace-report" => std::process::exit(run_trace_report(&args)),
+        "validate" => std::process::exit(run_validate(&args)),
+        "import" => std::process::exit(run_import(&args)),
+        "export" => std::process::exit(run_export(&args)),
+        _ => {}
     }
     if let Some(path) = &args.trace {
         let sink = obs::JsonlSink::create(path).expect("create trace file");
@@ -469,8 +628,37 @@ fn main() {
             let t = fig3::fig3(config.seed, 10_000).to_table();
             emit(&t, "fig3_pareto_cdf", args);
         }
+        "sweep" => {
+            // All 19 paper pairings over one interchange document,
+            // as given (no scenario; document runtimes are the truth).
+            let wf = load_workflow(args);
+            let sweep = trace_sweep::trace_sweep(&config, &wf, args.threads);
+            let name = format!("sweep_{}", sweep.workflow.replace(['-', '.'], "_"));
+            emit(&sweep.to_table(), &name, args);
+        }
         "fig4" => {
-            for panel in fig4::fig4_threaded(&config, args.threads) {
+            let panels = if args.workflow.is_some() {
+                // One panel over the imported trace, as given: reuse
+                // the trace-sweep matrix and project the fig4 axes.
+                let wf = load_workflow(args);
+                let sweep = trace_sweep::trace_sweep(&config, &wf, args.threads);
+                vec![fig4::Fig4Panel {
+                    workflow: sweep.workflow,
+                    points: sweep
+                        .results
+                        .into_iter()
+                        .map(|r| fig4::Fig4Point {
+                            label: r.label,
+                            gain_pct: r.relative.gain_pct,
+                            loss_pct: r.relative.loss_pct,
+                            in_target_square: r.relative.in_target_square(),
+                        })
+                        .collect(),
+                }]
+            } else {
+                fig4::fig4_threaded(&config, args.threads)
+            };
+            for panel in panels {
                 let name = format!("fig4_{}", panel.workflow.replace('-', "_"));
                 emit(&panel.to_table(), &name, args);
                 if let Some(dir) = &args.out {
@@ -482,7 +670,24 @@ fn main() {
             }
         }
         "fig5" => {
-            for panel in fig5::fig5_threaded(&config, args.threads) {
+            let panels = if args.workflow.is_some() {
+                let wf = load_workflow(args);
+                let sweep = trace_sweep::trace_sweep(&config, &wf, args.threads);
+                vec![fig5::Fig5Panel {
+                    workflow: sweep.workflow,
+                    bars: sweep
+                        .results
+                        .into_iter()
+                        .map(|r| fig5::Fig5Bar {
+                            label: r.label,
+                            idle_seconds: r.metrics.idle_seconds,
+                        })
+                        .collect(),
+                }]
+            } else {
+                fig5::fig5_threaded(&config, args.threads)
+            };
+            for panel in panels {
                 let name = format!("fig5_{}", panel.workflow.replace('-', "_"));
                 emit(&panel.to_table(), &name, args);
             }

@@ -45,5 +45,6 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 pub mod tables;
+pub mod trace_sweep;
 
 pub use run::{run_all_strategies, run_strategy, ExperimentConfig, StrategyResult};

@@ -1,26 +1,10 @@
-//! The workflow interchange format: JSON-lines requests the daemon
-//! accepts over its socket, and the deterministic export of a
-//! [`Workflow`] back into that format.
+//! JSON-lines requests the daemon accepts over its socket.
 //!
-//! This is the first cut of a general interchange schema, so it is
-//! deliberately small. One workflow:
-//!
-//! ```json
-//! {"name": "demo",
-//!  "tasks": [
-//!    {"id": "stage",  "runtime_s": 30.0},
-//!    {"id": "reduce", "runtime_s": 10.0,
-//!     "deps": ["stage", {"task": "stage", "data_mb": 0}]}]}
-//! ```
-//!
-//! - `id` is any unique string; dependency references use it.
-//! - `runtime_s` is the task's base execution time on the reference
-//!   instance type (the paper's task length).
-//! - `deps` entries are either a bare task id (a control dependency,
-//!   no data) or `{"task": id, "data_mb": x}` for a transfer of `x`
-//!   megabytes. Missing `deps` means an entry task.
-//!
-//! A request line is one of:
+//! Submitted workflows use the **`cws-dag` interchange format** —
+//! the same versioned JSON schema `cws-exp sweep --workflow` reads and
+//! `Workflow::to_json` writes — parsed by
+//! [`cws_dag::interchange`] (normative spec: `docs/interchange.md`).
+//! This module only adds the request envelope:
 //!
 //! ```json
 //! {"tenant": "astro", "workflow": {...}}          // submit, clock = now
@@ -31,11 +15,11 @@
 //!
 //! Parsing reports errors as strings (the daemon echoes them back as
 //! `{"ok": false, "error": ...}`), never panics on untrusted input.
+//! Workflow errors carry the JSON path of the offending element
+//! (e.g. `workflow.tasks[3].deps[1]: depends on unknown task "x"`).
 
-use cws_dag::{DagError, TaskId, Workflow, WorkflowBuilder};
-use cws_obs::json::{json_f64, json_str, Value};
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
+use cws_dag::{interchange, Workflow};
+use cws_obs::json::Value;
 
 /// One parsed request line.
 // One `Request` exists per socket line and dies after dispatch; boxing
@@ -64,7 +48,8 @@ pub enum Request {
 ///
 /// # Errors
 /// Returns a human-readable message for malformed JSON, an unknown
-/// `cmd`, or an invalid workflow (unknown dep, duplicate id, cycle…).
+/// `cmd`, or an invalid workflow (unknown dep, duplicate id, cycle…)
+/// — workflow messages include the precise JSON path.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let v = cws_obs::json::parse(line)?;
     if let Some(cmd) = v.get("cmd") {
@@ -98,137 +83,28 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     })
 }
 
-/// Build a [`Workflow`] from its interchange JSON.
+/// Build a [`Workflow`] from its interchange JSON — a thin shim over
+/// [`cws_dag::interchange::from_json_value`], kept for API stability.
 ///
 /// # Errors
-/// Returns a message for schema violations and DAG errors.
+/// Returns the interchange error rendered as `path: message`.
 pub fn parse_workflow(v: &Value) -> Result<Workflow, String> {
-    let name = v
-        .get("name")
-        .and_then(Value::as_str)
-        .ok_or("workflow needs a \"name\" string")?;
-    let tasks = v
-        .get("tasks")
-        .and_then(Value::as_arr)
-        .ok_or("workflow needs a \"tasks\" array")?;
-    if tasks.is_empty() {
-        return Err("workflow has no tasks".to_string());
-    }
-    let mut builder = WorkflowBuilder::new(name);
-    // First pass: declare every task so deps can reference forward.
-    let mut ids: BTreeMap<&str, TaskId> = BTreeMap::new();
-    for t in tasks {
-        let id = t
-            .get("id")
-            .and_then(Value::as_str)
-            .ok_or("task needs an \"id\" string")?;
-        let runtime = t
-            .get("runtime_s")
-            .and_then(Value::as_f64)
-            .ok_or_else(|| format!("task {id:?} needs a \"runtime_s\" number"))?;
-        if !runtime.is_finite() || runtime < 0.0 {
-            return Err(format!("task {id:?}: runtime_s must be finite and >= 0"));
-        }
-        if ids.insert(id, builder.task(id, runtime)).is_some() {
-            return Err(format!("duplicate task id {id:?}"));
-        }
-    }
-    // Second pass: edges.
-    for t in tasks {
-        let to_id = t.get("id").and_then(Value::as_str).expect("checked above");
-        let to = ids[to_id];
-        let Some(deps) = t.get("deps") else { continue };
-        let deps = deps
-            .as_arr()
-            .ok_or_else(|| format!("task {to_id:?}: \"deps\" must be an array"))?;
-        for dep in deps {
-            let (from_id, data_mb) = match dep {
-                Value::Str(s) => (s.as_str(), 0.0),
-                Value::Obj(_) => {
-                    let from = dep
-                        .get("task")
-                        .and_then(Value::as_str)
-                        .ok_or_else(|| format!("task {to_id:?}: dep needs a \"task\" id"))?;
-                    let mb = match dep.get("data_mb") {
-                        None => 0.0,
-                        Some(x) => x
-                            .as_f64()
-                            .filter(|m| m.is_finite() && *m >= 0.0)
-                            .ok_or_else(|| {
-                                format!("task {to_id:?}: \"data_mb\" must be finite and >= 0")
-                            })?,
-                    };
-                    (from, mb)
-                }
-                _ => {
-                    return Err(format!(
-                        "task {to_id:?}: deps entries are task ids or {{\"task\", \"data_mb\"}}"
-                    ))
-                }
-            };
-            let from = *ids
-                .get(from_id)
-                .ok_or_else(|| format!("task {to_id:?} depends on unknown task {from_id:?}"))?;
-            builder.data_edge(from, to, data_mb);
-        }
-    }
-    // Structural errors — self-loops, duplicate edges, cycles — are
-    // detected here, at build time.
-    builder.build().map_err(|e| dag_error(name, &e))
+    interchange::from_json_value(v).map_err(|e| e.to_string())
 }
 
-fn dag_error(context: &str, e: &DagError) -> String {
-    format!("{context:?}: {e:?}")
-}
-
-/// Export a workflow back into the interchange format — tasks in id
-/// order, deps in predecessor order, so the rendering is deterministic
-/// and `parse_workflow(workflow_to_json(wf))` round-trips the DAG.
+/// Export a workflow into the interchange format — delegates to
+/// [`Workflow::to_json`]; kept for API stability. The rendering is
+/// deterministic and `parse_workflow(workflow_to_json(wf))`
+/// round-trips the DAG exactly.
 #[must_use]
 pub fn workflow_to_json(wf: &Workflow) -> String {
-    let mut out = String::new();
-    let _ = write!(out, "{{\"name\":{},\"tasks\":[", json_str(wf.name()));
-    for (i, id) in wf.ids().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let task = wf.task(id);
-        let _ = write!(
-            out,
-            "{{\"id\":{},\"runtime_s\":{}",
-            json_str(&task.name),
-            json_f64(task.base_time)
-        );
-        let preds = wf.predecessors(id);
-        if !preds.is_empty() {
-            out.push_str(",\"deps\":[");
-            for (j, e) in preds.iter().enumerate() {
-                if j > 0 {
-                    out.push(',');
-                }
-                let from = json_str(&wf.task(e.from).name);
-                if e.data_mb > 0.0 {
-                    let _ = write!(
-                        out,
-                        "{{\"task\":{},\"data_mb\":{}}}",
-                        from,
-                        json_f64(e.data_mb)
-                    );
-                } else {
-                    out.push_str(&from);
-                }
-            }
-            out.push(']');
-        }
-        out.push('}');
-    }
-    out.push_str("]}");
-    out
+    wf.to_json()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cws_dag::TaskId;
 
     fn parse(s: &str) -> Result<Workflow, String> {
         parse_workflow(&cws_obs::json::parse(s).expect("valid JSON"))
@@ -259,15 +135,7 @@ mod tests {
         let wf = parse(src).expect("valid");
         let json = workflow_to_json(&wf);
         let back = parse(&json).expect("export parses");
-        assert_eq!(back.len(), wf.len());
-        let (a, b): (Vec<TaskId>, Vec<TaskId>) = (wf.ids().collect(), back.ids().collect());
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(wf.task(*x).name, back.task(*y).name);
-            assert_eq!(
-                wf.task(*x).base_time.to_bits(),
-                back.task(*y).base_time.to_bits()
-            );
-        }
+        assert_eq!(back, wf, "round trip is exact");
         assert_eq!(json, workflow_to_json(&back), "export is a fixed point");
     }
 
@@ -292,11 +160,39 @@ mod tests {
                 r#"{"name":"e","tasks":[
                     {"id":"a","runtime_s":1,"deps":["b"]},
                     {"id":"b","runtime_s":1,"deps":["a"]}]}"#,
-                "",
+                "cycle",
             ),
         ] {
             let err = parse(src).expect_err(src);
             assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn submission_errors_carry_exact_paths() {
+        // Regression: a typo'd "dep" field used to be silently ignored,
+        // admitting an edgeless DAG; strict field checking rejects it
+        // with the exact strings the daemon echoes back to clients.
+        for (src, expected) in [
+            (
+                r#"{"name":"w","tasks":[{"id":"a","runtime_s":1,"dep":["b"]}]}"#,
+                "workflow.tasks[0]: unknown field \"dep\" \
+                 (accepted: \"deps\", \"id\", \"input_mb\", \"runtime_s\", \"type\")",
+            ),
+            (
+                r#"{"name":"w","tasks":[{"id":"a","runtime_s":1,"deps":["ghost"]}]}"#,
+                "workflow.tasks[0].deps[0]: depends on unknown task \"ghost\"",
+            ),
+            (
+                r#"{"name":"w","version":9,"tasks":[{"id":"a","runtime_s":1}]}"#,
+                "workflow.version: unsupported version 9 (this parser implements version 1)",
+            ),
+            (
+                r#"{"name":"w","tasks":[{"id":"a","runtime_s":1e999}]}"#,
+                "workflow.tasks[0].runtime_s: must be a finite number >= 0",
+            ),
+        ] {
+            assert_eq!(parse(src).expect_err(src), expected);
         }
     }
 

@@ -12,12 +12,14 @@
 //!   tasks, each exceeding one BTU even on the fastest instance),
 //! * Pareto-distributed task data sizes (α=1.3, scale 500),
 //! * random DAG generators (layered, fork-join) for the paper's
-//!   future-work sweep over custom workflows.
+//!   future-work sweep over custom workflows,
+//! * a [WfCommons importer](mod@wfcommons) converting real
+//!   WfCommons/WorkflowHub trace archives into interchange workflows.
 //!
 //! All randomness is seeded; the same seed reproduces the same workload
 //! bit-for-bit.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod bot;
@@ -30,6 +32,7 @@ pub mod random;
 pub mod runtime;
 pub mod sequential;
 pub mod trace;
+pub mod wfcommons;
 
 pub use bot::bag_of_tasks;
 pub use cstem::cstem;
@@ -41,6 +44,7 @@ pub use random::{fork_join, layered_dag, ForkJoinShape, LayeredShape};
 pub use runtime::{DataSizeModel, Scenario};
 pub use sequential::sequential;
 pub use trace::{from_text, to_text, TraceError};
+pub use wfcommons::{import as import_wfcommons, named_workflow};
 
 use cws_dag::Workflow;
 

@@ -1,0 +1,475 @@
+//! WfCommons / WorkflowHub trace importer, and the named-generator
+//! catalogue backing `cws-exp export`.
+//!
+//! [WfCommons](https://wfcommons.org) publishes execution traces of
+//! real scientific workflows (Montage, Epigenomics, CyberShake, …) in
+//! its *wfformat* JSON schema. [`import`] converts one such document
+//! into a validated [`Workflow`] carrying the trace's measured
+//! runtimes, file-transfer sizes and task categories — ready for
+//! `Workflow::to_json` and the full 19-pairing sweep. Both schema
+//! generations are understood:
+//!
+//! * **≤ 1.3** — tasks under `workflow.tasks`, each with `name`
+//!   (identity), `runtimeInSeconds` (or legacy `runtime`), `parents`,
+//!   `category`, and a `files` array of
+//!   `{link: input|output, name, sizeInBytes}` entries;
+//! * **≥ 1.4** — structure under `workflow.specification.tasks`
+//!   (`id` identity, `inputFiles`/`outputFiles` referencing
+//!   `workflow.specification.files`), runtimes joined from
+//!   `workflow.execution.tasks` by task id.
+//!
+//! Edge payloads are reconstructed by matching producer outputs to
+//! consumer inputs: the payload of edge *p → c* is the total size of
+//! files written by *p* and read by *c*. Input files no task produces
+//! count toward the consumer's `input_mb` (staged-in data). Sizes
+//! convert as 1 MB = 10⁶ bytes. Unknown fields are ignored (WfCommons
+//! documents carry machine/energy detail this model does not use) —
+//! unlike the strict interchange parser, an imported trace is foreign
+//! data, not a document this workspace wrote.
+
+use crate::{
+    cstem, cybershake, epigenomics, layered_dag, ligo, mapreduce, montage, montage_24, sequential,
+    CyberShakeShape, EpigenomicsShape, LayeredShape, LigoShape, MapReduceShape, MontageShape,
+};
+use cws_dag::{Workflow, WorkflowBuilder};
+use cws_obs::json::{parse, Value};
+use std::collections::BTreeMap;
+
+/// Bytes per megabyte in WfCommons size conversions.
+const MB: f64 = 1e6;
+
+/// Import a WfCommons wfformat JSON document as a [`Workflow`].
+///
+/// # Errors
+/// Returns a human-readable message when the document is not JSON, has
+/// no task array, a task lacks its identity or runtime, a parent
+/// reference dangles, or the resulting graph is not a DAG.
+pub fn import(src: &str) -> Result<Workflow, String> {
+    let v = parse(src).map_err(|e| format!("malformed JSON: {e}"))?;
+    let name = v
+        .get("name")
+        .and_then(Value::as_str)
+        .unwrap_or("wfcommons-import")
+        .to_string();
+    let wf = v
+        .get("workflow")
+        .ok_or("document has no \"workflow\" object")?;
+    let tasks = if let Some(spec) = wf.get("specification") {
+        spec_tasks(spec, wf)?
+    } else {
+        legacy_tasks(wf)?
+    };
+    build(&name, &tasks)
+}
+
+/// One task normalized from either schema generation.
+struct RawTask {
+    id: String,
+    runtime_s: f64,
+    category: Option<String>,
+    parents: Vec<String>,
+    /// (file name, bytes) pairs this task reads.
+    inputs: Vec<(String, f64)>,
+    /// (file name, bytes) pairs this task writes.
+    outputs: Vec<(String, f64)>,
+}
+
+/// Schema ≤ 1.3: `workflow.tasks`, identity = `name`, inline `files`.
+fn legacy_tasks(wf: &Value) -> Result<Vec<RawTask>, String> {
+    let tasks = wf
+        .get("tasks")
+        .and_then(Value::as_arr)
+        .ok_or("\"workflow\" has no \"tasks\" array")?;
+    tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let id = t
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("tasks[{i}] has no \"name\""))?
+                .to_string();
+            let runtime_s = t
+                .get("runtimeInSeconds")
+                .or_else(|| t.get("runtime"))
+                .and_then(Value::as_f64)
+                .filter(|r| r.is_finite() && *r >= 0.0)
+                .ok_or_else(|| format!("task {id:?} has no usable runtime"))?;
+            let mut inputs = Vec::new();
+            let mut outputs = Vec::new();
+            if let Some(files) = t.get("files").and_then(Value::as_arr) {
+                for f in files {
+                    let fname = f.get("name").and_then(Value::as_str).unwrap_or("");
+                    let bytes = f
+                        .get("sizeInBytes")
+                        .and_then(Value::as_f64)
+                        .filter(|b| b.is_finite() && *b >= 0.0)
+                        .unwrap_or(0.0);
+                    match f.get("link").and_then(Value::as_str) {
+                        Some("input") => inputs.push((fname.to_string(), bytes)),
+                        Some("output") => outputs.push((fname.to_string(), bytes)),
+                        _ => {}
+                    }
+                }
+            }
+            Ok(RawTask {
+                id,
+                runtime_s,
+                category: t
+                    .get("category")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
+                parents: parent_list(t),
+                inputs,
+                outputs,
+            })
+        })
+        .collect()
+}
+
+/// Schema ≥ 1.4: structure in `workflow.specification`, runtimes in
+/// `workflow.execution`, identity = `id`.
+fn spec_tasks(spec: &Value, wf: &Value) -> Result<Vec<RawTask>, String> {
+    let tasks = spec
+        .get("tasks")
+        .and_then(Value::as_arr)
+        .ok_or("\"workflow.specification\" has no \"tasks\" array")?;
+    // File sizes by file id.
+    let mut file_bytes: BTreeMap<&str, f64> = BTreeMap::new();
+    if let Some(files) = spec.get("files").and_then(Value::as_arr) {
+        for f in files {
+            if let Some(id) = f.get("id").and_then(Value::as_str) {
+                let bytes = f
+                    .get("sizeInBytes")
+                    .and_then(Value::as_f64)
+                    .filter(|b| b.is_finite() && *b >= 0.0)
+                    .unwrap_or(0.0);
+                file_bytes.insert(id, bytes);
+            }
+        }
+    }
+    // Measured runtimes by task id.
+    let mut runtimes: BTreeMap<&str, f64> = BTreeMap::new();
+    if let Some(exec) = wf.get("execution").and_then(|e| e.get("tasks")) {
+        for t in exec.as_arr().unwrap_or(&[]) {
+            if let Some(id) = t.get("id").and_then(Value::as_str) {
+                if let Some(r) = t
+                    .get("runtimeInSeconds")
+                    .or_else(|| t.get("runtime"))
+                    .and_then(Value::as_f64)
+                    .filter(|r| r.is_finite() && *r >= 0.0)
+                {
+                    runtimes.insert(id, r);
+                }
+            }
+        }
+    }
+    let file_list = |t: &Value, key: &str| -> Vec<(String, f64)> {
+        t.get(key)
+            .and_then(Value::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Value::as_str)
+            .map(|id| (id.to_string(), file_bytes.get(id).copied().unwrap_or(0.0)))
+            .collect()
+    };
+    tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let id = t
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("specification.tasks[{i}] has no \"id\""))?
+                .to_string();
+            let runtime_s = runtimes
+                .get(id.as_str())
+                .copied()
+                .ok_or_else(|| format!("task {id:?} has no runtime in workflow.execution"))?;
+            Ok(RawTask {
+                runtime_s,
+                category: t.get("name").and_then(Value::as_str).map(str::to_string),
+                parents: parent_list(t),
+                inputs: file_list(t, "inputFiles"),
+                outputs: file_list(t, "outputFiles"),
+                id,
+            })
+        })
+        .collect()
+}
+
+fn parent_list(t: &Value) -> Vec<String> {
+    t.get("parents")
+        .and_then(Value::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(Value::as_str)
+        .map(str::to_string)
+        .collect()
+}
+
+fn build(name: &str, tasks: &[RawTask]) -> Result<Workflow, String> {
+    if tasks.is_empty() {
+        return Err("workflow has no tasks".to_string());
+    }
+    let mut b = WorkflowBuilder::new(name);
+    let mut ids = BTreeMap::new();
+    // Which task produces each file (first producer wins; real traces
+    // have unique producers).
+    let mut producer: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, t) in tasks.iter().enumerate() {
+        for (f, _) in &t.outputs {
+            producer.entry(f).or_insert(i);
+        }
+    }
+    for t in tasks {
+        // Stage-in bytes: inputs no task in the trace produces.
+        let staged: f64 = t
+            .inputs
+            .iter()
+            .filter(|(f, _)| !producer.contains_key(f.as_str()))
+            .map(|(_, bytes)| bytes)
+            .sum();
+        let tid = b.task_detailed(&t.id, t.runtime_s, staged / MB, t.category.clone());
+        if ids.insert(t.id.as_str(), tid).is_some() {
+            return Err(format!("duplicate task {:?}", t.id));
+        }
+    }
+    for t in tasks {
+        let to = ids[t.id.as_str()];
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &t.parents {
+            let Some(&from) = ids.get(p.as_str()) else {
+                return Err(format!("task {:?} has unknown parent {p:?}", t.id));
+            };
+            if !seen.insert(p.as_str()) {
+                continue; // tolerate repeated parent entries
+            }
+            // Payload: files the parent writes and this task reads.
+            let pi = from.index();
+            let data_bytes: f64 = t
+                .inputs
+                .iter()
+                .filter(|(f, _)| producer.get(f.as_str()) == Some(&pi))
+                .map(|(_, bytes)| bytes)
+                .sum();
+            b.data_edge(from, to, data_bytes / MB);
+        }
+    }
+    b.build().map_err(|e| format!("invalid DAG: {e}"))
+}
+
+/// Resolve a generator name (`cws-exp export NAME`) to a workflow.
+///
+/// Fixed names: `montage-24`, `cstem`. Parameterized families:
+/// `sequential-N`, `montage-PxO`, `epigenomics-LxC`,
+/// `cybershake-N`, `ligo-GxB`, `mapreduce-MxMxR`, `layered-LxW`
+/// (layered uses seed 42, width W fixed per level, edge probability
+/// 0.35 — the bench corpus shape). Returns `None` for unknown names.
+#[must_use]
+pub fn named_workflow(name: &str) -> Option<Workflow> {
+    match name {
+        "montage-24" => return Some(montage_24()),
+        "cstem" => return Some(cstem()),
+        _ => {}
+    }
+    let (family, params) = name.split_once('-')?;
+    let dims: Vec<usize> = params
+        .split('x')
+        .map(str::parse)
+        .collect::<Result<_, _>>()
+        .ok()?;
+    match (family, dims.as_slice()) {
+        ("sequential", [n]) if *n >= 1 => Some(sequential(*n)),
+        ("montage", [p, o]) if *p >= 2 && *o >= 1 && *o <= p * (p - 1) / 2 => {
+            Some(montage(MontageShape {
+                projections: *p,
+                overlaps: *o,
+            }))
+        }
+        ("epigenomics", [l, c]) if *l >= 1 && *c >= 1 => Some(epigenomics(EpigenomicsShape {
+            lanes: *l,
+            chunks_per_lane: *c,
+        })),
+        ("cybershake", [n]) if *n >= 2 => Some(cybershake(CyberShakeShape { synthesis: *n })),
+        ("ligo", [g, k]) if *g >= 1 && *k >= 1 => Some(ligo(LigoShape {
+            groups: *g,
+            banks_per_group: *k,
+        })),
+        // Both map phases share one width, so the canonical name is
+        // mapreduce-MxMxR (matching the generator's own naming).
+        ("mapreduce", [m, m2, r]) if *m >= 1 && m2 == m && *r >= 1 => {
+            Some(mapreduce(MapReduceShape {
+                mappers: *m,
+                reducers: *r,
+            }))
+        }
+        ("layered", [l, w]) if *l >= 1 && *w >= 1 => Some(layered_dag(LayeredShape {
+            levels: *l,
+            min_width: *w,
+            max_width: *w,
+            edge_prob: 0.35,
+            seed: 42,
+        })),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_dag::TaskId;
+
+    /// A 5-task Montage-style excerpt in the ≤1.3 layout.
+    fn legacy_doc() -> &'static str {
+        r#"{
+          "name": "montage-excerpt",
+          "schemaVersion": "1.3",
+          "workflow": {
+            "tasks": [
+              {"name": "mProjectPP_1", "category": "mProjectPP",
+               "runtimeInSeconds": 12.5, "parents": [],
+               "files": [
+                 {"link": "input", "name": "raw_1.fits", "sizeInBytes": 4000000},
+                 {"link": "output", "name": "proj_1.fits", "sizeInBytes": 2000000}]},
+              {"name": "mProjectPP_2", "category": "mProjectPP",
+               "runtimeInSeconds": 13.0, "parents": [],
+               "files": [
+                 {"link": "input", "name": "raw_2.fits", "sizeInBytes": 4000000},
+                 {"link": "output", "name": "proj_2.fits", "sizeInBytes": 2000000}]},
+              {"name": "mDiffFit_1", "category": "mDiffFit",
+               "runtimeInSeconds": 4.0, "parents": ["mProjectPP_1", "mProjectPP_2"],
+               "files": [
+                 {"link": "input", "name": "proj_1.fits", "sizeInBytes": 2000000},
+                 {"link": "input", "name": "proj_2.fits", "sizeInBytes": 2000000},
+                 {"link": "output", "name": "diff_1.fits", "sizeInBytes": 500000}]},
+              {"name": "mConcatFit", "category": "mConcatFit",
+               "runtime": 8.0, "parents": ["mDiffFit_1"],
+               "files": [
+                 {"link": "input", "name": "diff_1.fits", "sizeInBytes": 500000},
+                 {"link": "output", "name": "fits.tbl", "sizeInBytes": 100000}]},
+              {"name": "mBackground_1", "category": "mBackground",
+               "runtimeInSeconds": 2.5, "parents": ["mConcatFit", "mProjectPP_1"],
+               "files": [
+                 {"link": "input", "name": "fits.tbl", "sizeInBytes": 100000},
+                 {"link": "input", "name": "proj_1.fits", "sizeInBytes": 2000000}]}
+            ]}}"#
+    }
+
+    /// The same 3-task chain in the 1.4+ specification/execution split.
+    fn spec_doc() -> &'static str {
+        r#"{
+          "name": "spec-chain",
+          "schemaVersion": "1.4",
+          "workflow": {
+            "specification": {
+              "tasks": [
+                {"id": "t1", "name": "split", "parents": [],
+                 "inputFiles": ["in.dat"], "outputFiles": ["mid.dat"]},
+                {"id": "t2", "name": "work", "parents": ["t1"],
+                 "inputFiles": ["mid.dat"], "outputFiles": ["out.dat"]},
+                {"id": "t3", "name": "gather", "parents": ["t2", "t1"],
+                 "inputFiles": ["out.dat"], "outputFiles": []}],
+              "files": [
+                {"id": "in.dat", "sizeInBytes": 1000000},
+                {"id": "mid.dat", "sizeInBytes": 3000000},
+                {"id": "out.dat", "sizeInBytes": 250000}]},
+            "execution": {
+              "tasks": [
+                {"id": "t1", "runtimeInSeconds": 10},
+                {"id": "t2", "runtimeInSeconds": 20},
+                {"id": "t3", "runtimeInSeconds": 5}]}}}"#
+    }
+
+    #[test]
+    fn imports_legacy_layout_with_data_flows() {
+        let wf = import(legacy_doc()).expect("valid trace");
+        assert_eq!(wf.name(), "montage-excerpt");
+        assert_eq!(wf.len(), 5);
+        assert_eq!(wf.edge_count(), 5);
+        // Staged-in input (raw_1.fits) lands on the task, produced
+        // files travel on edges.
+        let proj1 = TaskId(0);
+        assert_eq!(wf.task(proj1).input_mb, 4.0);
+        assert_eq!(wf.task(proj1).kind.as_deref(), Some("mProjectPP"));
+        let diff = TaskId(2);
+        assert_eq!(wf.edge_data(proj1, diff), Some(2.0));
+        // mBackground_1 reads proj_1.fits directly from mProjectPP_1.
+        let bg = TaskId(4);
+        assert_eq!(wf.edge_data(proj1, bg), Some(2.0));
+        // Legacy "runtime" key accepted.
+        assert_eq!(wf.task(TaskId(3)).base_time, 8.0);
+        // Edge with no matching files is a pure control dependency.
+        assert_eq!(wf.edge_data(TaskId(3), bg), Some(0.1));
+    }
+
+    #[test]
+    fn imports_specification_layout_with_execution_join() {
+        let wf = import(spec_doc()).expect("valid trace");
+        assert_eq!(wf.len(), 3);
+        assert_eq!(wf.task(TaskId(0)).base_time, 10.0);
+        assert_eq!(wf.task(TaskId(0)).input_mb, 1.0, "in.dat is staged in");
+        assert_eq!(wf.task(TaskId(1)).kind.as_deref(), Some("work"));
+        assert_eq!(wf.edge_data(TaskId(0), TaskId(1)), Some(3.0));
+        // t3's parent t1 contributes no files: control edge.
+        assert_eq!(wf.edge_data(TaskId(0), TaskId(2)), Some(0.0));
+        assert_eq!(wf.edge_data(TaskId(1), TaskId(2)), Some(0.25));
+    }
+
+    #[test]
+    fn imported_trace_round_trips_through_interchange() {
+        let wf = import(legacy_doc()).expect("valid trace");
+        let back = Workflow::from_json(&wf.to_json()).expect("interchange parses");
+        assert_eq!(back, wf);
+    }
+
+    #[test]
+    fn rejects_broken_documents() {
+        for (src, needle) in [
+            ("nope", "malformed JSON"),
+            (r#"{"name":"x"}"#, "no \"workflow\""),
+            (r#"{"workflow":{}}"#, "no \"tasks\""),
+            (r#"{"workflow":{"tasks":[]}}"#, "no tasks"),
+            (
+                r#"{"workflow":{"tasks":[{"name":"a","runtimeInSeconds":1,
+                    "parents":["ghost"]}]}}"#,
+                "unknown parent",
+            ),
+            (
+                r#"{"workflow":{"tasks":[{"name":"a","parents":[]}]}}"#,
+                "no usable runtime",
+            ),
+        ] {
+            let err = import(src).expect_err(src);
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn named_workflows_resolve_and_scale() {
+        for (name, tasks) in [
+            ("montage-24", 24),
+            ("cstem", 20),
+            ("mapreduce-8x8x4", 22),
+            ("sequential-20", 20),
+            ("cybershake-10", 24),
+        ] {
+            let wf = named_workflow(name).expect(name);
+            assert_eq!(wf.len(), tasks, "{name}");
+        }
+        assert!(named_workflow("epigenomics-4x6").is_some());
+        assert!(named_workflow("ligo-3x5").is_some());
+        assert!(named_workflow("layered-10x100").unwrap().len() == 1000);
+        assert!(named_workflow("montage-1000x42").is_some());
+        for bad in [
+            "",
+            "unknown",
+            "sequential-0",
+            "montage-1",
+            "layered-2",
+            "mapreduce-8x4x2",
+        ] {
+            assert!(named_workflow(bad).is_none(), "{bad}");
+        }
+    }
+}
