@@ -1,0 +1,15 @@
+//! Base layer: granted no workspace edges at all.
+
+// VIOLATION 1: alpha -> beta inverts the declared layering.
+use cws_beta::helper;
+
+// VIOLATION 2: alpha -> gamma is not granted either.
+pub fn base() -> u32 {
+    helper() + cws_gamma::seed()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions may reach anywhere (dev-dependency idiom): no edge.
+    use cws_delta::fixture;
+}

@@ -1,0 +1,7 @@
+//! Upper layer: the beta -> alpha edge is contractual.
+
+use cws_alpha::base;
+
+pub fn helper() -> u32 {
+    base()
+}

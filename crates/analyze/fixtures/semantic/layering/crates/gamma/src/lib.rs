@@ -1,0 +1,7 @@
+//! A crate the [deps] table does not name at all: any workspace
+//! reference from here is a violation ("not declared in [deps]").
+
+// VIOLATION 3: gamma is absent from the table, so no edges are granted.
+pub fn seed() -> u32 {
+    cws_alpha::base()
+}

@@ -1,0 +1,15 @@
+//! Unaudited wall-clock source, two hops from the sink.
+//! Expected: one wall-clock-in-sim violation AND one
+//! nondeterminism-reachability violation with the full chain.
+
+pub fn sample() -> u64 {
+    let _t = Instant::now(); // VIOLATION (both lints)
+    0
+}
+
+pub fn orphan_clock() -> u64 {
+    // VIOLATION for wall-clock-in-sim only: nothing on the output
+    // path ever calls this, so reachability stays quiet.
+    let _t = Instant::now();
+    1
+}

@@ -1,0 +1,5 @@
+//! Intermediate hop: the chain must pass through here.
+
+pub fn collect() -> u64 {
+    sample()
+}

@@ -1,0 +1,5 @@
+//! The output path (sink file in the fixture contract).
+
+pub fn emit() -> u64 {
+    collect() + stamp()
+}

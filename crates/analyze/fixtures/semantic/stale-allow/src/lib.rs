@@ -1,0 +1,18 @@
+//! Stale-allow fixture: two allow sites suppress nothing, one is
+//! genuinely load-bearing. Expected: exactly 2 stale-allow.
+
+// Stale allow-file: no unwrap ever fires in this file.
+// cws-lint: allow-file(unwrap-in-kernel)
+
+pub fn consumed() -> u64 {
+    // Load-bearing: the next line really reads the wall clock.
+    let t = Instant::now(); // cws-lint: allow(wall-clock-in-sim)
+    let _ = t;
+    0
+}
+
+pub fn stale_line() -> u64 {
+    // Stale line allow: the annotated line is pure arithmetic.
+    let x = 1 + 2; // cws-lint: allow(wall-clock-in-sim)
+    x
+}

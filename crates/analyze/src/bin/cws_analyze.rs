@@ -1,13 +1,20 @@
 //! `cws-analyze` — run the workspace determinism lints.
 //!
 //! ```text
-//! cws-analyze [--root DIR] [--format text|json] [--lint NAME]... [--list]
+//! cws-analyze [--root DIR] [--format text|json|sarif] [--lint NAME]...
+//!             [--paths] [--list]
 //! ```
 //!
 //! Exit status: 0 when clean, 1 on violations, 2 on usage/IO errors.
 //! Without `--root` the workspace root is discovered by walking up
 //! from the current directory to the first `Cargo.toml` with a
 //! `[workspace]` table, so the binary works from any subdirectory.
+//!
+//! `--list` prints the lint table (with `--format json`,
+//! machine-readable: name, description, scope — consumed by
+//! `tools/analyze_check.sh`). `--paths` prints the audited
+//! nondeterminism source→sink chains in text output; JSON always
+//! carries them.
 
 use cws_analyze::{diag, engine, lints};
 use std::path::PathBuf;
@@ -17,10 +24,14 @@ struct Args {
     format: diag::Format,
     lint_filter: Vec<String>,
     list: bool,
+    paths: bool,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: cws-analyze [--root DIR] [--format text|json] [--lint NAME]... [--list]");
+    eprintln!(
+        "usage: cws-analyze [--root DIR] [--format text|json|sarif] [--lint NAME]... \
+         [--paths] [--list]"
+    );
     std::process::exit(2);
 }
 
@@ -30,6 +41,7 @@ fn parse_args() -> Args {
         format: diag::Format::Text,
         lint_filter: Vec::new(),
         list: false,
+        paths: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -39,6 +51,7 @@ fn parse_args() -> Args {
                 parsed.format = match args.next().as_deref() {
                     Some("text") => diag::Format::Text,
                     Some("json") => diag::Format::Json,
+                    Some("sarif") => diag::Format::Sarif,
                     _ => usage(),
                 }
             }
@@ -46,19 +59,60 @@ fn parse_args() -> Args {
                 .lint_filter
                 .push(args.next().unwrap_or_else(|| usage())),
             "--list" => parsed.list = true,
+            "--paths" => parsed.paths = true,
             _ => usage(),
         }
     }
     parsed
 }
 
+/// Scope column for `--list`: where each lint applies.
+fn lint_scope(name: &str) -> &'static str {
+    match name {
+        "unwrap-in-kernel" | "hashmap-iter-ordering" => "contract scope (analyze.toml)",
+        "wall-clock-in-sim" | "entropy-source" | "unsafe-outside-obs" => {
+            "workspace minus contract exemptions"
+        }
+        "layering-contract" | "nondeterminism-reachability" => "cross-file (analyze.toml)",
+        _ => "workspace",
+    }
+}
+
+fn list_lints(format: diag::Format) {
+    let table: Vec<(&str, &str)> = lints::all_lints()
+        .iter()
+        .map(|l| (l.name, l.description))
+        .chain(lints::semantic_lints())
+        .collect();
+    match format {
+        diag::Format::Json => {
+            // Hand-rolled like every other renderer in this crate; the
+            // fields are pinned by tools/analyze_check.sh and the CLI
+            // integration test.
+            println!("[");
+            for (i, (name, desc)) in table.iter().enumerate() {
+                let comma = if i + 1 == table.len() { "" } else { "," };
+                println!(
+                    "  {{\"name\": \"{name}\", \"description\": \"{}\", \"scope\": \"{}\"}}{comma}",
+                    desc.replace('"', "\\\""),
+                    lint_scope(name)
+                );
+            }
+            println!("]");
+        }
+        _ => {
+            for (name, desc) in table {
+                println!("{name:28} {desc}");
+            }
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
 
     if args.list {
-        for lint in lints::all_lints() {
-            println!("{:24} {}", lint.name, lint.description);
-        }
+        list_lints(args.format);
         return;
     }
 
@@ -75,7 +129,13 @@ fn main() {
         Ok(report) => {
             print!(
                 "{}",
-                diag::render(&report.diagnostics, report.files_scanned, args.format)
+                diag::render_full(
+                    &report.diagnostics,
+                    &report.audited_paths,
+                    report.files_scanned,
+                    args.format,
+                    args.paths
+                )
             );
             if report.files_scanned == 0 {
                 eprintln!("cws-analyze: no Rust sources under {}", root.display());

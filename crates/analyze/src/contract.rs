@@ -1,0 +1,335 @@
+//! The declarative analysis contract: `analyze.toml` at the workspace
+//! root, parsed by a deliberately tiny TOML-subset reader (tables,
+//! string-array values, comments — nothing else, so the whole grammar
+//! is auditable in one screen).
+//!
+//! The contract is the *single source of truth* for every scope
+//! decision the engine makes:
+//!
+//! * `[lint.<name>]` — per-lint path scoping. `exempt = [..]` carves
+//!   files out of a workspace-wide lint (wall clock in `crates/bench/`);
+//!   `scope = [..]` restricts a lint to the listed paths (the unwrap
+//!   ban applies only to kernel hot paths).
+//! * `[deps]` — the crate layering table: which workspace crates each
+//!   crate may reference. The `layering-contract` lint reports any
+//!   source-level edge outside this table with both endpoints.
+//! * `[reachability]` — `sinks` lists the schedule/billing/report
+//!   output-path files; the `nondeterminism-reachability` lint walks
+//!   the call graph from every nondeterminism source toward them.
+//!
+//! DESIGN.md §11 mirrors the same tables in prose, and
+//! `crates/analyze/tests/contract_docs.rs` machine-checks that the two
+//! never drift (same pattern as the interchange spec check).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Path scoping for one lint (at most one of the two lists is
+/// normally populated; both present means "scope minus exempt").
+#[derive(Debug, Default, Clone)]
+pub struct LintScope {
+    /// Paths carved out of the lint (prefix ending in `/` scopes a
+    /// directory, otherwise an exact file). `None` when the key was
+    /// absent.
+    pub exempt: Option<Vec<String>>,
+    /// Paths the lint is restricted to; `None` (key absent) means the
+    /// whole workspace is in scope.
+    pub scope: Option<Vec<String>>,
+}
+
+/// The parsed contract. `Contract::empty()` (used when no
+/// `analyze.toml` exists, e.g. scratch trees in tests) has no layering
+/// table and no sinks, so the cross-file passes quietly skip.
+#[derive(Debug, Default, Clone)]
+pub struct Contract {
+    /// Per-lint scope rules, keyed by lint name.
+    pub lints: BTreeMap<String, LintScope>,
+    /// Crate layering: crate name → workspace crates it may reference.
+    /// `None` when the contract carries no `[deps]` table (layering
+    /// lint disabled).
+    pub deps: Option<BTreeMap<String, BTreeSet<String>>>,
+    /// Output-path files/dirs for the reachability lint.
+    pub sinks: Vec<String>,
+}
+
+impl Contract {
+    /// A contract with no rules: layering and reachability off, every
+    /// workspace-wide lint at full scope with no exemptions.
+    #[must_use]
+    pub fn empty() -> Contract {
+        Contract::default()
+    }
+
+    /// Load `root/analyze.toml`. `Ok(None)` when the file does not
+    /// exist; `Err` carries a human-readable parse error with the line
+    /// number.
+    ///
+    /// # Errors
+    /// Returns `Err` on unreadable files and on any line the subset
+    /// grammar does not recognise — an unknown key is a hard error, so
+    /// a typo cannot silently disable a rule.
+    pub fn load(root: &Path) -> Result<Option<Contract>, String> {
+        let path = root.join("analyze.toml");
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("analyze.toml: unreadable: {e}"))?;
+        Contract::parse(&text).map(Some)
+    }
+
+    /// Parse contract text. See the module docs for the grammar.
+    ///
+    /// # Errors
+    /// Any unrecognised section, key or value shape is an error.
+    pub fn parse(text: &str) -> Result<Contract, String> {
+        let mut contract = Contract {
+            lints: BTreeMap::new(),
+            deps: None,
+            sinks: Vec::new(),
+        };
+        let mut section: Option<String> = None;
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((n, raw)) = lines.next() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim();
+                let known = name == "deps"
+                    || name == "reachability"
+                    || name.strip_prefix("lint.").is_some_and(is_kebab);
+                if !known {
+                    return Err(format!("analyze.toml:{}: unknown section [{name}]", n + 1));
+                }
+                if name == "deps" {
+                    // An empty [deps] table still switches layering on.
+                    contract.deps.get_or_insert_with(BTreeMap::new);
+                }
+                section = Some(name.to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("analyze.toml:{}: expected `key = [..]`", n + 1));
+            };
+            let key = key.trim();
+            // Arrays may span lines: keep consuming until the `]`.
+            let mut value = value.trim().to_string();
+            while !value.ends_with(']') {
+                let Some((_, next)) = lines.next() else {
+                    return Err(format!("analyze.toml:{}: unterminated array", n + 1));
+                };
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+            }
+            let items = parse_array(&value)
+                .map_err(|e| format!("analyze.toml:{}: {e} (key `{key}`)", n + 1))?;
+            match section.as_deref() {
+                Some("deps") => {
+                    if !is_crate_name(key) {
+                        return Err(format!(
+                            "analyze.toml:{}: `{key}` is not a crate name",
+                            n + 1
+                        ));
+                    }
+                    contract
+                        .deps
+                        .get_or_insert_with(BTreeMap::new)
+                        .insert(key.to_string(), items.into_iter().collect());
+                }
+                Some("reachability") => match key {
+                    "sinks" => contract.sinks = items,
+                    _ => {
+                        return Err(format!(
+                            "analyze.toml:{}: unknown key `{key}` in [reachability]",
+                            n + 1
+                        ))
+                    }
+                },
+                Some(s) if s.starts_with("lint.") => {
+                    let lint = s["lint.".len()..].to_string();
+                    let entry = contract.lints.entry(lint).or_default();
+                    match key {
+                        "exempt" => entry.exempt = Some(items),
+                        "scope" => entry.scope = Some(items),
+                        _ => {
+                            return Err(format!(
+                                "analyze.toml:{}: unknown key `{key}` in [{s}]",
+                                n + 1
+                            ))
+                        }
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "analyze.toml:{}: `{key}` outside any section",
+                        n + 1
+                    ))
+                }
+            }
+        }
+        Ok(contract)
+    }
+
+    /// True when `path` is carved out of `lint` by an `exempt` list.
+    #[must_use]
+    pub fn is_exempt(&self, lint: &str, path: &str) -> bool {
+        self.lints
+            .get(lint)
+            .and_then(|s| s.exempt.as_deref())
+            .is_some_and(|ex| path_in(path, ex))
+    }
+
+    /// True when `path` is inside `lint`'s scope. A lint with no
+    /// `scope` key applies workspace-wide (minus any `exempt` list —
+    /// checked separately via [`Contract::is_exempt`]).
+    #[must_use]
+    pub fn in_scope(&self, lint: &str, path: &str) -> bool {
+        match self.lints.get(lint).and_then(|s| s.scope.as_deref()) {
+            Some(scope) => path_in(path, scope),
+            None => true,
+        }
+    }
+
+    /// True when `path` lies on the reachability output path (sinks).
+    #[must_use]
+    pub fn is_sink(&self, path: &str) -> bool {
+        path_in(path, &self.sinks)
+    }
+}
+
+/// True when `path` starts with any of `prefixes` (a prefix ending in
+/// `/` scopes a directory; otherwise it names one file). Shared by
+/// every path-scoped rule in the engine.
+#[must_use]
+pub fn path_in<S: AsRef<str>>(path: &str, prefixes: &[S]) -> bool {
+    prefixes.iter().any(|p| {
+        let p = p.as_ref();
+        if p.ends_with('/') {
+            path.starts_with(p)
+        } else {
+            path == p
+        }
+    })
+}
+
+/// Strip a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `["a", "b"]` into its string items.
+fn parse_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| "expected a [..] array value".to_string())?;
+    let mut items = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        let item = part
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| format!("expected a quoted string, got `{part}`"))?;
+        if item.is_empty() {
+            return Err("empty string in array".to_string());
+        }
+        items.push(item.to_string());
+    }
+    Ok(items)
+}
+
+fn is_kebab(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+}
+
+fn is_crate_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[lint.wall-clock-in-sim]
+exempt = ["crates/bench/", "crates/obs/src/manifest.rs"]
+
+[lint.unwrap-in-kernel]
+scope = [
+    "crates/core/src/state.rs",
+    "crates/core/src/alloc/",
+]
+
+[deps]
+cws-obs = []
+cws-dag = ["cws-obs"]
+
+[reachability]
+sinks = ["crates/obs/src/report.rs"] # inline comment
+"#;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let c = Contract::parse(SAMPLE).expect("parses");
+        assert!(c.is_exempt("wall-clock-in-sim", "crates/bench/src/lib.rs"));
+        assert!(c.is_exempt("wall-clock-in-sim", "crates/obs/src/manifest.rs"));
+        assert!(!c.is_exempt("wall-clock-in-sim", "crates/obs/src/report.rs"));
+        assert!(c.in_scope("unwrap-in-kernel", "crates/core/src/alloc/heft.rs"));
+        assert!(!c.in_scope("unwrap-in-kernel", "crates/sim/src/engine.rs"));
+        // No scope key => workspace-wide.
+        assert!(c.in_scope("entropy-source", "anything/at/all.rs"));
+        let deps = c.deps.as_ref().expect("deps table");
+        assert!(deps["cws-dag"].contains("cws-obs"));
+        assert!(deps["cws-obs"].is_empty());
+        assert!(c.is_sink("crates/obs/src/report.rs"));
+        assert!(!c.is_sink("crates/obs/src/report2.rs"));
+    }
+
+    #[test]
+    fn unknown_sections_and_keys_are_errors() {
+        assert!(Contract::parse("[wat]\n").is_err());
+        assert!(Contract::parse("[lint.x]\nfrobnicate = []\n").is_err());
+        assert!(Contract::parse("[reachability]\nsources = []\n").is_err());
+        assert!(Contract::parse("orphan = []\n").is_err());
+        assert!(Contract::parse("[lint.Bad Name]\n").is_err());
+    }
+
+    #[test]
+    fn arrays_reject_unquoted_items() {
+        assert!(Contract::parse("[deps]\ncws-x = [bare]\n").is_err());
+        assert!(Contract::parse("[deps]\ncws-x = \"notarray\"\n").is_err());
+    }
+
+    #[test]
+    fn empty_contract_defaults_open() {
+        let c = Contract::empty();
+        assert!(c.in_scope("unwrap-in-kernel", "x.rs"));
+        assert!(!c.is_exempt("wall-clock-in-sim", "x.rs"));
+        assert!(c.deps.is_none());
+        assert!(c.sinks.is_empty());
+    }
+
+    #[test]
+    fn trailing_comma_and_multiline_ok() {
+        let c = Contract::parse("[reachability]\nsinks = [\n \"a.rs\",\n]\n").expect("parses");
+        assert_eq!(c.sinks, vec!["a.rs"]);
+    }
+}

@@ -1,6 +1,7 @@
-//! Diagnostics and output formatting (text and JSON, hand-rolled —
-//! this crate depends on nothing).
+//! Diagnostics and output formatting (text, JSON and SARIF,
+//! hand-rolled — this crate depends on nothing).
 
+use crate::reach::AuditedPath;
 use std::fmt;
 
 /// One lint violation.
@@ -31,15 +32,33 @@ impl fmt::Display for Diagnostic {
 pub enum Format {
     /// One `file:line: [lint] message` per violation.
     Text,
-    /// A single JSON object with counts and a violation array.
+    /// A single JSON object with counts, a violation array and the
+    /// audited nondeterminism paths.
     Json,
+    /// SARIF 2.1.0 (see [`crate::sarif`]), for GitHub code scanning.
+    Sarif,
 }
 
 /// Render `diags` in `format`. `files_scanned` feeds the JSON summary
 /// so a silently-empty walk (wrong `--root`) is distinguishable from a
-/// clean one.
+/// clean one. Delegates to [`render_full`] with no audited paths.
 #[must_use]
 pub fn render(diags: &[Diagnostic], files_scanned: usize, format: Format) -> String {
+    render_full(diags, &[], files_scanned, format, false)
+}
+
+/// Render a full report. `audited` lists the reachability paths that
+/// survive behind allow annotations / contract exemptions: always in
+/// the JSON object, in text only when `show_paths` is set (the
+/// `--paths` flag), never in SARIF (they are not violations).
+#[must_use]
+pub fn render_full(
+    diags: &[Diagnostic],
+    audited: &[AuditedPath],
+    files_scanned: usize,
+    format: Format,
+    show_paths: bool,
+) -> String {
     match format {
         Format::Text => {
             let mut out = String::new();
@@ -47,11 +66,31 @@ pub fn render(diags: &[Diagnostic], files_scanned: usize, format: Format) -> Str
                 out.push_str(&d.to_string());
                 out.push('\n');
             }
+            if show_paths {
+                for p in audited {
+                    out.push_str(&format!(
+                        "{}:{}: [audited] {} — {}\n    {}\n",
+                        p.file, p.line, p.source, p.reason, p.chain
+                    ));
+                }
+            }
             out.push_str(&format!(
-                "cws-analyze: {} violation(s) in {} file(s) scanned\n",
+                "cws-analyze: {} violation(s) in {} file(s) scanned",
                 diags.len(),
                 files_scanned
             ));
+            if !audited.is_empty() {
+                out.push_str(&format!(
+                    ", {} audited nondeterminism path(s){}",
+                    audited.len(),
+                    if show_paths {
+                        ""
+                    } else {
+                        " (--paths to print)"
+                    }
+                ));
+            }
+            out.push('\n');
             out
         }
         Format::Json => {
@@ -74,8 +113,36 @@ pub fn render(diags: &[Diagnostic], files_scanned: usize, format: Format) -> Str
             if !diags.is_empty() {
                 out.push_str("\n  ");
             }
+            out.push_str("],\n");
+            out.push_str("  \"audited_paths\": [");
+            for (i, p) in audited.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n    {{\"file\": {}, \"line\": {}, \"source\": {}, \"reason\": {}, \
+                     \"chain\": {}}}",
+                    json_str(&p.file),
+                    p.line,
+                    json_str(&p.source),
+                    json_str(&p.reason),
+                    json_str(&p.chain)
+                ));
+            }
+            if !audited.is_empty() {
+                out.push_str("\n  ");
+            }
             out.push_str("]\n}\n");
             out
+        }
+        Format::Sarif => {
+            let rules: Vec<crate::sarif::Rule> = crate::lints::all_lints()
+                .iter()
+                .map(|l| (l.name, l.description))
+                .chain(crate::lints::semantic_lints())
+                .chain(crate::lints::engine_lints())
+                .collect();
+            crate::sarif::render(diags, &rules)
         }
     }
 }
@@ -134,5 +201,39 @@ mod tests {
     fn json_empty_diagnostics_is_valid() {
         let out = render(&[], 0, Format::Json);
         assert!(out.contains("\"diagnostics\": []"));
+        assert!(out.contains("\"audited_paths\": []"));
+    }
+
+    fn audited() -> AuditedPath {
+        AuditedPath {
+            file: "crates/obs/src/manifest.rs".into(),
+            line: 103,
+            source: "SystemTime::now".into(),
+            reason: "analyze.toml [lint.wall-clock-in-sim] exempts it".into(),
+            chain: "`SystemTime::now` at crates/obs/src/manifest.rs:103 -> ...".into(),
+        }
+    }
+
+    #[test]
+    fn audited_paths_always_in_json_gated_in_text() {
+        let json = render_full(&[], &[audited()], 1, Format::Json, false);
+        assert!(json.contains("\"source\": \"SystemTime::now\""));
+
+        let quiet = render_full(&[], &[audited()], 1, Format::Text, false);
+        assert!(!quiet.contains("[audited]"));
+        assert!(quiet.contains("1 audited nondeterminism path(s) (--paths to print)"));
+
+        let loud = render_full(&[], &[audited()], 1, Format::Text, true);
+        assert!(loud.contains("[audited] SystemTime::now"));
+        assert!(loud.contains("exempts"));
+    }
+
+    #[test]
+    fn sarif_format_delegates_with_full_rule_table() {
+        let out = render(&[diag()], 1, Format::Sarif);
+        assert!(out.contains("\"version\": \"2.1.0\""));
+        assert!(out.contains("\"id\": \"float-partial-cmp-sort\""));
+        assert!(out.contains("\"id\": \"stale-allow\""));
+        assert!(out.contains("\"id\": \"contract-error\""));
     }
 }

@@ -1,9 +1,16 @@
-//! The engine: walk the workspace, scan every Rust source, run the
-//! lint table, and report deterministic, sorted diagnostics.
+//! The engine: load the contract, walk the workspace, scan every Rust
+//! source, run the per-file lint table and the cross-file semantic
+//! passes (layering, nondeterminism reachability, stale-allow), and
+//! report deterministic, sorted diagnostics.
 
+use crate::contract::Contract;
 use crate::diag::Diagnostic;
-use crate::lints::{all_lints, LintCtx, LintDef};
-use crate::scan::Scan;
+use crate::graph;
+use crate::items::{self, FileItems};
+use crate::lints::{all_lints, known_lint_names, LintCtx};
+use crate::reach::{self, AuditedPath};
+use crate::scan::{AllowTarget, Scan};
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -21,75 +28,172 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Audited nondeterminism source→sink paths (allow annotations and
+    /// contract exemptions that a reachability chain passed through).
+    /// Printed with `--paths`, always present in `--format json`.
+    pub audited_paths: Vec<AuditedPath>,
 }
 
-/// Walk `root` and run `lints` (or [`all_lints`] when empty) over every
-/// Rust source found. Paths in diagnostics are workspace-relative with
-/// `/` separators regardless of platform.
+/// Walk `root` and run `lints` (or all of them when the filter is
+/// empty) over every Rust source found. Paths in diagnostics are
+/// workspace-relative with `/` separators regardless of platform.
+///
+/// The contract (`root/analyze.toml`) scopes the per-file lints and
+/// enables the cross-file passes; a missing file means
+/// [`Contract::empty`] — per-file lints at full scope, layering and
+/// reachability off. A *malformed* file is a `contract-error`
+/// diagnostic, not a crash, so CI surfaces it like any other
+/// violation.
+///
+/// `unknown-allow` and `stale-allow` run only with an empty filter:
+/// staleness is only meaningful when every lint that could consume an
+/// allow has actually run.
 ///
 /// # Errors
 /// Propagates I/O errors from the directory walk; an unreadable
 /// individual file is reported as a diagnostic rather than an error so
 /// one bad file cannot mask the rest of the run.
 pub fn run(root: &Path, lint_filter: &[String]) -> std::io::Result<Report> {
-    let lints = all_lints();
-    let selected: Vec<&LintDef> = if lint_filter.is_empty() {
-        lints.iter().collect()
-    } else {
-        lints
-            .iter()
-            .filter(|l| lint_filter.iter().any(|f| f == l.name))
-            .collect()
-    };
-
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files)?;
-    files.sort();
+    let enabled = |name: &str| lint_filter.is_empty() || lint_filter.iter().any(|f| f == name);
 
     let mut diagnostics = Vec::new();
-    for rel in &files {
-        let source = match fs::read_to_string(root.join(rel)) {
-            Ok(s) => s,
-            Err(e) => {
-                diagnostics.push(Diagnostic {
-                    file: rel.clone(),
-                    line: 0,
-                    lint: "io-error",
-                    message: format!("could not read file: {e}"),
-                });
-                continue;
+    let contract = match Contract::load(root) {
+        Ok(Some(c)) => c,
+        Ok(None) => Contract::empty(),
+        Err(e) => {
+            diagnostics.push(Diagnostic {
+                file: "analyze.toml".to_string(),
+                line: 0,
+                lint: "contract-error",
+                message: e,
+            });
+            Contract::empty()
+        }
+    };
+
+    let mut rel_paths = Vec::new();
+    collect_rs_files(root, root, &mut rel_paths)?;
+    rel_paths.sort();
+    let files_scanned = rel_paths.len();
+
+    // ---- read + scan (unreadable files degrade to diagnostics) ----
+    let mut paths: Vec<String> = Vec::new();
+    let mut scans: Vec<Scan> = Vec::new();
+    for rel in rel_paths {
+        match fs::read_to_string(root.join(&rel)) {
+            Ok(source) => {
+                scans.push(Scan::of(&source));
+                paths.push(rel);
             }
-        };
-        let scan = Scan::of(&source);
+            Err(e) => diagnostics.push(Diagnostic {
+                file: rel,
+                line: 0,
+                lint: "io-error",
+                message: format!("could not read file: {e}"),
+            }),
+        }
+    }
+
+    // ---- per-file token lints, tracking consumed allows ----
+    let lints = all_lints();
+    let mut used_allows: Vec<BTreeSet<(u32, String)>> =
+        paths.iter().map(|_| BTreeSet::new()).collect();
+    for (fi, (rel, scan)) in paths.iter().zip(&scans).enumerate() {
         let ctx = LintCtx {
             path: rel,
-            scan: &scan,
+            scan,
+            contract: &contract,
         };
-        for lint in &selected {
-            diagnostics.extend(lint.run(&ctx));
+        for lint in lints.iter().filter(|l| enabled(l.name)) {
+            let (kept, suppressed) = lint.run_tracked(&ctx);
+            diagnostics.extend(kept);
+            for line in suppressed {
+                used_allows[fi].insert((line, lint.name.to_string()));
+            }
         }
-        // Allow annotations naming no known lint are themselves
-        // violations: a typo would otherwise silently disable a check.
-        if lint_filter.is_empty() {
-            for (line, name) in &scan.allow_names {
-                if !lints.iter().any(|l| l.name == name) {
+    }
+
+    // ---- cross-file passes over the parsed item structure ----
+    let mut audited_paths = Vec::new();
+    if enabled("layering-contract") || enabled("nondeterminism-reachability") {
+        let parsed: Vec<(String, FileItems)> = paths
+            .iter()
+            .zip(&scans)
+            .map(|(p, s)| (p.clone(), items::parse(s)))
+            .collect();
+
+        if enabled("layering-contract") {
+            let module_graph = graph::build(&parsed, &scans);
+            for d in graph::layering_violations(&module_graph, &contract) {
+                // Layering honours allow annotations like every other
+                // lint (the annotation is the audit trail for a
+                // deliberate, not-yet-contractual edge).
+                let fi = paths.binary_search(&d.file).ok();
+                match fi.filter(|&fi| scans[fi].allowed(d.lint, d.line)) {
+                    Some(fi) => {
+                        used_allows[fi].insert((d.line, d.lint.to_string()));
+                    }
+                    None => diagnostics.push(d),
+                }
+            }
+        }
+
+        if enabled("nondeterminism-reachability") {
+            let r = reach::run(&parsed, &scans, &contract);
+            diagnostics.extend(r.diagnostics);
+            audited_paths = r.audited;
+            for (fi, line, name) in r.used_allows {
+                used_allows[fi].insert((line, name));
+            }
+        }
+    }
+
+    // ---- allow-annotation hygiene (full runs only) ----
+    if lint_filter.is_empty() {
+        let known = known_lint_names();
+        for (fi, scan) in scans.iter().enumerate() {
+            for site in &scan.allow_sites {
+                if !known.contains(&site.name.as_str()) {
+                    // A typo would otherwise silently disable a check.
                     diagnostics.push(Diagnostic {
-                        file: rel.clone(),
-                        line: *line,
+                        file: paths[fi].clone(),
+                        line: site.comment_line,
                         lint: "unknown-allow",
                         message: format!(
-                            "`cws-lint: allow({name})` names no known lint; \
-                             run `cws-analyze --list` for the lint table"
+                            "`cws-lint: allow({})` names no known lint; \
+                             run `cws-analyze --list` for the lint table",
+                            site.name
+                        ),
+                    });
+                    continue;
+                }
+                let consumed = match site.target {
+                    AllowTarget::File => used_allows[fi].iter().any(|(_, n)| *n == site.name),
+                    AllowTarget::Line(l) => used_allows[fi].contains(&(l, site.name.clone())),
+                };
+                if !consumed {
+                    diagnostics.push(Diagnostic {
+                        file: paths[fi].clone(),
+                        line: site.comment_line,
+                        lint: "stale-allow",
+                        message: format!(
+                            "`cws-lint: allow({})` suppresses nothing: the audited \
+                             violation is gone, so the annotation is dead audit trail — \
+                             remove it (or fix the lint name)",
+                            site.name
                         ),
                     });
                 }
             }
         }
     }
+
     diagnostics.sort();
+    audited_paths.sort();
     Ok(Report {
         diagnostics,
-        files_scanned: files.len(),
+        files_scanned,
+        audited_paths,
     })
 }
 

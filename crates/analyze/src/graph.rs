@@ -1,0 +1,222 @@
+//! The workspace module-dependency graph and the `layering-contract`
+//! lint.
+//!
+//! Nodes are crates (derived from file paths: `crates/<x>/src/**` is
+//! crate `cws-<x>`, the root `src/**` is the umbrella crate); edges
+//! are source-level references — a `use cws_dag::…` or an inline
+//! `cws_dag::…` path anywhere in a `src/` file. The contract's
+//! `[deps]` table declares which edges are architectural; anything
+//! else is a diagnostic carrying *both endpoints* and the first line
+//! that creates the edge.
+//!
+//! Only `src/` trees participate: integration tests, examples and
+//! benches may reach across layers freely (they exercise the public
+//! surface), and `#[cfg(test)]` regions inside `src/` are likewise
+//! skipped so dev-dependency use in unit tests cannot trip the
+//! architecture check.
+
+use crate::contract::Contract;
+use crate::diag::Diagnostic;
+use crate::items::FileItems;
+use crate::scan::Scan;
+use std::collections::BTreeMap;
+
+/// One crate-level dependency edge discovered in source.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Crate the referencing file belongs to (`cws-sim`).
+    pub from_crate: String,
+    /// Crate referenced (`cws-core`).
+    pub to_crate: String,
+    /// File that creates the edge.
+    pub file: String,
+    /// First line in `file` referencing `to_crate`.
+    pub line: u32,
+}
+
+/// The assembled graph: deduplicated edges, sorted.
+#[derive(Debug, Default)]
+pub struct ModuleGraph {
+    /// One edge per (file, target crate), first reference wins.
+    pub edges: Vec<Edge>,
+}
+
+/// The workspace crate a `src/` file belongs to, if any.
+/// `crates/<x>/src/**` → `cws-<x>` (matching this workspace's naming
+/// convention), root `src/**` → the umbrella crate. Tests, examples,
+/// fixtures and benches return `None`.
+#[must_use]
+pub fn crate_of(path: &str) -> Option<String> {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        let (dir, tail) = rest.split_once('/')?;
+        return tail.starts_with("src/").then(|| format!("cws-{dir}"));
+    }
+    path.starts_with("src/")
+        .then(|| "cloud-workflow-sched".to_string())
+}
+
+/// A crate reference ident (`cws_obs`) to its package name (`cws-obs`).
+#[must_use]
+pub fn ident_to_crate(ident: &str) -> String {
+    ident.replace('_', "-")
+}
+
+/// Build the crate dependency graph from per-file items.
+#[must_use]
+pub fn build(files: &[(String, FileItems)], scans: &[Scan]) -> ModuleGraph {
+    let mut edges = Vec::new();
+    for (fi, (path, items)) in files.iter().enumerate() {
+        let Some(from_crate) = crate_of(path) else {
+            continue;
+        };
+        let from_ident = from_crate.replace('-', "_");
+        for (line, ident) in &items.crate_refs {
+            if *ident == from_ident || scans[fi].in_test_region(*line) {
+                continue;
+            }
+            edges.push(Edge {
+                from_crate: from_crate.clone(),
+                to_crate: ident_to_crate(ident),
+                file: path.clone(),
+                line: *line,
+            });
+        }
+    }
+    edges.sort();
+    edges.dedup_by(|a, b| a.file == b.file && a.to_crate == b.to_crate);
+    ModuleGraph { edges }
+}
+
+/// Check every edge against the contract's `[deps]` table. Returns no
+/// diagnostics when the contract has no table (layering disabled).
+#[must_use]
+pub fn layering_violations(graph: &ModuleGraph, contract: &Contract) -> Vec<Diagnostic> {
+    let Some(deps) = &contract.deps else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for e in &graph.edges {
+        let allowed = match deps.get(&e.from_crate) {
+            Some(set) => set.contains(&e.to_crate),
+            // A crate missing from the table has no granted edges at
+            // all — the contract must name every crate it governs.
+            None => false,
+        };
+        if !allowed {
+            let granted = deps.get(&e.from_crate).map_or_else(
+                || "not declared in [deps]".to_string(),
+                |set| {
+                    if set.is_empty() {
+                        "no workspace crates".to_string()
+                    } else {
+                        set.iter().cloned().collect::<Vec<_>>().join(", ")
+                    }
+                },
+            );
+            out.push(Diagnostic {
+                file: e.file.clone(),
+                line: e.line,
+                lint: "layering-contract",
+                message: format!(
+                    "dependency edge `{}` -> `{}` violates the layering contract: \
+                     analyze.toml [deps] grants `{}` -> {{{granted}}}; either the \
+                     reference is an architecture leak or the contract (and \
+                     DESIGN.md \u{a7}11) must grow the edge deliberately",
+                    e.from_crate, e.to_crate, e.from_crate
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Per-crate summary used by `--format json` consumers: crate →
+/// sorted list of crates it references in source.
+#[must_use]
+pub fn crate_adjacency(graph: &ModuleGraph) -> BTreeMap<String, Vec<String>> {
+    let mut adj: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for e in &graph.edges {
+        let entry = adj.entry(e.from_crate.clone()).or_default();
+        if !entry.contains(&e.to_crate) {
+            entry.push(e.to_crate.clone());
+        }
+    }
+    for targets in adj.values_mut() {
+        targets.sort();
+    }
+    adj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items;
+
+    fn graph_of(files: &[(&str, &str)]) -> ModuleGraph {
+        let scans: Vec<Scan> = files.iter().map(|(_, src)| Scan::of(src)).collect();
+        let parsed: Vec<(String, FileItems)> = files
+            .iter()
+            .zip(&scans)
+            .map(|((path, _), scan)| ((*path).to_string(), items::parse(scan)))
+            .collect();
+        build(&parsed, &scans)
+    }
+
+    #[test]
+    fn crate_of_maps_src_trees_only() {
+        assert_eq!(
+            crate_of("crates/core/src/state.rs"),
+            Some("cws-core".into())
+        );
+        assert_eq!(
+            crate_of("crates/bench/src/bin/cws_bench.rs"),
+            Some("cws-bench".into())
+        );
+        assert_eq!(crate_of("src/lib.rs"), Some("cloud-workflow-sched".into()));
+        assert_eq!(crate_of("crates/core/tests/probe.rs"), None);
+        assert_eq!(crate_of("examples/adaptive.rs"), None);
+        assert_eq!(crate_of("tests/smoke.rs"), None);
+    }
+
+    #[test]
+    fn edges_dedup_and_skip_self_and_tests() {
+        let g = graph_of(&[(
+            "crates/sim/src/engine.rs",
+            "use cws_core::x;\nuse cws_core::y;\nuse cws_sim::me;\n\
+             #[cfg(test)]\nmod tests { use cws_serve::z; }\n",
+        )]);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.edges[0].to_crate, "cws-core");
+        assert_eq!(g.edges[0].line, 1);
+    }
+
+    #[test]
+    fn layering_flags_undeclared_edges_with_both_endpoints() {
+        let g = graph_of(&[
+            ("crates/alpha/src/lib.rs", "use cws_beta::helper;\n"),
+            ("crates/beta/src/lib.rs", "use cws_alpha::base;\n"),
+        ]);
+        let contract = Contract::parse("[deps]\ncws-alpha = []\ncws-beta = [\"cws-alpha\"]\n")
+            .expect("contract parses");
+        let v = layering_violations(&g, &contract);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].lint, "layering-contract");
+        assert!(v[0].message.contains("`cws-alpha` -> `cws-beta`"));
+        assert_eq!(v[0].file, "crates/alpha/src/lib.rs");
+    }
+
+    #[test]
+    fn missing_deps_table_disables_layering() {
+        let g = graph_of(&[("crates/a/src/lib.rs", "use cws_b::x;\n")]);
+        assert!(layering_violations(&g, &Contract::empty()).is_empty());
+    }
+
+    #[test]
+    fn crate_absent_from_table_is_flagged() {
+        let g = graph_of(&[("crates/a/src/lib.rs", "use cws_b::x;\n")]);
+        let contract = Contract::parse("[deps]\ncws-b = []\n").expect("parses");
+        let v = layering_violations(&g, &contract);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("not declared in [deps]"));
+    }
+}

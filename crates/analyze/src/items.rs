@@ -1,0 +1,459 @@
+//! Item-level parsing over the [`crate::scan::Scan`] token stream.
+//!
+//! Still not a Rust parser — no types, no generics resolution, no
+//! macro expansion. This pass recovers just enough *structure* for the
+//! cross-file lints:
+//!
+//! * `fn` items with their name, enclosing inline-module path, `impl`
+//!   owner type and brace-matched body token range (the call graph in
+//!   [`crate::reach`] walks those ranges),
+//! * `use` declarations (group-expanded) and every `cws_*` crate
+//!   reference, feeding the module-dependency graph in
+//!   [`crate::graph`],
+//! * inline `mod` declarations for per-file module paths.
+//!
+//! The approximations are all in the conservative direction the lints
+//! need: a nested `fn` is its own item *and* its tokens stay inside
+//! the enclosing body range (the call graph sees a superset of real
+//! calls), and `impl` owners are the last path segment of the
+//! self-type (name-level resolution matches on that segment only).
+
+use crate::scan::{Scan, Token, TokenKind};
+
+/// One `fn` item recovered from the token stream.
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    /// Bare function name (`probe`, `new`, …).
+    pub name: String,
+    /// Last path segment of the `impl` self-type when the fn is an
+    /// associated item (`Some("ScheduleBuilder")` for methods).
+    pub owner: Option<String>,
+    /// Inline-module path inside the file (`["tests"]`, `["a", "b"]`).
+    pub module: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the brace-matched body, empty when the fn
+    /// has no body (trait method declarations).
+    pub body: (usize, usize),
+    /// True when the declaration falls in a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// One `use` declaration leaf (groups are expanded: `use a::{b, c};`
+/// yields two decls).
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// 1-based line of the `use` keyword.
+    pub line: u32,
+    /// Path segments, root first (`["std", "collections", "BTreeMap"]`).
+    pub path: Vec<String>,
+}
+
+/// Everything the item pass recovered from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Function items in source order.
+    pub fns: Vec<FnDecl>,
+    /// Expanded `use` declarations.
+    pub uses: Vec<UseDecl>,
+    /// Workspace-crate references: every (line, crate ident like
+    /// `cws_obs`) occurrence. The graph layer filters test regions and
+    /// deduplicates; keeping all occurrences here means an edge whose
+    /// first mention is in a `#[cfg(test)]` region is still seen.
+    pub crate_refs: Vec<(u32, String)>,
+    /// Inline `mod` declarations: (line, name).
+    pub mods: Vec<(u32, String)>,
+}
+
+/// Keywords that can precede `(` without being calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "return", "for", "in", "loop", "fn", "as", "where", "move", "let",
+    "else", "impl", "dyn", "mut", "ref", "break", "unsafe",
+];
+
+/// True when `name` can never resolve to a workspace function — used
+/// by the call-graph builder to skip keyword pseudo-calls.
+#[must_use]
+pub fn is_non_call_keyword(name: &str) -> bool {
+    NON_CALL_KEYWORDS.contains(&name)
+}
+
+/// Parse the item structure of one scanned file.
+#[must_use]
+pub fn parse(scan: &Scan) -> FileItems {
+    Parser {
+        toks: &scan.tokens,
+        scan,
+        out: FileItems::default(),
+        mod_stack: Vec::new(),
+        impl_stack: Vec::new(),
+        depth: 0,
+    }
+    .run()
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    scan: &'a Scan,
+    out: FileItems,
+    /// Inline modules currently open: (name, depth at their `{`).
+    mod_stack: Vec<(String, usize)>,
+    /// `impl` blocks currently open: (owner segment, depth at `{`).
+    impl_stack: Vec<(Option<String>, usize)>,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn run(mut self) -> FileItems {
+        // Crate references are collected in a flat pre-pass: the item
+        // dispatch below skips over `use` paths and `impl` headers,
+        // and a `cws_*` ident is a reference wherever it appears.
+        for t in self.toks {
+            if let TokenKind::Ident(name) = &t.kind {
+                if name.starts_with("cws_") {
+                    self.out.crate_refs.push((t.line, name.clone()));
+                }
+            }
+        }
+        let mut i = 0;
+        while i < self.toks.len() {
+            let t = &self.toks[i];
+            match &t.kind {
+                TokenKind::Punct('{') => {
+                    self.depth += 1;
+                    i += 1;
+                }
+                TokenKind::Punct('}') => {
+                    self.depth = self.depth.saturating_sub(1);
+                    while self.mod_stack.last().is_some_and(|&(_, d)| d > self.depth) {
+                        self.mod_stack.pop();
+                    }
+                    while self.impl_stack.last().is_some_and(|&(_, d)| d > self.depth) {
+                        self.impl_stack.pop();
+                    }
+                    i += 1;
+                }
+                TokenKind::Ident(name) => {
+                    i = match name.as_str() {
+                        "mod" => self.item_mod(i),
+                        "impl" => self.item_impl(i),
+                        "fn" => self.item_fn(i),
+                        "use" => self.item_use(i),
+                        _ => i + 1,
+                    };
+                }
+                _ => i += 1,
+            }
+        }
+        self.out
+    }
+
+    /// `mod name {` pushes an inline module; `mod name;` is a file
+    /// module (recorded, no scope change).
+    fn item_mod(&mut self, i: usize) -> usize {
+        let Some(name_tok) = self.toks.get(i + 1) else {
+            return i + 1;
+        };
+        let Some(name) = name_tok.ident() else {
+            return i + 1;
+        };
+        self.out.mods.push((self.toks[i].line, name.to_string()));
+        match self.toks.get(i + 2).map(|t| &t.kind) {
+            Some(TokenKind::Punct('{')) => {
+                // run() will bump depth at the `{`; the module scope
+                // opens at the depth *inside* the braces.
+                self.mod_stack.push((name.to_string(), self.depth + 1));
+                i + 2
+            }
+            _ => i + 2,
+        }
+    }
+
+    /// `impl<T> Type {`, `impl Trait for Type {`: record the last path
+    /// segment of the self-type as owner for the fns inside.
+    fn item_impl(&mut self, i: usize) -> usize {
+        // Collect header tokens up to the opening `{` (or a `;` — e.g.
+        // `impl Trait for Type;` never occurs, but stay safe).
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        while let Some(t) = self.toks.get(j) {
+            match &t.kind {
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => angle -= 1,
+                TokenKind::Punct('{') if angle <= 0 => break,
+                TokenKind::Punct(';') if angle <= 0 => return j + 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let header = &self.toks[i + 1..j.min(self.toks.len())];
+        // The self-type is everything after the last top-level `for`
+        // (trait impls), else the whole header. Owner = last ident of
+        // the leading path, skipping generic arguments.
+        let mut after_for = 0usize;
+        let mut angle = 0i32;
+        for (k, t) in header.iter().enumerate() {
+            match &t.kind {
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => angle -= 1,
+                TokenKind::Ident(s) if s == "for" && angle == 0 => after_for = k + 1,
+                _ => {}
+            }
+        }
+        let mut owner = None;
+        let mut angle = 0i32;
+        for t in &header[after_for.min(header.len())..] {
+            match &t.kind {
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => angle -= 1,
+                TokenKind::Ident(s) if angle == 0 => {
+                    if s == "where" {
+                        break;
+                    }
+                    if s != "dyn" && s != "mut" && s != "const" {
+                        owner = Some(s.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Scope opens inside the `{` that run() is about to see.
+        self.impl_stack.push((owner, self.depth + 1));
+        j
+    }
+
+    /// `fn name(..) { body }` — record the item and its body range.
+    fn item_fn(&mut self, i: usize) -> usize {
+        let line = self.toks[i].line;
+        let Some(name) = self.toks.get(i + 1).and_then(Token::ident) else {
+            return i + 1;
+        };
+        // Walk the signature to the body `{` or a `;` (no body). Track
+        // parens and angle brackets so `fn f(g: fn() -> T);` and
+        // `fn f<T: Fn() -> U>()` terminate correctly.
+        let mut j = i + 2;
+        let mut paren = 0i32;
+        let mut angle = 0i32;
+        let mut body = (0usize, 0usize);
+        while let Some(t) = self.toks.get(j) {
+            match &t.kind {
+                TokenKind::Punct('(') => paren += 1,
+                TokenKind::Punct(')') => paren -= 1,
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => angle = (angle - 1).max(0),
+                TokenKind::Punct(';') if paren <= 0 => break,
+                TokenKind::Punct('{') if paren <= 0 => {
+                    let open = j;
+                    let mut depth = 0usize;
+                    while let Some(t) = self.toks.get(j) {
+                        if t.is_punct('{') {
+                            depth += 1;
+                        } else if t.is_punct('}') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    body = (open + 1, j.min(self.toks.len()));
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let _ = angle;
+        let owner = self.impl_stack.last().and_then(|(o, _)| o.clone());
+        self.out.fns.push(FnDecl {
+            name: name.to_string(),
+            owner,
+            module: self.mod_stack.iter().map(|(n, _)| n.clone()).collect(),
+            line,
+            body,
+            in_test: self.scan.in_test_region(line),
+        });
+        // Do NOT skip the body: nested fns/mods inside must be seen.
+        i + 2
+    }
+
+    /// `use a::b::{c, d::e};` — expand groups into leaf paths.
+    fn item_use(&mut self, i: usize) -> usize {
+        let line = self.toks[i].line;
+        let mut j = i + 1;
+        let mut prefix: Vec<String> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new(); // prefix lengths at `{`
+        let mut paths: Vec<Vec<String>> = Vec::new();
+        // A leaf is emitted at `,` / `}` / `;` only when segments were
+        // added since the last boundary — a bare group close or the
+        // `;` after one must not re-emit the prefix as a leaf.
+        let mut fresh = false;
+        let emit = |paths: &mut Vec<Vec<String>>, prefix: &[String], fresh: bool| {
+            if fresh && !prefix.is_empty() {
+                paths.push(prefix.to_vec());
+            }
+        };
+        while let Some(t) = self.toks.get(j) {
+            match &t.kind {
+                TokenKind::Punct(';') => {
+                    emit(&mut paths, &prefix, fresh);
+                    fresh = false;
+                    j += 1;
+                    break;
+                }
+                TokenKind::Punct('{') => {
+                    stack.push(prefix.len());
+                    fresh = false;
+                }
+                TokenKind::Punct('}') => {
+                    emit(&mut paths, &prefix, fresh);
+                    let len = stack.pop().unwrap_or(0);
+                    prefix.truncate(len);
+                    fresh = false;
+                }
+                TokenKind::Punct(',') => {
+                    emit(&mut paths, &prefix, fresh);
+                    let len = stack.last().copied().unwrap_or(0);
+                    prefix.truncate(len);
+                    fresh = false;
+                }
+                TokenKind::Ident(s) if s == "as" => {
+                    // `use x as y;` — skip the alias ident.
+                    j += 1;
+                }
+                TokenKind::Ident(s) => {
+                    prefix.push(s.clone());
+                    fresh = true;
+                }
+                TokenKind::Punct('*') => {
+                    prefix.push("*".to_string());
+                    fresh = true;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        emit(&mut paths, &prefix, fresh); // unterminated `use` at EOF
+        for path in paths {
+            self.out.uses.push(UseDecl { line, path });
+        }
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(src: &str) -> FileItems {
+        parse(&Scan::of(src))
+    }
+
+    #[test]
+    fn free_fns_methods_and_modules() {
+        let src = "\
+pub fn top() { helper(); }
+mod inner {
+    pub fn nested() {}
+}
+struct S;
+impl S {
+    fn method(&self) -> u32 { 0 }
+}
+impl std::fmt::Display for S {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result { Ok(()) }
+}
+";
+        let it = items(src);
+        let names: Vec<(&str, Option<&str>)> = it
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("top", None),
+                ("nested", None),
+                ("method", Some("S")),
+                ("fmt", Some("S")),
+            ]
+        );
+        assert_eq!(it.fns[1].module, vec!["inner"]);
+        assert!(it.fns[0].module.is_empty());
+    }
+
+    #[test]
+    fn impl_owner_is_last_path_segment_past_generics() {
+        let src = "\
+impl<'a, T: Clone> foo::bar::Wrapper<'a, T> {
+    fn get(&self) {}
+}
+";
+        let it = items(src);
+        assert_eq!(it.fns[0].owner.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn fn_body_ranges_cover_calls() {
+        let src = "fn a() { x(); }\nfn b();\nfn c() { y(); }\n";
+        let it = items(src);
+        assert_eq!(it.fns.len(), 3);
+        assert!(it.fns[0].body.0 < it.fns[0].body.1);
+        assert_eq!(it.fns[1].body, (0, 0));
+        assert!(it.fns[2].body.0 > it.fns[0].body.1);
+    }
+
+    #[test]
+    fn use_groups_expand() {
+        let it = items("use std::collections::{BTreeMap, BTreeSet};\nuse cws_obs::json;\n");
+        let paths: Vec<Vec<String>> = it.uses.iter().map(|u| u.path.clone()).collect();
+        assert!(paths.contains(&vec![
+            "std".to_string(),
+            "collections".to_string(),
+            "BTreeMap".to_string()
+        ]));
+        assert!(paths.contains(&vec![
+            "std".to_string(),
+            "collections".to_string(),
+            "BTreeSet".to_string()
+        ]));
+        assert!(paths.contains(&vec!["cws_obs".to_string(), "json".to_string()]));
+    }
+
+    #[test]
+    fn crate_refs_keep_every_occurrence() {
+        let it = items("use cws_obs::json;\nfn f() { cws_obs::json::parse(x); cws_dag::q(); }\n");
+        assert_eq!(
+            it.crate_refs,
+            vec![
+                (1, "cws_obs".to_string()),
+                (2, "cws_obs".to_string()),
+                (2, "cws_dag".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+";
+        let it = items(src);
+        assert!(!it.fns[0].in_test);
+        assert!(it.fns[1].in_test);
+        assert_eq!(it.fns[1].module, vec!["tests"]);
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let src = "trait T { fn decl(&self); fn with_default(&self) { decl(); } }";
+        let it = items(src);
+        assert_eq!(it.fns[0].body, (0, 0));
+        assert!(it.fns[1].body.0 > 0);
+    }
+}

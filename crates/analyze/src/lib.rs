@@ -10,12 +10,24 @@
 //! * [`scan`] — a string/comment-aware scanner (no `syn`, no macro
 //!   expansion) producing identifier/punctuation tokens, `#[cfg(test)]`
 //!   regions and `// cws-lint: allow(<lint>)` annotations,
-//! * [`lints`] — the lint table encoding the repo's determinism
-//!   contracts (`float-partial-cmp-sort`, `wall-clock-in-sim`,
-//!   `entropy-source`, `hashmap-iter-ordering`, `unwrap-in-kernel`,
-//!   `unsafe-outside-obs`),
-//! * [`engine`] — the workspace walker and runner,
-//! * [`diag`] — diagnostics with `text` and `json` renderers.
+//! * [`lints`] — the per-file lint table encoding the repo's
+//!   determinism contracts (`float-partial-cmp-sort`,
+//!   `wall-clock-in-sim`, `entropy-source`, `hashmap-iter-ordering`,
+//!   `unwrap-in-kernel`, `unsafe-outside-obs`),
+//! * [`contract`] — the declarative `analyze.toml` scoping contract
+//!   (per-lint exempt/scope paths, the crate layering table, the
+//!   reachability sinks),
+//! * [`items`] — item-level parsing over the token stream (`fn`
+//!   bodies, `impl` owners, `use` declarations, crate references),
+//! * [`graph`] — the workspace module-dependency graph and the
+//!   `layering-contract` lint,
+//! * [`reach`] — the approximate call graph and the taint-style
+//!   `nondeterminism-reachability` lint (sources reaching
+//!   schedule/billing/report sinks must carry an audit),
+//! * [`engine`] — the walker/orchestrator, including `stale-allow` and
+//!   `unknown-allow` hygiene over the annotation corpus,
+//! * [`diag`] / [`sarif`] — diagnostics with `text`, `json` and SARIF
+//!   2.1.0 renderers.
 //!
 //! The `cws-analyze` binary wires these together for the CI `analyze`
 //! job and local runs (`cargo run -p cws-analyze`); the fixture corpus
@@ -26,10 +38,17 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod contract;
 pub mod diag;
 pub mod engine;
+pub mod graph;
+pub mod items;
 pub mod lints;
+pub mod reach;
+pub mod sarif;
 pub mod scan;
 
+pub use contract::Contract;
 pub use diag::{Diagnostic, Format};
 pub use engine::{find_workspace_root, run, Report};
+pub use reach::AuditedPath;

@@ -4,21 +4,28 @@
 //!
 //! Each lint documents *which* invariant it enforces and *why* the
 //! paper's results depend on it; DESIGN.md §11 carries the same table
-//! in prose. Every lint can be waived per line with
+//! in prose, and since PR 9 the path scoping lives in one place — the
+//! checked-in `analyze.toml` contract ([`crate::contract`]) — instead
+//! of constants here. Every lint can be waived per line with
 //! `// cws-lint: allow(<lint>)` (same line or the line above) or per
 //! file with `// cws-lint: allow-file(<lint>)` — the annotation is the
-//! audit trail.
+//! audit trail, and an annotation that suppresses nothing is itself a
+//! `stale-allow` diagnostic.
 
+use crate::contract::Contract;
 use crate::diag::Diagnostic;
 use crate::scan::Scan;
 
 /// Context handed to each lint: the workspace-relative path (always
-/// `/`-separated) and the scanned source.
+/// `/`-separated), the scanned source and the scoping contract.
 pub struct LintCtx<'a> {
     /// Workspace-relative path, e.g. `crates/core/src/state.rs`.
     pub path: &'a str,
     /// Token stream, allow annotations and test regions.
     pub scan: &'a Scan,
+    /// Path scoping (`analyze.toml`); [`Contract::empty`] applies
+    /// every workspace-wide lint everywhere with no exemptions.
+    pub contract: &'a Contract,
 }
 
 /// A single lint: name, rationale, and its check function.
@@ -34,20 +41,33 @@ impl LintDef {
     /// Run the lint, dropping violations waived by allow annotations.
     #[must_use]
     pub fn run(&self, ctx: &LintCtx<'_>) -> Vec<Diagnostic> {
-        (self.check)(ctx)
-            .into_iter()
-            .filter(|(line, _)| !ctx.scan.allowed(self.name, *line))
-            .map(|(line, message)| Diagnostic {
-                file: ctx.path.to_string(),
-                line,
-                lint: self.name,
-                message,
-            })
-            .collect()
+        self.run_tracked(ctx).0
+    }
+
+    /// Run the lint; also report the lines where a violation *was*
+    /// suppressed by an allow annotation, so the engine can tell used
+    /// allows from stale ones.
+    #[must_use]
+    pub fn run_tracked(&self, ctx: &LintCtx<'_>) -> (Vec<Diagnostic>, Vec<u32>) {
+        let mut kept = Vec::new();
+        let mut suppressed = Vec::new();
+        for (line, message) in (self.check)(ctx) {
+            if ctx.scan.allowed(self.name, line) {
+                suppressed.push(line);
+            } else {
+                kept.push(Diagnostic {
+                    file: ctx.path.to_string(),
+                    line,
+                    lint: self.name,
+                    message,
+                });
+            }
+        }
+        (kept, suppressed)
     }
 }
 
-/// All lints, in the order they are reported.
+/// All per-file token lints, in the order they are reported.
 #[must_use]
 pub fn all_lints() -> Vec<LintDef> {
     vec![
@@ -58,7 +78,7 @@ pub fn all_lints() -> Vec<LintDef> {
         },
         LintDef {
             name: "wall-clock-in-sim",
-            description: "Instant::now/SystemTime::now forbidden outside crates/bench, cws-obs manifests and the cws-serve daemon",
+            description: "Instant::now/SystemTime::now forbidden outside the contract's exempt paths (bench, obs manifests, serve daemon)",
             check: wall_clock_in_sim,
         },
         LintDef {
@@ -73,7 +93,7 @@ pub fn all_lints() -> Vec<LintDef> {
         },
         LintDef {
             name: "unwrap-in-kernel",
-            description: "unwrap/expect in ScheduleBuilder hot paths must be audited via allow annotations",
+            description: "unwrap/expect on scheduling/serve/interchange hot paths must be audited via allow annotations",
             check: unwrap_in_kernel,
         },
         LintDef {
@@ -84,16 +104,49 @@ pub fn all_lints() -> Vec<LintDef> {
     ]
 }
 
-/// True when `path` starts with any of `prefixes` (a prefix ending in
-/// `/` scopes a directory; otherwise it names one file).
-fn path_in(path: &str, prefixes: &[&str]) -> bool {
-    prefixes.iter().any(|p| {
-        if p.ends_with('/') {
-            path.starts_with(p)
-        } else {
-            path == *p
-        }
-    })
+/// Cross-file lints run by the engine (no per-file check function);
+/// listed here so `--list`, allow-name validation and the SARIF rule
+/// table cover them.
+#[must_use]
+pub fn semantic_lints() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "layering-contract",
+            "source-level crate dependency edges must match analyze.toml [deps]",
+        ),
+        (
+            "nondeterminism-reachability",
+            "call-graph paths from wall-clock/entropy/hash-order/thread-id sources to schedule/billing/report sinks must be audited",
+        ),
+        (
+            "stale-allow",
+            "a cws-lint allow annotation that suppresses nothing is dead audit trail and must be removed",
+        ),
+        (
+            "unknown-allow",
+            "allow annotations must name a registered lint (typos would silently disable checking)",
+        ),
+    ]
+}
+
+/// Engine-level pseudo-lints that can appear in diagnostics (I/O and
+/// configuration failures). Included in the SARIF rule table.
+#[must_use]
+pub fn engine_lints() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("io-error", "a source file could not be read"),
+        ("contract-error", "analyze.toml exists but does not parse"),
+    ]
+}
+
+/// Every lint name that may appear in an allow annotation.
+#[must_use]
+pub fn known_lint_names() -> Vec<&'static str> {
+    all_lints()
+        .iter()
+        .map(|l| l.name)
+        .chain(semantic_lints().into_iter().map(|(n, _)| n))
+        .collect()
 }
 
 /// `partial_cmp` called as a method (`.partial_cmp(` or
@@ -127,21 +180,11 @@ fn float_partial_cmp_sort(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
 
 /// Wall-clock reads inside simulation code. Simulated time must come
 /// from the event clock so a replay is a pure function of (workload,
-/// platform, seed); the only legitimate wall-clock consumers are the
-/// perf harness (`crates/bench`), run-manifest provenance stamps
-/// (`crates/obs/src/manifest.rs`) and the `cws-serve` socket daemon
-/// (`crates/serve/src/daemon.rs`), which really does live on the wall
-/// clock and real sockets — its *simulation* clock is still the
-/// submission timestamps, so the engine behind it stays pure.
+/// platform, seed); the legitimate wall-clock consumers (the perf
+/// harness, run-manifest provenance stamps, the socket daemon) are
+/// exempted by `analyze.toml [lint.wall-clock-in-sim]`.
 fn wall_clock_in_sim(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
-    if path_in(
-        ctx.path,
-        &[
-            "crates/bench/",
-            "crates/obs/src/manifest.rs",
-            "crates/serve/src/daemon.rs",
-        ],
-    ) {
+    if ctx.contract.is_exempt("wall-clock-in-sim", ctx.path) {
         return Vec::new();
     }
     let toks = &ctx.scan.tokens;
@@ -159,8 +202,8 @@ fn wall_clock_in_sim(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
                 t.line,
                 format!(
                     "`{name}::now()` in simulation code: simulated time must come from the \
-                     event clock; wall-clock reads are allowed only in crates/bench and \
-                     cws-obs run manifests"
+                     event clock; wall-clock reads are allowed only in the contract's \
+                     exempt paths (analyze.toml [lint.wall-clock-in-sim])"
                 ),
             ));
         }
@@ -174,6 +217,9 @@ fn wall_clock_in_sim(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
 /// ambient entropy past that contract.
 fn entropy_source(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
     const BANNED: &[&str] = &["thread_rng", "from_entropy", "OsRng", "from_os_rng"];
+    if ctx.contract.is_exempt("entropy-source", ctx.path) {
+        return Vec::new();
+    }
     ctx.scan
         .tokens
         .iter()
@@ -193,26 +239,17 @@ fn entropy_source(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
 }
 
 /// Crates whose output lands (directly or via `cws-exp`) in `results/`
-/// artifacts or manifest fingerprints. `std::collections::HashMap`
-/// iteration order is randomized per process, so any iteration that
-/// escapes into an artifact is nondeterminism; at lexer level the
-/// honest check is to ban the type name in these crates outright and
-/// require `BTreeMap`/`BTreeSet` (or an audited allow for uses that
-/// provably never iterate).
-const ARTIFACT_CRATES: &[&str] = &[
-    "crates/core/",
-    "crates/dag/",
-    "crates/sim/",
-    "crates/experiments/",
-    "crates/obs/",
-    "crates/service/",
-    "crates/serve/",
-    "crates/workloads/",
-    "src/",
-];
-
+/// artifacts or manifest fingerprints — scoped by
+/// `analyze.toml [lint.hashmap-iter-ordering] scope`.
+/// `std::collections::HashMap` iteration order is randomized per
+/// process, so any iteration that escapes into an artifact is
+/// nondeterminism; at lexer level the honest check is to ban the type
+/// name in these crates outright and require `BTreeMap`/`BTreeSet`
+/// (or an audited allow for uses that provably never iterate).
 fn hashmap_iter_ordering(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
-    if !path_in(ctx.path, ARTIFACT_CRATES) {
+    if !ctx.contract.in_scope("hashmap-iter-ordering", ctx.path)
+        || ctx.contract.is_exempt("hashmap-iter-ordering", ctx.path)
+    {
         return Vec::new();
     }
     ctx.scan
@@ -235,15 +272,17 @@ fn hashmap_iter_ordering(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
         .collect()
 }
 
-/// The scheduling kernel: `ScheduleBuilder` (`state.rs`) and the
-/// allocation strategies driving it (`alloc/`). A panic in these hot
-/// loops aborts a whole campaign sweep; invariants must either be
-/// encoded so the `unwrap` is unnecessary or carry an audited allow
-/// annotation stating the invariant. `#[cfg(test)]` code is exempt.
-const KERNEL_PATHS: &[&str] = &["crates/core/src/state.rs", "crates/core/src/alloc/"];
-
+/// Hot paths where a panic aborts a whole campaign sweep: the
+/// scheduling kernel (`ScheduleBuilder`, `alloc/`), and since PR 9
+/// the serve engine/shard/wire layers and the interchange parser —
+/// scoped by `analyze.toml [lint.unwrap-in-kernel] scope`. Invariants
+/// must either be encoded so the `unwrap` is unnecessary or carry an
+/// audited allow annotation stating the invariant. `#[cfg(test)]`
+/// code is exempt.
 fn unwrap_in_kernel(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
-    if !path_in(ctx.path, KERNEL_PATHS) {
+    if !ctx.contract.in_scope("unwrap-in-kernel", ctx.path)
+        || ctx.contract.is_exempt("unwrap-in-kernel", ctx.path)
+    {
         return Vec::new();
     }
     let toks = &ctx.scan.tokens;
@@ -258,9 +297,9 @@ fn unwrap_in_kernel(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
             out.push((
                 t.line,
                 format!(
-                    "`.{name}()` inside the scheduling kernel: a panic here aborts a whole \
-                     sweep; restructure so the invariant is in the types, or annotate the \
-                     audited invariant with `cws-lint: allow(unwrap-in-kernel)`"
+                    "`.{name}()` on a scheduling/serve/interchange hot path: a panic here \
+                     aborts a whole sweep; restructure so the invariant is in the types, or \
+                     annotate the audited invariant with `cws-lint: allow(unwrap-in-kernel)`"
                 ),
             ));
         }
@@ -268,12 +307,13 @@ fn unwrap_in_kernel(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
     out
 }
 
-/// `unsafe` anywhere outside `cws-obs`. The workspace lint table sets
-/// `unsafe_code = "deny"`; this lint is the belt to that suspender
-/// (rustc attributes can be re-allowed locally, a `cws-lint` allow
-/// leaves a grep-able audit trail instead).
+/// `unsafe` anywhere outside the contract's exempt paths (`cws-obs`).
+/// The workspace lint table sets `unsafe_code = "deny"`; this lint is
+/// the belt to that suspender (rustc attributes can be re-allowed
+/// locally, a `cws-lint` allow leaves a grep-able audit trail
+/// instead).
 fn unsafe_outside_obs(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
-    if path_in(ctx.path, &["crates/obs/"]) {
+    if ctx.contract.is_exempt("unsafe-outside-obs", ctx.path) {
         return Vec::new();
     }
     ctx.scan
@@ -295,9 +335,30 @@ fn unsafe_outside_obs(ctx: &LintCtx<'_>) -> Vec<(u32, String)> {
 mod tests {
     use super::*;
 
+    /// A contract with the same shape as the workspace's analyze.toml,
+    /// small enough to reason about in these unit tests.
+    fn test_contract() -> Contract {
+        Contract::parse(
+            "[lint.wall-clock-in-sim]\n\
+             exempt = [\"crates/bench/\", \"crates/obs/src/manifest.rs\", \"crates/serve/src/daemon.rs\"]\n\
+             [lint.unsafe-outside-obs]\n\
+             exempt = [\"crates/obs/\"]\n\
+             [lint.hashmap-iter-ordering]\n\
+             scope = [\"crates/experiments/\", \"crates/core/\"]\n\
+             [lint.unwrap-in-kernel]\n\
+             scope = [\"crates/core/src/state.rs\", \"crates/core/src/alloc/\"]\n",
+        )
+        .expect("test contract parses")
+    }
+
     fn run_on(lint_name: &str, path: &str, src: &str) -> Vec<Diagnostic> {
         let scan = Scan::of(src);
-        let ctx = LintCtx { path, scan: &scan };
+        let contract = test_contract();
+        let ctx = LintCtx {
+            path,
+            scan: &scan,
+            contract: &contract,
+        };
         all_lints()
             .iter()
             .find(|l| l.name == lint_name)
@@ -402,8 +463,38 @@ mod tests {
     }
 
     #[test]
-    fn allow_annotation_waives() {
+    fn allow_annotation_waives_and_is_tracked() {
         let src = "let t = Instant::now(); // cws-lint: allow(wall-clock-in-sim)\n";
-        assert!(run_on("wall-clock-in-sim", "crates/sim/src/e.rs", src).is_empty());
+        let scan = Scan::of(src);
+        let contract = test_contract();
+        let ctx = LintCtx {
+            path: "crates/sim/src/e.rs",
+            scan: &scan,
+            contract: &contract,
+        };
+        let lint = all_lints();
+        let lint = lint
+            .iter()
+            .find(|l| l.name == "wall-clock-in-sim")
+            .expect("exists");
+        let (kept, suppressed) = lint.run_tracked(&ctx);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, vec![1]);
+    }
+
+    #[test]
+    fn lint_name_tables_are_disjoint_and_kebab() {
+        let names = known_lint_names();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate lint name");
+        for n in names {
+            assert!(
+                n.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "lint name {n} is not kebab-case"
+            );
+        }
     }
 }

@@ -1,0 +1,601 @@
+//! Taint-style nondeterminism reachability over an approximate call
+//! graph.
+//!
+//! **Sources** are the token patterns the per-file lints already ban —
+//! wall-clock reads (`Instant::now` / `SystemTime::now`), ambient
+//! entropy (`thread_rng`, `from_entropy`, `OsRng`, `from_os_rng`),
+//! `HashMap`/`HashSet` (iteration-order instability; presence is the
+//! conservative proxy) and thread identity (`ThreadId`,
+//! `thread::current`). **Sinks** are the schedule/billing/report
+//! output-path files named by `analyze.toml [reachability] sinks`.
+//!
+//! The engine builds a name-resolved call graph (see below), then
+//! walks *callers* from every source site: if any sink function can
+//! transitively call into the function holding the source, the
+//! nondeterminism can flow into a published artifact. Each such path
+//! is either
+//!
+//! * **audited** — the source line carries a `cws-lint: allow(..)` for
+//!   the base lint (or for `nondeterminism-reachability` itself), or
+//!   the file holds a contract exemption — and is reported as an
+//!   audited path (printed with `--paths`, always present in
+//!   `--format json`), or
+//! * a **diagnostic**, with the full source→sink chain in the message.
+//!
+//! ### Resolution, and why it is safe to be approximate
+//!
+//! Calls resolve by name, tiered: a `Type::name(..)` call prefers
+//! functions named `name` owned by an `impl Type` anywhere in the
+//! workspace; a plain `name(..)` call prefers same-file functions,
+//! then same-crate, then workspace-wide; a method call `.name(..)`
+//! is conservative and fans out to *every* function named `name`
+//! (no receiver types at token level). Over-approximate edges can
+//! only create spurious *paths*, never hide one, so the lint errs
+//! toward asking for an audit — the same bias as every other lint
+//! here. `#[cfg(test)]` functions stay out of the graph entirely.
+
+use crate::contract::Contract;
+use crate::diag::Diagnostic;
+use crate::items::{is_non_call_keyword, FileItems};
+use crate::scan::{Scan, TokenKind};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// What kind of nondeterminism a source site introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// `Instant::now()` / `SystemTime::now()`.
+    WallClock,
+    /// `thread_rng` / `from_entropy` / `OsRng` / `from_os_rng`.
+    Entropy,
+    /// `HashMap` / `HashSet` in code position.
+    HashIter,
+    /// `ThreadId` / `thread::current`.
+    ThreadId,
+}
+
+impl SourceKind {
+    /// The per-file lint whose allow annotation audits this source.
+    #[must_use]
+    pub fn base_lint(self) -> &'static str {
+        match self {
+            SourceKind::WallClock => "wall-clock-in-sim",
+            SourceKind::Entropy => "entropy-source",
+            SourceKind::HashIter => "hashmap-iter-ordering",
+            // The analyzer's own source taxonomy mentions the banned
+            // ident; it never reads a thread id.
+            SourceKind::ThreadId => "nondeterminism-reachability", // cws-lint: allow(nondeterminism-reachability)
+        }
+    }
+}
+
+/// An audited source→sink path, kept in the report rather than
+/// reported as a violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AuditedPath {
+    /// File holding the source token.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// What the source is (`Instant::now`, `HashMap`, …).
+    pub source: String,
+    /// Why it is audited (allow annotation or contract exemption).
+    pub reason: String,
+    /// Rendered source→sink chain.
+    pub chain: String,
+}
+
+/// Result of the reachability pass.
+#[derive(Debug, Default)]
+pub struct ReachReport {
+    /// Unaudited source→sink flows.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Audited flows, for `--paths` / JSON output.
+    pub audited: Vec<AuditedPath>,
+    /// (file index, line, lint) suppressions consumed by allow
+    /// annotations — feeds stale-allow accounting.
+    pub used_allows: Vec<(usize, u32, String)>,
+}
+
+/// One function node in the call graph.
+struct FnNode {
+    file: usize,
+    name: String,
+    owner: Option<String>,
+    line: u32,
+    body: (usize, usize),
+}
+
+/// A source occurrence inside a function body (or at file top level,
+/// in which case `func` is `None`).
+struct SourceSite {
+    file: usize,
+    line: u32,
+    kind: SourceKind,
+    what: String,
+    func: Option<usize>,
+}
+
+/// Run the pass. `files` pairs workspace-relative paths with their
+/// parsed items; `scans` is parallel. No sinks in the contract — no
+/// work.
+#[must_use]
+pub fn run(files: &[(String, FileItems)], scans: &[Scan], contract: &Contract) -> ReachReport {
+    if contract.sinks.is_empty() {
+        return ReachReport::default();
+    }
+
+    // ---- collect graph nodes (non-test fns in crate src trees) ----
+    let mut nodes: Vec<FnNode> = Vec::new();
+    for (fi, (path, items)) in files.iter().enumerate() {
+        if crate::graph::crate_of(path).is_none() {
+            continue;
+        }
+        for f in &items.fns {
+            if f.in_test || f.body.0 == f.body.1 {
+                continue;
+            }
+            nodes.push(FnNode {
+                file: fi,
+                name: f.name.clone(),
+                owner: f.owner.clone(),
+                line: f.line,
+                body: f.body,
+            });
+        }
+    }
+
+    // ---- name indices ----
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_owner: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut by_file_name: BTreeMap<(usize, &str), Vec<usize>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        by_name.entry(&n.name).or_default().push(i);
+        if let Some(o) = &n.owner {
+            by_owner.entry((o, &n.name)).or_default().push(i);
+        }
+        by_file_name.entry((n.file, &n.name)).or_default().push(i);
+    }
+    let crate_names: Vec<Option<String>> = files
+        .iter()
+        .map(|(p, _)| crate::graph::crate_of(p))
+        .collect();
+    let mut by_crate_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if let Some(c) = &crate_names[n.file] {
+            by_crate_name.entry((c, &n.name)).or_default().push(i);
+        }
+    }
+
+    // ---- call edges (callee -> callers, reversed for the BFS) ----
+    let mut callers: Vec<BTreeSet<usize>> = (0..nodes.len()).map(|_| BTreeSet::new()).collect();
+    for (ci, n) in nodes.iter().enumerate() {
+        let toks = &scans[n.file].tokens;
+        for i in n.body.0..n.body.1 {
+            let Some(name) = toks[i].ident() else {
+                continue;
+            };
+            if is_non_call_keyword(name) {
+                continue;
+            }
+            if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                continue;
+            }
+            // Classify the call shape by the preceding tokens.
+            let prev = i.checked_sub(1).map(|p| &toks[p].kind);
+            if matches!(prev, Some(TokenKind::Ident(k)) if k == "fn") {
+                continue; // nested fn definition, not a call
+            }
+            let qualifier = match prev {
+                Some(TokenKind::Punct(':')) if i >= 3 && toks[i - 2].is_punct(':') => {
+                    toks[i - 3].ident()
+                }
+                _ => None,
+            };
+            let is_method = matches!(prev, Some(TokenKind::Punct('.')));
+            // `Type::name(..)` resolves by impl owner only (a miss on
+            // `Vec::new` must NOT fan out to every workspace `new`);
+            // `module::name(..)` (lowercase qualifier) and `Self::`
+            // fall through to the tiered name lookup.
+            let tiered_fallback =
+                |q: &str| q == "Self" || q.chars().next().is_some_and(char::is_lowercase);
+            let candidates: &[usize] = if let Some(q) = qualifier.filter(|q| !tiered_fallback(q)) {
+                by_owner
+                    .get(&(q, name))
+                    .map_or(&[] as &[usize], Vec::as_slice)
+            } else if is_method {
+                by_name.get(name).map_or(&[] as &[usize], Vec::as_slice)
+            } else {
+                by_file_name
+                    .get(&(n.file, name))
+                    .or_else(|| {
+                        crate_names[n.file]
+                            .as_deref()
+                            .and_then(|c| by_crate_name.get(&(c, name)))
+                    })
+                    .or_else(|| by_name.get(name))
+                    .map_or(&[] as &[usize], Vec::as_slice)
+            };
+            for &callee in candidates {
+                if callee != ci {
+                    callers[callee].insert(ci);
+                }
+            }
+        }
+    }
+
+    // ---- source sites ----
+    let mut sites: Vec<SourceSite> = Vec::new();
+    for (fi, (path, _items)) in files.iter().enumerate() {
+        if crate::graph::crate_of(path).is_none() {
+            continue;
+        }
+        let scan = &scans[fi];
+        let toks = &scan.tokens;
+        // Map token index -> enclosing fn node (by body ranges).
+        let fn_of = |ti: usize| -> Option<usize> {
+            nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.file == fi && n.body.0 <= ti && ti < n.body.1)
+                // innermost (smallest) enclosing body wins
+                .min_by_key(|(_, n)| n.body.1 - n.body.0)
+                .map(|(i, _)| i)
+        };
+        for (i, t) in toks.iter().enumerate() {
+            let Some(name) = t.ident() else { continue };
+            let found: Option<(SourceKind, String)> = match name {
+                "Instant" | "SystemTime" => {
+                    let is_now = toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                        && toks.get(i + 3).and_then(|t| t.ident()) == Some("now");
+                    is_now.then(|| (SourceKind::WallClock, format!("{name}::now")))
+                }
+                "thread_rng" | "from_entropy" | "OsRng" | "from_os_rng" => {
+                    Some((SourceKind::Entropy, name.to_string()))
+                }
+                "HashMap" | "HashSet" => Some((SourceKind::HashIter, name.to_string())),
+                // Taxonomy mentions of the banned ident, not thread-id
+                // reads (same audit as in `base_lint` above).
+                "ThreadId" => Some((SourceKind::ThreadId, name.to_string())), // cws-lint: allow(nondeterminism-reachability)
+                "thread" => (toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 3).and_then(|t| t.ident()) == Some("current"))
+                .then(|| (SourceKind::ThreadId, "thread::current".to_string())), // cws-lint: allow(nondeterminism-reachability)
+                _ => None,
+            };
+            let Some((kind, what)) = found else { continue };
+            if scan.in_test_region(t.line) {
+                continue;
+            }
+            sites.push(SourceSite {
+                file: fi,
+                line: t.line,
+                kind,
+                what,
+                func: fn_of(i),
+            });
+        }
+    }
+
+    // ---- sink nodes ----
+    let sink_nodes: BTreeSet<usize> = nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| contract.is_sink(&files[n.file].0))
+        .map(|(i, _)| i)
+        .collect();
+
+    // ---- walk each source toward the sinks ----
+    let mut report = ReachReport::default();
+    let mut seen: BTreeSet<(usize, u32, &'static str)> = BTreeSet::new();
+    for site in &sites {
+        // One report per (file, line, kind-label): a line like
+        // `HashMap::<K, V>::new()` may tokenize HashMap twice.
+        if !seen.insert((site.file, site.line, site.kind.base_lint())) {
+            continue;
+        }
+        let path = &files[site.file].0;
+        let chain = find_chain(site, &nodes, &callers, &sink_nodes, files, contract);
+        let Some(chain) = chain else { continue };
+
+        let scan = &scans[site.file];
+        let base = site.kind.base_lint();
+        let audited_reason = if scan.allowed("nondeterminism-reachability", site.line) {
+            report.used_allows.push((
+                site.file,
+                site.line,
+                "nondeterminism-reachability".to_string(),
+            ));
+            Some(format!(
+                "`cws-lint: allow(nondeterminism-reachability)` at {path}:{}",
+                site.line
+            ))
+        } else if scan.allowed(base, site.line) {
+            // Usually the per-file lint consumes this allow too, but in
+            // a contract-exempt file reachability is its only consumer
+            // — record the use so stale-allow accounting stays honest.
+            report
+                .used_allows
+                .push((site.file, site.line, base.to_string()));
+            Some(format!("`cws-lint: allow({base})` at {path}:{}", site.line))
+        } else if contract.is_exempt(base, path) {
+            Some(format!("analyze.toml [lint.{base}] exempts `{path}`"))
+        } else {
+            None
+        };
+
+        match audited_reason {
+            Some(reason) => report.audited.push(AuditedPath {
+                file: path.clone(),
+                line: site.line,
+                source: site.what.clone(),
+                reason,
+                chain,
+            }),
+            None => report.diagnostics.push(Diagnostic {
+                file: path.clone(),
+                line: site.line,
+                lint: "nondeterminism-reachability",
+                message: format!(
+                    "`{}` can reach the schedule/billing/report output path: {chain}; \
+                     audit the source with `cws-lint: allow({base})` (or \
+                     allow(nondeterminism-reachability)) stating the invariant, or cut \
+                     the call path",
+                    site.what
+                ),
+            }),
+        }
+    }
+    report.audited.sort();
+    report.audited.dedup();
+    report
+}
+
+/// Shortest caller-chain from the function holding `site` to any sink
+/// function, rendered as `source → fn (file:line) → … → fn (file:line,
+/// sink)`. `None` when no sink can reach the source.
+fn find_chain(
+    site: &SourceSite,
+    nodes: &[FnNode],
+    callers: &[BTreeSet<usize>],
+    sink_nodes: &BTreeSet<usize>,
+    files: &[(String, FileItems)],
+    contract: &Contract,
+) -> Option<String> {
+    let render = |idx: usize, sink: bool| {
+        let n = &nodes[idx];
+        let name = match &n.owner {
+            Some(o) => format!("{o}::{}", n.name),
+            None => n.name.clone(),
+        };
+        let tag = if sink { ", sink" } else { "" };
+        format!("`{name}` ({}:{}{tag})", files[n.file].0, n.line)
+    };
+    let Some(start) = site.func else {
+        // Top-level source outside any fn (consts, statics): on the
+        // output path only when its own file is a sink.
+        return contract.is_sink(&files[site.file].0).then(|| {
+            format!(
+                "`{}` at {}:{} (top level, sink file)",
+                site.what, files[site.file].0, site.line
+            )
+        });
+    };
+    // BFS over caller edges, remembering parents for path recovery.
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue = VecDeque::from([start]);
+    let mut visited = BTreeSet::from([start]);
+    let mut hit = sink_nodes.contains(&start).then_some(start);
+    while hit.is_none() {
+        let Some(cur) = queue.pop_front() else { break };
+        for &caller in &callers[cur] {
+            if visited.insert(caller) {
+                parent.insert(caller, cur);
+                if sink_nodes.contains(&caller) {
+                    hit = Some(caller);
+                    break;
+                }
+                queue.push_back(caller);
+            }
+        }
+    }
+    let end = hit?;
+    // Recover sink → … → start, then flip to source → … → sink.
+    let mut rev = vec![end];
+    let mut cur = end;
+    while cur != start {
+        cur = parent[&cur];
+        rev.push(cur);
+    }
+    let mut out = format!("`{}` at {}:{}", site.what, files[site.file].0, site.line);
+    for (k, idx) in rev.iter().rev().enumerate() {
+        out.push_str(" -> ");
+        out.push_str(&render(*idx, k + 1 == rev.len()));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items;
+
+    fn setup(
+        files: &[(&str, &str)],
+        contract_text: &str,
+    ) -> (Vec<(String, FileItems)>, Vec<Scan>, Contract) {
+        let scans: Vec<Scan> = files.iter().map(|(_, s)| Scan::of(s)).collect();
+        let parsed = files
+            .iter()
+            .zip(&scans)
+            .map(|((p, _), sc)| ((*p).to_string(), items::parse(sc)))
+            .collect();
+        let contract = Contract::parse(contract_text).expect("contract parses");
+        (parsed, scans, contract)
+    }
+
+    const CONTRACT: &str = "[reachability]\nsinks = [\"crates/app/src/report.rs\"]\n";
+
+    #[test]
+    fn multi_hop_chain_reaches_sink() {
+        let (files, scans, contract) = setup(
+            &[
+                (
+                    "crates/app/src/clock.rs",
+                    "pub fn sample() -> u64 { let t = Instant::now(); 0 }\n",
+                ),
+                (
+                    "crates/app/src/mid.rs",
+                    "pub fn collect() -> u64 { sample() }\n",
+                ),
+                (
+                    "crates/app/src/report.rs",
+                    "pub fn emit() { let x = collect(); }\n",
+                ),
+            ],
+            CONTRACT,
+        );
+        let r = run(&files, &scans, &contract);
+        assert_eq!(r.diagnostics.len(), 1, "{r:#?}");
+        let msg = &r.diagnostics[0].message;
+        assert!(
+            msg.contains("`Instant::now` at crates/app/src/clock.rs:1"),
+            "{msg}"
+        );
+        assert!(msg.contains("`sample`"), "{msg}");
+        assert!(msg.contains("`collect`"), "{msg}");
+        assert!(
+            msg.contains("`emit` (crates/app/src/report.rs:1, sink)"),
+            "{msg}"
+        );
+        assert!(r.audited.is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_turns_the_path_audited() {
+        let (files, scans, contract) = setup(
+            &[
+                (
+                    "crates/app/src/clock.rs",
+                    "pub fn sample() -> u64 {\n    // invariant: display only\n    \
+                     let t = Instant::now(); // cws-lint: allow(wall-clock-in-sim)\n    0\n}\n",
+                ),
+                (
+                    "crates/app/src/report.rs",
+                    "pub fn emit() { let x = sample(); }\n",
+                ),
+            ],
+            CONTRACT,
+        );
+        let r = run(&files, &scans, &contract);
+        assert!(r.diagnostics.is_empty(), "{r:#?}");
+        assert_eq!(r.audited.len(), 1);
+        assert!(r.audited[0].reason.contains("allow(wall-clock-in-sim)"));
+        assert!(r.audited[0].chain.contains("sink"));
+    }
+
+    #[test]
+    fn contract_exemption_audits_whole_file() {
+        let (files, scans, contract) = setup(
+            &[
+                (
+                    "crates/app/src/bench.rs",
+                    "pub fn timing() -> u64 { let t = Instant::now(); 0 }\n",
+                ),
+                (
+                    "crates/app/src/report.rs",
+                    "pub fn emit() { let x = timing(); }\n",
+                ),
+            ],
+            "[lint.wall-clock-in-sim]\nexempt = [\"crates/app/src/bench.rs\"]\n\
+             [reachability]\nsinks = [\"crates/app/src/report.rs\"]\n",
+        );
+        let r = run(&files, &scans, &contract);
+        assert!(r.diagnostics.is_empty(), "{r:#?}");
+        assert_eq!(r.audited.len(), 1);
+        assert!(r.audited[0].reason.contains("exempts"));
+    }
+
+    #[test]
+    fn unreachable_sources_are_quiet_here() {
+        // A wall-clock read nothing on the output path ever calls is
+        // the per-file lint's business, not reachability's.
+        let (files, scans, contract) = setup(
+            &[
+                (
+                    "crates/app/src/orphan.rs",
+                    "pub fn lonely() -> u64 { let t = Instant::now(); 0 }\n",
+                ),
+                ("crates/app/src/report.rs", "pub fn emit() {}\n"),
+            ],
+            CONTRACT,
+        );
+        let r = run(&files, &scans, &contract);
+        assert!(r.diagnostics.is_empty(), "{r:#?}");
+        assert!(r.audited.is_empty());
+    }
+
+    #[test]
+    fn source_inside_sink_file_is_a_unit_chain() {
+        let (files, scans, contract) = setup(
+            &[(
+                "crates/app/src/report.rs",
+                "pub fn emit() { let t = SystemTime::now(); }\n",
+            )],
+            CONTRACT,
+        );
+        let r = run(&files, &scans, &contract);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert!(r.diagnostics[0].message.contains("sink"));
+    }
+
+    #[test]
+    fn test_region_sources_and_fns_stay_out() {
+        let (files, scans, contract) = setup(
+            &[
+                (
+                    "crates/app/src/lib.rs",
+                    "#[cfg(test)]\nmod tests {\n    fn t() { let x = Instant::now(); }\n}\n",
+                ),
+                ("crates/app/src/report.rs", "pub fn emit() { t(); }\n"),
+            ],
+            CONTRACT,
+        );
+        let r = run(&files, &scans, &contract);
+        assert!(r.diagnostics.is_empty(), "{r:#?}");
+    }
+
+    #[test]
+    fn qualified_calls_resolve_by_impl_owner() {
+        let (files, scans, contract) = setup(
+            &[
+                (
+                    "crates/app/src/stamp.rs",
+                    "pub struct Stamp;\nimpl Stamp {\n    pub fn capture() -> u64 { \
+                     let t = SystemTime::now(); 0 }\n}\n",
+                ),
+                (
+                    "crates/app/src/report.rs",
+                    "pub fn emit() { let s = Stamp::capture(); }\n",
+                ),
+            ],
+            CONTRACT,
+        );
+        let r = run(&files, &scans, &contract);
+        assert_eq!(r.diagnostics.len(), 1, "{r:#?}");
+        assert!(r.diagnostics[0].message.contains("`Stamp::capture`"));
+    }
+
+    #[test]
+    fn no_sinks_disables_the_pass() {
+        let (files, scans, contract) = setup(
+            &[(
+                "crates/app/src/clock.rs",
+                "pub fn f() { let t = Instant::now(); }\n",
+            )],
+            "[deps]\n",
+        );
+        let r = run(&files, &scans, &contract);
+        assert!(r.diagnostics.is_empty() && r.audited.is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! SARIF 2.1.0 output (`--format sarif`), hand-rolled like the JSON
+//! renderer — this crate depends on nothing.
+//!
+//! The emitted log is the minimal conforming shape GitHub code
+//! scanning ingests: one `run` with a `tool.driver` carrying the full
+//! rule table (every lint, token and semantic, with its description),
+//! and one `result` per diagnostic with a `physicalLocation`. CI
+//! uploads it so violations annotate PRs inline;
+//! `crates/analyze/tests/sarif_schema.rs` pins the structural
+//! invariants offline against its own tiny JSON parser.
+
+use crate::diag::Diagnostic;
+
+/// Rule metadata: (name, description) for every lint that can appear
+/// as a `ruleId`.
+pub type Rule = (&'static str, &'static str);
+
+/// Render diagnostics as a SARIF 2.1.0 log. `rules` must cover every
+/// lint name that appears in `diags` (engine-level pseudo-lints
+/// included); an unknown `ruleId` would fail GitHub-side validation.
+#[must_use]
+pub fn render(diags: &[Diagnostic], rules: &[Rule]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"cws-analyze\",\n");
+    out.push_str("          \"informationUri\": \"https://example.org/cloud-workflow-sched\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, (name, desc)) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            esc(name),
+            esc(desc)
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // `line` 0 marks whole-file conditions (unreadable file); SARIF
+        // regions are 1-based, so clamp.
+        let line = d.line.max(1);
+        out.push_str(&format!(
+            "\n        {{\n          \"ruleId\": {},\n          \"level\": \"error\",\n          \
+             \"message\": {{\"text\": {}}},\n          \"locations\": [\n            \
+             {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}, \
+             \"uriBaseId\": \"%SRCROOT%\"}}, \"region\": {{\"startLine\": {line}}}}}}}\n          \
+             ]\n        }}",
+            esc(d.lint),
+            esc(&d.message),
+            esc(&d.file),
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+/// JSON string escaping (quotes, backslash, control chars).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_run_is_wellformed() {
+        let s = render(&[], &[("a-lint", "does a thing")]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"results\": []"));
+        assert!(s.contains("\"id\": \"a-lint\""));
+    }
+
+    #[test]
+    fn results_carry_rule_location_and_clamped_line() {
+        let d = Diagnostic {
+            file: "crates/x/src/a.rs".into(),
+            line: 0,
+            lint: "io-error",
+            message: "could not read \"file\"".into(),
+        };
+        let s = render(&[d], &[("io-error", "unreadable file")]);
+        assert!(s.contains("\"ruleId\": \"io-error\""));
+        assert!(s.contains("\"startLine\": 1"), "line 0 must clamp to 1");
+        assert!(s.contains("\\\"file\\\""), "message must be escaped");
+        assert!(s.contains("\"uri\": \"crates/x/src/a.rs\""));
+    }
+}

@@ -56,6 +56,29 @@ impl Token {
     }
 }
 
+/// What an allow annotation applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowTarget {
+    /// `cws-lint: allow-file(..)` — the whole file.
+    File,
+    /// `cws-lint: allow(..)` — the code line it governs.
+    Line(u32),
+}
+
+/// One `(lint name, target)` pair from an allow annotation, with the
+/// comment line it was written on. The engine uses these both to flag
+/// unknown lint names and to detect stale allows (annotations that
+/// suppress nothing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowSite {
+    /// 1-based line of the comment carrying the annotation.
+    pub comment_line: u32,
+    /// Lint name as written.
+    pub name: String,
+    /// What the annotation covers.
+    pub target: AllowTarget,
+}
+
 /// The result of scanning one source file.
 #[derive(Debug, Default)]
 pub struct Scan {
@@ -69,9 +92,8 @@ pub struct Scan {
     file_allows: BTreeSet<String>,
     /// Per-line allows: target line → lint names allowed there.
     line_allows: BTreeMap<u32, BTreeSet<String>>,
-    /// Allow annotations that name no known lint are surfaced by the
-    /// engine as `unknown-allow` diagnostics; collected here.
-    pub allow_names: Vec<(u32, String)>,
+    /// Every allow annotation, with its resolved target.
+    pub allow_sites: Vec<AllowSite>,
 }
 
 impl Scan {
@@ -87,7 +109,7 @@ impl Scan {
             test_regions: Vec::new(),
             file_allows: BTreeSet::new(),
             line_allows: BTreeMap::new(),
-            allow_names: Vec::new(),
+            allow_sites: Vec::new(),
         };
         for t in &scan.tokens {
             scan.code_lines.insert(t.line);
@@ -127,7 +149,11 @@ impl Scan {
             match directive {
                 Directive::AllowFile(names) => {
                     for n in names {
-                        self.allow_names.push((c.line, n.clone()));
+                        self.allow_sites.push(AllowSite {
+                            comment_line: c.line,
+                            name: n.clone(),
+                            target: AllowTarget::File,
+                        });
                         self.file_allows.insert(n);
                     }
                 }
@@ -142,7 +168,11 @@ impl Scan {
                     };
                     let entry = self.line_allows.entry(target).or_default();
                     for n in names {
-                        self.allow_names.push((c.line, n.clone()));
+                        self.allow_sites.push(AllowSite {
+                            comment_line: c.line,
+                            name: n.clone(),
+                            target: AllowTarget::Line(target),
+                        });
                         entry.insert(n);
                     }
                 }
@@ -204,8 +234,17 @@ fn match_cfg_test(toks: &[Token], i: usize) -> Option<usize> {
     if toks.get(i + 2)?.ident() != Some("cfg") || !toks.get(i + 3)?.is_punct('(') {
         return None;
     }
+    // The predicate must *require* `test`: a bare `#[cfg(test)]`, or an
+    // `all(..)` with `test` as a top-level conjunct. `any(test, ..)` /
+    // `not(test)` compile into non-test builds too (e.g. the naive
+    // reference kernel behind `cfg(any(test, feature = "naive"))` ships
+    // in release benches), so they are NOT test regions.
     let mut depth = 1usize;
     let mut saw_test = false;
+    let outer_all = toks.get(i + 4).and_then(Token::ident) == Some("all")
+        && toks.get(i + 5).is_some_and(|t| t.is_punct('('));
+    let bare_test = toks.get(i + 4).and_then(Token::ident) == Some("test")
+        && toks.get(i + 5).is_some_and(|t| t.is_punct(')'));
     let mut j = i + 4;
     while j < toks.len() && depth > 0 {
         let t = &toks[j];
@@ -213,12 +252,13 @@ fn match_cfg_test(toks: &[Token], i: usize) -> Option<usize> {
             depth += 1;
         } else if t.is_punct(')') {
             depth -= 1;
-        } else if t.ident() == Some("test") {
+        } else if t.ident() == Some("test") && outer_all && depth == 2 {
+            // Top level inside `all(..)`'s own parens.
             saw_test = true;
         }
         j += 1;
     }
-    if !saw_test {
+    if !(bare_test || saw_test) {
         return None;
     }
     // Expect the closing `]` right after the parens.
@@ -650,7 +690,7 @@ let c = z.baz();
         for src in srcs {
             let scan = Scan::of(src);
             assert!(!scan.allowed("lint-a", 2), "registered from: {src}");
-            assert!(scan.allow_names.is_empty(), "names from: {src}");
+            assert!(scan.allow_sites.is_empty(), "names from: {src}");
         }
         // …but a doc-marker comment that IS the directive still works.
         let scan = Scan::of("// cws-lint: allow(lint-a)\nlet x = 1;\n");
@@ -701,12 +741,41 @@ pub fn also_real() {}
     }
 
     #[test]
-    fn cfg_not_test_still_counts_conservatively() {
-        // `#[cfg(not(test))]` contains the ident `test`; treating it
-        // as a test region is a deliberate false *negative* direction:
-        // lints go quiet rather than fire on non-test code. Documented
-        // in the lint table.
-        let src = "#[cfg(not(test))]\nmod t { }\n";
-        assert_eq!(Scan::of(src).test_regions.len(), 1);
+    fn cfg_regions_require_test_as_a_conjunct() {
+        // Only predicates that *require* `test` gate test-only code:
+        // `any(test, feature = ..)` and `not(test)` both compile into
+        // non-test builds (the naive reference kernel ships in release
+        // benches behind `any(test, feature = "naive")`), so lints must
+        // keep firing there.
+        assert_eq!(Scan::of("#[cfg(test)]\nmod t { }\n").test_regions.len(), 1);
+        assert_eq!(
+            Scan::of("#[cfg(all(test, feature = \"x\"))]\nmod t { }\n")
+                .test_regions
+                .len(),
+            1
+        );
+        assert_eq!(
+            Scan::of("#[cfg(all(any(unix, windows), test))]\nmod t { }\n")
+                .test_regions
+                .len(),
+            1
+        );
+        assert!(Scan::of("#[cfg(not(test))]\nmod t { }\n")
+            .test_regions
+            .is_empty());
+        assert!(
+            Scan::of("#[cfg(any(test, feature = \"naive\"))]\nmod t { }\n")
+                .test_regions
+                .is_empty()
+        );
+        assert!(
+            Scan::of("#[cfg(all(feature = \"x\", any(test, unix)))]\nmod t { }\n")
+                .test_regions
+                .is_empty(),
+            "`test` nested under any() inside all() does not require test"
+        );
+        assert!(Scan::of("#[cfg(feature = \"test\")]\nmod t { }\n")
+            .test_regions
+            .is_empty());
     }
 }

@@ -1,0 +1,74 @@
+//! CLI surface pins for `cws-analyze --list`: the JSON form is a
+//! stable machine interface (tools/analyze_check.sh consumes it), so
+//! its shape is asserted here with the same parser the SARIF test
+//! uses.
+
+use cws_obs::json::{parse, Value};
+use std::process::Command;
+
+fn run_list(format: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_cws-analyze"))
+        .arg("--list")
+        .args(format)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "--list must exit 0");
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn list_json_is_parseable_with_pinned_fields() {
+    let out = run_list(&["--format", "json"]);
+    let table = parse(&out).expect("--list --format json is valid JSON");
+    let rows = table.as_arr().expect("a JSON array");
+    assert!(
+        rows.len() >= 8,
+        "token + semantic lints, got {}",
+        rows.len()
+    );
+
+    let mut names = Vec::new();
+    for row in rows {
+        let name = row.get("name").and_then(Value::as_str).expect("name field");
+        assert!(
+            row.get("description")
+                .and_then(Value::as_str)
+                .is_some_and(|d| !d.is_empty()),
+            "{name} needs a description"
+        );
+        assert!(
+            row.get("scope")
+                .and_then(Value::as_str)
+                .is_some_and(|s| !s.is_empty()),
+            "{name} needs a scope"
+        );
+        names.push(name.to_string());
+    }
+    // Every registered lint appears exactly once, semantic ones too.
+    for lint in cws_analyze::lints::all_lints() {
+        assert!(
+            names.contains(&lint.name.to_string()),
+            "missing {}",
+            lint.name
+        );
+    }
+    for (name, _) in cws_analyze::lints::semantic_lints() {
+        assert!(names.contains(&name.to_string()), "missing {name}");
+    }
+    let mut sorted = names.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), names.len(), "duplicate rows in {names:?}");
+}
+
+#[test]
+fn list_text_is_one_lint_per_line() {
+    let out = run_list(&[]);
+    for lint in cws_analyze::lints::all_lints() {
+        assert!(
+            out.lines().any(|l| l.starts_with(lint.name)),
+            "text table missing {}",
+            lint.name
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Three-way drift check: the layering table lives in three places —
+//! `analyze.toml [deps]` (what the engine enforces), DESIGN.md §11
+//! (what contributors read), and each crate's Cargo.toml
+//! `[dependencies]` (what cargo actually links). This test parses all
+//! three and asserts they agree, so the documented architecture, the
+//! enforced architecture and the built architecture are the same one.
+
+use cws_analyze::Contract;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root two levels up")
+        .to_path_buf()
+}
+
+fn contract_deps() -> BTreeMap<String, BTreeSet<String>> {
+    Contract::load(&workspace_root())
+        .expect("analyze.toml parses")
+        .expect("workspace has an analyze.toml")
+        .deps
+        .expect("analyze.toml declares a [deps] table")
+}
+
+/// The §11 markdown table: rows of `| `crate` | `a`, `b` |` between
+/// the "may reference" header and the next blank-ish boundary.
+fn design_deps() -> BTreeMap<String, BTreeSet<String>> {
+    let text = fs::read_to_string(workspace_root().join("DESIGN.md")).expect("DESIGN.md");
+    let mut rows = BTreeMap::new();
+    let mut in_table = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("| crate | may reference |") {
+            in_table = true;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        if !t.starts_with('|') {
+            break; // table ended
+        }
+        if t.starts_with("|---") {
+            continue;
+        }
+        let cells: Vec<&str> = t.trim_matches('|').split('|').collect();
+        assert_eq!(cells.len(), 2, "layering table row must have 2 cells: {t}");
+        let name = cells[0].trim().trim_matches('`').to_string();
+        let deps: BTreeSet<String> = cells[1]
+            .split(',')
+            .map(|d| d.trim().trim_matches('`'))
+            .filter(|d| !d.is_empty() && *d != "—")
+            .map(str::to_string)
+            .collect();
+        rows.insert(name, deps);
+    }
+    assert!(!rows.is_empty(), "DESIGN.md §11 layering table not found");
+    rows
+}
+
+/// The `[dependencies]` section of one Cargo.toml, workspace crates
+/// only (external vendored deps are not layering edges).
+fn manifest_deps(manifest: &Path) -> BTreeSet<String> {
+    let text =
+        fs::read_to_string(manifest).unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+    let mut out = BTreeSet::new();
+    let mut in_deps = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            // `[dependencies]` only — dev-dependencies are test-time
+            // edges the layering contract deliberately does not govern.
+            in_deps = t == "[dependencies]";
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        if let Some((key, _)) = t.split_once(['.', ' ', '=']) {
+            if key.starts_with("cws-") {
+                out.insert(key.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Cargo.toml path for a crate named in the contract.
+fn manifest_of(root: &Path, crate_name: &str) -> PathBuf {
+    match crate_name.strip_prefix("cws-") {
+        Some(dir) => root.join("crates").join(dir).join("Cargo.toml"),
+        None => root.join("Cargo.toml"), // the umbrella crate
+    }
+}
+
+#[test]
+fn design_md_table_matches_analyze_toml() {
+    let contract = contract_deps();
+    let design = design_deps();
+    assert_eq!(
+        design.keys().collect::<Vec<_>>(),
+        contract.keys().collect::<Vec<_>>(),
+        "DESIGN.md §11 and analyze.toml [deps] must govern the same crates"
+    );
+    for (name, granted) in &contract {
+        assert_eq!(
+            &design[name], granted,
+            "DESIGN.md §11 row for {name} drifted from analyze.toml [deps]"
+        );
+    }
+}
+
+#[test]
+fn analyze_toml_matches_cargo_manifests() {
+    let root = workspace_root();
+    let contract = contract_deps();
+    for (name, granted) in &contract {
+        let built = manifest_deps(&manifest_of(&root, name));
+        assert_eq!(
+            granted, &built,
+            "analyze.toml [deps] for {name} drifted from its Cargo.toml [dependencies]"
+        );
+    }
+}
+
+#[test]
+fn every_workspace_crate_is_governed() {
+    // A crate missing from [deps] has no granted edges at all; that is
+    // only correct if it is *listed* with an empty grant. Every
+    // crates/* member must therefore appear in the table.
+    let root = workspace_root();
+    let contract = contract_deps();
+    for entry in fs::read_dir(root.join("crates")).expect("crates/") {
+        let dir = entry.expect("dir entry").path();
+        if !dir.join("Cargo.toml").is_file() {
+            continue;
+        }
+        let name = format!(
+            "cws-{}",
+            dir.file_name().expect("crate dir").to_string_lossy()
+        );
+        assert!(
+            contract.contains_key(&name),
+            "{name} is not governed by analyze.toml [deps]"
+        );
+    }
+    assert!(
+        contract.contains_key("cloud-workflow-sched"),
+        "the umbrella crate must be governed too"
+    );
+}

@@ -4,7 +4,22 @@
 
 use cws_analyze::lints::{all_lints, LintCtx};
 use cws_analyze::scan::Scan;
+use cws_analyze::Contract;
 use std::path::PathBuf;
+
+/// The real workspace contract: fixture pretend-paths are chosen to
+/// land in (or out of) the scopes it declares, so the corpus tests the
+/// same scoping CI enforces.
+fn workspace_contract() -> Contract {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root two levels up")
+        .to_path_buf();
+    Contract::load(&root)
+        .expect("analyze.toml parses")
+        .expect("workspace has an analyze.toml")
+}
 
 /// For each lint: the fixture directory and a workspace-relative path
 /// that puts the fixture *in scope* for the lint (several lints are
@@ -34,9 +49,11 @@ fn fixture(lint: &str, which: &str) -> String {
 
 fn run(lint_name: &str, pretend_path: &str, source: &str) -> Vec<cws_analyze::Diagnostic> {
     let scan = Scan::of(source);
+    let contract = workspace_contract();
     let ctx = LintCtx {
         path: pretend_path,
         scan: &scan,
+        contract: &contract,
     };
     all_lints()
         .iter()

@@ -1,0 +1,156 @@
+//! Structural SARIF 2.1.0 validation: render a log with awkward
+//! content, parse it back with an actual JSON parser (`cws_obs::json`,
+//! a dev-dependency — the analyzer library itself stays
+//! dependency-free), and pin every field GitHub code scanning needs.
+//! CI validates the same shape against the published schema; this test
+//! keeps the invariants enforced offline too.
+
+use cws_analyze::diag::{render_full, Diagnostic, Format};
+use cws_analyze::lints::{all_lints, engine_lints, semantic_lints};
+use cws_obs::json::{parse, Value};
+
+fn sample_diags() -> Vec<Diagnostic> {
+    vec![
+        Diagnostic {
+            file: "crates/core/src/state.rs".into(),
+            line: 1077,
+            lint: "float-partial-cmp-sort",
+            message: "use total_cmp".into(),
+        },
+        Diagnostic {
+            // line 0 (whole-file condition) must clamp to startLine 1.
+            file: "crates/sim/src/engine.rs".into(),
+            line: 0,
+            lint: "io-error",
+            message: "could not read file: \"quoted\"\nand a newline\ttab \\ backslash".into(),
+        },
+        Diagnostic {
+            file: "crates/alpha/src/lib.rs".into(),
+            line: 4,
+            lint: "layering-contract",
+            message: "dependency edge `cws-alpha` -> `cws-beta` violates the contract".into(),
+        },
+    ]
+}
+
+fn rendered() -> Value {
+    let out = render_full(&sample_diags(), &[], 42, Format::Sarif, false);
+    parse(&out).expect("SARIF output is well-formed JSON")
+}
+
+#[test]
+fn log_header_pins_schema_and_version() {
+    let log = rendered();
+    assert_eq!(
+        log.get("$schema").and_then(Value::as_str),
+        Some("https://json.schemastore.org/sarif-2.1.0.json")
+    );
+    assert_eq!(log.get("version").and_then(Value::as_str), Some("2.1.0"));
+    let runs = log.get("runs").and_then(Value::as_arr).expect("runs array");
+    assert_eq!(runs.len(), 1, "exactly one run per invocation");
+}
+
+#[test]
+fn driver_rule_table_covers_every_lint() {
+    let log = rendered();
+    let driver = log.get("runs").and_then(Value::as_arr).unwrap()[0]
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("tool.driver");
+    assert_eq!(
+        driver.get("name").and_then(Value::as_str),
+        Some("cws-analyze")
+    );
+    assert!(driver
+        .get("informationUri")
+        .and_then(Value::as_str)
+        .is_some());
+
+    let ids: Vec<&str> = driver
+        .get("rules")
+        .and_then(Value::as_arr)
+        .expect("driver.rules")
+        .iter()
+        .map(|r| r.get("id").and_then(Value::as_str).expect("rule id"))
+        .collect();
+    // Every registered lint — token, semantic and engine pseudo-lints —
+    // must be declared, or a result's ruleId would dangle.
+    for lint in all_lints() {
+        assert!(ids.contains(&lint.name), "missing rule {}", lint.name);
+    }
+    for (name, _) in semantic_lints().into_iter().chain(engine_lints()) {
+        assert!(ids.contains(&name), "missing rule {name}");
+    }
+    // No duplicates: GitHub rejects a rule declared twice.
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ids.len(), "duplicate rule ids in {ids:?}");
+
+    // Each rule carries a human-readable shortDescription.
+    for rule in driver.get("rules").and_then(Value::as_arr).unwrap() {
+        let text = rule
+            .get("shortDescription")
+            .and_then(|s| s.get("text"))
+            .and_then(Value::as_str)
+            .expect("shortDescription.text");
+        assert!(!text.is_empty());
+    }
+}
+
+#[test]
+fn results_carry_location_level_and_clamped_lines() {
+    let diags = sample_diags();
+    let log = rendered();
+    let run = &log.get("runs").and_then(Value::as_arr).unwrap()[0];
+    let results = run.get("results").and_then(Value::as_arr).expect("results");
+    assert_eq!(results.len(), diags.len());
+
+    for (res, d) in results.iter().zip(&diags) {
+        assert_eq!(res.get("ruleId").and_then(Value::as_str), Some(d.lint));
+        assert_eq!(res.get("level").and_then(Value::as_str), Some("error"));
+        // Escaping round-trips: the parsed text equals the original
+        // message, quotes, newline, tab and backslash included.
+        assert_eq!(
+            res.get("message")
+                .and_then(|m| m.get("text"))
+                .and_then(Value::as_str),
+            Some(d.message.as_str())
+        );
+        let loc = res
+            .get("locations")
+            .and_then(Value::as_arr)
+            .expect("locations")[0]
+            .get("physicalLocation")
+            .expect("physicalLocation");
+        let artifact = loc.get("artifactLocation").expect("artifactLocation");
+        assert_eq!(
+            artifact.get("uri").and_then(Value::as_str),
+            Some(d.file.as_str())
+        );
+        assert_eq!(
+            artifact.get("uriBaseId").and_then(Value::as_str),
+            Some("%SRCROOT%"),
+            "uris are workspace-relative; the base anchors them"
+        );
+        let start = loc
+            .get("region")
+            .and_then(|r| r.get("startLine"))
+            .and_then(Value::as_u64)
+            .expect("region.startLine");
+        assert_eq!(start, u64::from(d.line.max(1)), "SARIF regions are 1-based");
+    }
+}
+
+#[test]
+fn empty_report_is_still_a_conforming_log() {
+    let out = render_full(&[], &[], 0, Format::Sarif, false);
+    let log = parse(&out).expect("empty SARIF parses");
+    let run = &log.get("runs").and_then(Value::as_arr).unwrap()[0];
+    assert_eq!(
+        run.get("results")
+            .and_then(Value::as_arr)
+            .map(<[Value]>::len),
+        Some(0)
+    );
+}

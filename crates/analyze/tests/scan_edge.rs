@@ -1,0 +1,279 @@
+//! Lexer edge cases: the scanner underpins every lint, so the places
+//! Rust's grammar is genuinely tricky at token level — nested block
+//! comments, raw strings with hash fences, lifetimes vs char literals,
+//! `#[cfg(test)]` region boundaries — get both pinned examples and
+//! property tests (vendored proptest; the library itself stays
+//! dependency-free).
+
+use cws_analyze::scan::Scan;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Seed-driven string generation: the vendored proptest has no string
+/// strategies, so properties draw a `(seed, len)` pair and expand it
+/// deterministically over an alphabet here.
+fn rand_string(seed: u64, alphabet: &[char], len: usize) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
+}
+
+/// Everything the lexer special-cases: delimiters, fences, escapes.
+const TRICKY: &[char] = &[
+    'a', 'Z', '_', '0', '9', ' ', '\n', '\t', '"', '\'', '\\', '#', '/', '*', 'r', 'b', '.', ':',
+    ';', '(', ')', '{', '}', '[', ']', '<', '>', '&', '-', '=',
+];
+
+fn idents(src: &str) -> Vec<String> {
+    Scan::of(src)
+        .tokens
+        .iter()
+        .filter_map(|t| t.ident().map(str::to_string))
+        .collect()
+}
+
+// ---- nested block comments ----
+
+#[test]
+fn nested_block_comments_hide_every_level() {
+    let src = "/* one /* two /* three */ two */ one */ fn real() {}";
+    assert_eq!(idents(src), ["fn", "real"]);
+}
+
+#[test]
+fn star_slash_inside_inner_comment_does_not_end_the_outer() {
+    // The `*/` closing the inner comment must not close the outer one
+    // early, or `hidden` would leak into the token stream.
+    let src = "/* outer /* inner */ hidden still */ fn real() {}";
+    assert_eq!(idents(src), ["fn", "real"]);
+}
+
+#[test]
+fn unterminated_block_comment_swallows_the_rest() {
+    // EOF inside a comment is not a panic; everything after the opener
+    // stays commented (rustc would reject the file anyway).
+    let src = "fn before() {}\n/* /* unclosed */ fn after() {}";
+    assert_eq!(idents(src), ["fn", "before"]);
+}
+
+#[test]
+fn multiline_block_comment_keeps_line_numbers() {
+    let src = "/* line one\n   line two\n   line three */\nfn real() {}";
+    let scan = Scan::of(src);
+    assert_eq!(
+        scan.tokens[0].line, 4,
+        "code after the comment is on line 4"
+    );
+}
+
+// ---- raw strings with hashes ----
+
+#[test]
+fn raw_string_hash_fences_protect_quotes() {
+    // The `"#`-lookalike inside a `##` fence must not terminate it.
+    let src = r####"let x = r##"has "# inside and \ backslash"##; fn real() {}"####;
+    assert_eq!(idents(src), ["let", "x", "fn", "real"]);
+}
+
+#[test]
+fn raw_byte_strings_lex_like_raw_strings() {
+    let src = r###"let x = br#"HashMap "quoted" here"#; fn real() {}"###;
+    assert_eq!(idents(src), ["let", "x", "fn", "real"]);
+}
+
+#[test]
+fn raw_string_backslash_is_not_an_escape() {
+    // In a normal string `\"` stays inside; in a raw string the `"`
+    // closes it immediately and `escaped` is code.
+    assert_eq!(idents(r#"let a = "st\"ill string";"#), ["let", "a"]);
+    assert_eq!(
+        idents(r#"let a = r"st\"; escaped;"#),
+        ["let", "a", "escaped"]
+    );
+}
+
+#[test]
+fn multiline_raw_string_keeps_line_numbers() {
+    let src = "let x = r#\"one\ntwo\nthree\"#;\nfn real() {}";
+    let scan = Scan::of(src);
+    let fn_tok = scan
+        .tokens
+        .iter()
+        .find(|t| t.ident() == Some("fn"))
+        .unwrap();
+    assert_eq!(fn_tok.line, 4);
+}
+
+#[test]
+fn raw_identifiers_emit_the_bare_name() {
+    // `r#match` is the identifier `match`; `r#"…"#` is a string. The
+    // one-hash lookahead must tell them apart.
+    assert_eq!(idents("let r#match = 1;"), ["let", "match"]);
+    assert_eq!(idents(r###"let x = r#"match"#;"###), ["let", "x"]);
+}
+
+// ---- lifetimes vs char literals ----
+
+#[test]
+fn lifetimes_never_become_identifiers() {
+    // `'a` and `'static` must vanish: a lifetime named `thread` must
+    // not look like a call to `thread`.
+    let src = "fn f<'thread>(x: &'thread str, y: &'static u8) {}";
+    assert_eq!(idents(src), ["fn", "f", "x", "str", "y", "u8"]);
+}
+
+#[test]
+fn char_literals_hide_their_content() {
+    // `'a'` is a char, not a lifetime; escapes and unicode forms too.
+    let src = r"let c = 'a'; let q = '\''; let b = '\\'; let u = '\u{1F4A9}'; fn real() {}";
+    assert_eq!(
+        idents(src),
+        ["let", "c", "let", "q", "let", "b", "let", "u", "fn", "real"]
+    );
+}
+
+#[test]
+fn byte_literals_lex_like_char_literals() {
+    assert_eq!(
+        idents(r"let b = b'x'; let e = b'\''; fn real() {}"),
+        ["let", "b", "let", "e", "fn", "real"]
+    );
+}
+
+#[test]
+fn adjacent_char_literal_and_lifetime_disambiguate() {
+    // `'a'` (char) immediately before a generic using `'a` (lifetime):
+    // the 2-char lookahead is what separates them.
+    let src = "let c: char = 'x'; fn g<'x>(v: &'x str) {}";
+    assert_eq!(idents(src), ["let", "c", "char", "fn", "g", "v", "str"]);
+}
+
+// ---- cfg(test) region boundaries ----
+
+#[test]
+fn test_region_ends_exactly_at_the_closing_brace() {
+    let src = "\
+fn live() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t() {}\n\
+}\n\
+fn live_again() {}\n";
+    let scan = Scan::of(src);
+    assert!(!scan.in_test_region(1), "code before the attribute");
+    assert!(scan.in_test_region(2), "the attribute line itself");
+    assert!(scan.in_test_region(4), "inside the gated block");
+    assert!(scan.in_test_region(5), "the closing brace line");
+    assert!(!scan.in_test_region(6), "code after the block");
+}
+
+#[test]
+fn braceless_gated_item_ends_at_the_semicolon() {
+    let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n";
+    let scan = Scan::of(src);
+    assert!(scan.in_test_region(2));
+    assert!(!scan.in_test_region(3));
+}
+
+#[test]
+fn nested_braces_inside_the_region_do_not_end_it_early() {
+    let src = "\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t() { if true { let x = 1; } }\n\
+    fn u() {}\n\
+}\n\
+fn live() {}\n";
+    let scan = Scan::of(src);
+    assert!(
+        scan.in_test_region(4),
+        "still inside after the nested block"
+    );
+    assert!(!scan.in_test_region(6));
+}
+
+#[test]
+fn only_predicates_requiring_test_make_regions() {
+    // `any(test, feature = "naive")` ships in non-test builds: NOT a
+    // test region. `all(test, unix)` requires test: a region.
+    let any = Scan::of("#[cfg(any(test, feature = \"naive\"))]\nmod m { fn f() {} }\n");
+    assert!(!any.in_test_region(2));
+    let all = Scan::of("#[cfg(all(test, unix))]\nmod m { fn f() {} }\n");
+    assert!(all.in_test_region(2));
+}
+
+// ---- properties ----
+
+proptest! {
+    /// The scanner never panics on arbitrary soups of its trickiest
+    /// characters (lint runs must survive any file the walk hands
+    /// them), and token lines are ordered and in bounds.
+    #[test]
+    fn scan_is_total_and_lines_are_ordered(seed in 0u64..2000, len in 0usize..200) {
+        let src = rand_string(seed, TRICKY, len);
+        let scan = Scan::of(&src);
+        let line_count = u32::try_from(src.split('\n').count()).unwrap();
+        let mut prev = 1;
+        for t in &scan.tokens {
+            prop_assert!(t.line >= prev, "token lines must be non-decreasing");
+            prop_assert!(t.line >= 1 && t.line <= line_count);
+            prev = t.line;
+        }
+    }
+
+    /// Nothing inside a plain string literal ever tokenizes, whatever
+    /// the content (quotes and backslashes excluded: they change the
+    /// literal's extent).
+    #[test]
+    fn string_literal_contents_never_tokenize(seed in 0u64..500, len in 0usize..60) {
+        const BODY: &[char] = &[
+            'a', 'Z', '_', '0', ' ', '.', ':', '(', ')', '{', '}', '#', '\'', '/', '*', '-',
+        ];
+        let body = rand_string(seed, BODY, len);
+        let src = format!("let x = \"{body}\"; fn marker() {{}}");
+        prop_assert_eq!(idents(&src), vec!["let", "x", "fn", "marker"]);
+    }
+
+    /// Raw-string contents never tokenize either, including bare `"`
+    /// and backslashes (the fence is one hash, so only `"#` could
+    /// close it early — squeeze that one pair out).
+    #[test]
+    fn raw_string_contents_never_tokenize(seed in 0u64..500, len in 0usize..60) {
+        const BODY: &[char] = &[
+            'a', 'Z', '_', '0', ' ', '.', ':', '(', ')', '\'', '/', '*', '"', '\\', '-',
+        ];
+        let body = rand_string(seed, BODY, len).replace("\"#", "\" #");
+        let src = format!("let x = r#\"{body}\"#; fn marker() {{}}");
+        prop_assert_eq!(idents(&src), vec!["let", "x", "fn", "marker"]);
+    }
+
+    /// Block comments hide their contents at every nesting depth.
+    #[test]
+    fn nested_comments_hide_contents(seed in 0u64..500, len in 0usize..40, depth in 1usize..5) {
+        const WORDS: &[char] = &['a', 'b', 'z', ' ', '_'];
+        let words = rand_string(seed, WORDS, len);
+        let src = format!(
+            "{}{words}{} fn marker() {{}}",
+            "/* ".repeat(depth),
+            " */".repeat(depth)
+        );
+        prop_assert_eq!(idents(&src), vec!["fn", "marker"]);
+    }
+
+    /// Every line of a `#[cfg(test)] mod` block — and nothing outside
+    /// it — is in the test region, whatever the body size.
+    #[test]
+    fn cfg_test_region_covers_exactly_the_block(stmts in 0usize..8) {
+        let body: String = (0..stmts).map(|i| format!("    fn t{i}() {{ let x = {i}; }}\n")).collect();
+        let src = format!("fn live() {{}}\n#[cfg(test)]\nmod tests {{\n{body}}}\nfn after() {{}}\n");
+        let scan = Scan::of(&src);
+        let close = 4 + u32::try_from(stmts).unwrap();
+        prop_assert!(!scan.in_test_region(1));
+        for l in 2..=close {
+            prop_assert!(scan.in_test_region(l), "line {l} of the gated block");
+        }
+        prop_assert!(!scan.in_test_region(close + 1));
+    }
+}

@@ -1,0 +1,126 @@
+//! Exact-count self-tests for the cross-file semantic passes: each
+//! tree under `fixtures/semantic/` is a miniature workspace with its
+//! own `analyze.toml`, run through the full engine (the same path CI
+//! takes), and every new lint — layering-contract, nondeterminism-
+//! reachability, stale-allow — must fire an exact number of times on
+//! exact lines. Off-by-one here means a lint regressed.
+
+use cws_analyze::engine;
+use cws_analyze::Diagnostic;
+use std::path::PathBuf;
+
+fn run_tree(name: &str) -> engine::Report {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures/semantic")
+        .join(name);
+    engine::run(&root, &[]).expect("fixture tree walks cleanly")
+}
+
+fn count(diags: &[Diagnostic], lint: &str) -> usize {
+    diags.iter().filter(|d| d.lint == lint).count()
+}
+
+#[test]
+fn layering_fixture_fires_exactly_three_times() {
+    let report = run_tree("layering");
+    assert_eq!(
+        report.diagnostics.len(),
+        3,
+        "layering tree must produce exactly its 3 planted violations, got {:#?}",
+        report.diagnostics
+    );
+    assert_eq!(count(&report.diagnostics, "layering-contract"), 3);
+
+    // Violation 1: alpha -> beta inverts the declared layering.
+    let inverted = &report.diagnostics[0];
+    assert_eq!(inverted.file, "crates/alpha/src/lib.rs");
+    assert_eq!(inverted.line, 4);
+    assert!(
+        inverted.message.contains("`cws-alpha` -> `cws-beta`"),
+        "message must carry both endpoints: {}",
+        inverted.message
+    );
+    assert!(inverted.message.contains("{no workspace crates}"));
+
+    // Violation 2: alpha -> gamma, an edge nobody granted.
+    let ungranted = &report.diagnostics[1];
+    assert_eq!(
+        (ungranted.file.as_str(), ungranted.line),
+        ("crates/alpha/src/lib.rs", 8)
+    );
+    assert!(ungranted.message.contains("`cws-alpha` -> `cws-gamma`"));
+
+    // Violation 3: gamma is absent from [deps] entirely.
+    let ungoverned = &report.diagnostics[2];
+    assert_eq!(ungoverned.file, "crates/gamma/src/lib.rs");
+    assert!(ungoverned.message.contains("not declared in [deps]"));
+
+    // The `use cws_delta::fixture` inside `#[cfg(test)]` made no edge.
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| !d.message.contains("cws-delta")));
+}
+
+#[test]
+fn reachability_fixture_separates_flows_from_orphans() {
+    let report = run_tree("reachability");
+
+    // The sampled clock trips both the token lint and reachability; the
+    // orphan clock trips only the token lint (nothing on the output
+    // path calls it).
+    assert_eq!(
+        report.diagnostics.len(),
+        3,
+        "expected 2 wall-clock + 1 reachability, got {:#?}",
+        report.diagnostics
+    );
+    assert_eq!(count(&report.diagnostics, "wall-clock-in-sim"), 2);
+    assert_eq!(count(&report.diagnostics, "nondeterminism-reachability"), 1);
+
+    let flow = report
+        .diagnostics
+        .iter()
+        .find(|d| d.lint == "nondeterminism-reachability")
+        .expect("reachability diagnostic present");
+    assert_eq!(
+        (flow.file.as_str(), flow.line),
+        ("crates/app/src/clock.rs", 6)
+    );
+    // The message prints the full source -> sink chain, every hop.
+    for hop in ["`Instant::now`", "`sample`", "`collect`", "`emit`", "sink"] {
+        assert!(
+            flow.message.contains(hop),
+            "chain missing {hop}: {}",
+            flow.message
+        );
+    }
+
+    // The contract-exempt wall-clock read on the same output path is an
+    // audited path, not a violation.
+    assert_eq!(report.audited_paths.len(), 1, "{:#?}", report.audited_paths);
+    let audited = &report.audited_paths[0];
+    assert_eq!(audited.file, "crates/app/src/timing.rs");
+    assert_eq!(audited.source, "SystemTime::now");
+    assert!(audited.reason.contains("exempts"), "{}", audited.reason);
+    assert!(audited.chain.contains("sink"), "{}", audited.chain);
+}
+
+#[test]
+fn stale_allow_fixture_fires_exactly_twice() {
+    let report = run_tree("stale-allow");
+    assert_eq!(
+        report.diagnostics.len(),
+        2,
+        "only the two dead annotations may fire, got {:#?}",
+        report.diagnostics
+    );
+    assert_eq!(count(&report.diagnostics, "stale-allow"), 2);
+
+    // The dead allow-file and the dead line allow, by comment line; the
+    // load-bearing allow on the real `Instant::now` stays silent.
+    let lines: Vec<u32> = report.diagnostics.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![5, 16]);
+    assert!(report.diagnostics[0].message.contains("unwrap-in-kernel"));
+    assert!(report.diagnostics[1].message.contains("wall-clock-in-sim"));
+}

@@ -17,6 +17,10 @@ use crate::state::{naive, KernelTables, ScheduleBuilder};
 use crate::strategy::Strategy;
 use cws_dag::Workflow;
 use cws_platform::{InstanceType, Platform};
+// This module is compiled only behind `#[cfg(test)]` in lib.rs, so the
+// cws-workloads edge is a dev-dependency, not an architecture layer —
+// the per-file scanner cannot see the gate in lib.rs.
+// cws-lint: allow(layering-contract)
 use cws_workloads::random::{fork_join, layered_dag, ForkJoinShape, LayeredShape};
 use cws_workloads::Scenario;
 use proptest::prelude::*;

@@ -281,6 +281,9 @@ pub fn from_json_value(v: &Value) -> Result<Workflow, InterchangeError> {
 
     // Second pass: edges.
     for (i, t) in tasks.iter().enumerate() {
+        // Invariant: the first pass over `tasks` already rejected any
+        // task whose `id` is missing or not a string.
+        // cws-lint: allow(unwrap-in-kernel)
         let to_id = t.get("id").and_then(Value::as_str).expect("checked above");
         let to = ids[to_id];
         let Some(deps) = t.get("deps") else { continue };

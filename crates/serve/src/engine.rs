@@ -201,6 +201,10 @@ fn drive(platform: &Platform, cfg: &ShardedConfig) -> ReportAccumulator {
             let mut send_next = |tx: &mut Option<crossbeam::channel::Sender<_>>| {
                 if let Some(sender) = tx {
                     if let Some(t) = tickets.next() {
+                        // Invariant: every worker holds the receiver until
+                        // this sender disconnects; a send can only fail if
+                        // a worker panicked, which already aborts the run.
+                        // cws-lint: allow(unwrap-in-kernel)
                         sender.send((sent, t)).expect("workers outlive the stream");
                         sent += 1;
                         return true;
@@ -220,6 +224,10 @@ fn drive(platform: &Platform, cfg: &ShardedConfig) -> ReportAccumulator {
             let mut buffer: BTreeMap<usize, Prepared> = BTreeMap::new();
             let mut next_commit = 0usize;
             while inflight > 0 {
+                // Invariant: `inflight > 0` means some worker still owns a
+                // job and the result sender; recv fails only after a worker
+                // panic, which must abort rather than deadlock.
+                // cws-lint: allow(unwrap-in-kernel)
                 let (idx, p) = res_rx.recv().expect("a worker died with jobs in flight");
                 buffer.insert(idx, p);
                 while let Some(p) = buffer.remove(&next_commit) {
@@ -232,6 +240,9 @@ fn drive(platform: &Platform, cfg: &ShardedConfig) -> ReportAccumulator {
                 }
             }
         })
+        // Invariant: scoped-thread join returns Err only on a panic in
+        // the pipeline closure; propagating it is the correct abort.
+        // cws-lint: allow(unwrap-in-kernel)
         .expect("sharded pipeline thread panicked");
     }
 

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Static-analysis gate (run by the `analyze` CI job, or locally as
+# tools/analyze_check.sh).
+#
+# Four legs:
+#
+#   1. Workspace lint run — `cws-analyze` must be clean (exit 0); the
+#      audited nondeterminism paths are printed for the log so a new
+#      allow/exemption shows up in CI output, not just in the repo.
+#
+#   2. Machine-readable lint table — `--list --format json` must parse
+#      as JSON, every entry must carry name/description/scope, and
+#      every `[lint.<name>]` section in analyze.toml must name a lint
+#      the binary actually registers (a typo in the contract would
+#      silently scope nothing).
+#
+#   3. JSON report — `--format json` must parse, agree with the text
+#      run on violation count (0), and carry the audited_paths array.
+#
+#   4. SARIF report — `--format sarif` must be structurally valid
+#      SARIF 2.1.0: schema/version pinned, one run, unique rule ids,
+#      every result's ruleId declared in the driver rule table. The
+#      file is left at $OUTDIR/analyze.sarif for the code-scanning
+#      upload step.
+#
+# Environment overrides:
+#   OUTDIR — scratch directory (default: target/analyze-check)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUTDIR="${OUTDIR:-target/analyze-check}"
+rm -rf "$OUTDIR"
+mkdir -p "$OUTDIR"
+
+cargo build --release -q -p cws-analyze
+
+analyze() {
+  cargo run --release -q -p cws-analyze -- "$@"
+}
+
+fail=0
+
+# 1. The workspace must be lint-clean, audited paths in the log.
+if analyze --format text --paths; then
+  echo "ok: workspace lint run clean"
+else
+  echo "LINTS: workspace run reported violations" >&2
+  fail=1
+fi
+
+# 2. The lint table is machine-readable and covers the contract.
+analyze --list --format json > "$OUTDIR/lints.json"
+if python3 - "$OUTDIR/lints.json" analyze.toml <<'EOF'
+import json, re, sys
+
+with open(sys.argv[1]) as f:
+    table = json.load(f)
+assert isinstance(table, list) and table, "lint table must be a non-empty array"
+for row in table:
+    for field in ("name", "description", "scope"):
+        assert row.get(field), f"lint row missing {field}: {row}"
+names = {row["name"] for row in table}
+assert len(names) == len(table), "duplicate lint names in --list output"
+
+with open(sys.argv[2]) as f:
+    contract = f.read()
+for section in re.findall(r"^\[lint\.([a-z0-9-]+)\]", contract, re.M):
+    assert section in names, f"analyze.toml scopes unknown lint [lint.{section}]"
+print(f"ok: --list --format json ({len(table)} lints, contract sections all known)")
+EOF
+then :; else
+  echo "LIST: --list --format json failed validation" >&2
+  fail=1
+fi
+
+# 3. The JSON report parses and agrees the workspace is clean.
+analyze --format json > "$OUTDIR/analyze.json" || true
+if python3 - "$OUTDIR/analyze.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["violations"] == len(report["diagnostics"]) == 0, report["diagnostics"][:5]
+assert report["files_scanned"] > 0
+assert isinstance(report["audited_paths"], list)
+for p in report["audited_paths"]:
+    for field in ("file", "line", "source", "reason", "chain"):
+        assert field in p, f"audited path missing {field}: {p}"
+print(f"ok: --format json ({report['files_scanned']} files, "
+      f"{len(report['audited_paths'])} audited paths)")
+EOF
+then :; else
+  echo "JSON: --format json report failed validation" >&2
+  fail=1
+fi
+
+# 4. The SARIF log is structurally valid 2.1.0.
+analyze --format sarif > "$OUTDIR/analyze.sarif" || true
+if python3 - "$OUTDIR/analyze.sarif" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    log = json.load(f)
+assert log["$schema"] == "https://json.schemastore.org/sarif-2.1.0.json"
+assert log["version"] == "2.1.0"
+assert len(log["runs"]) == 1, "exactly one run per invocation"
+run = log["runs"][0]
+driver = run["tool"]["driver"]
+assert driver["name"] == "cws-analyze"
+ids = [r["id"] for r in driver["rules"]]
+assert len(ids) == len(set(ids)), "duplicate rule ids"
+assert all(r["shortDescription"]["text"] for r in driver["rules"])
+for res in run["results"]:
+    assert res["ruleId"] in ids, f"undeclared ruleId {res['ruleId']}"
+    assert res["level"] == "error"
+    loc = res["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    assert loc["region"]["startLine"] >= 1
+print(f"ok: --format sarif ({len(ids)} rules, {len(run['results'])} results)")
+EOF
+then :; else
+  echo "SARIF: --format sarif failed structural validation" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "analyze check FAILED — see lines above" >&2
+  exit 1
+fi
+echo "analyze check clean: lints + list + json + sarif"
