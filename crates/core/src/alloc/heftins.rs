@@ -40,7 +40,7 @@ pub fn heft_insertion(
         if pool.len() < machines {
             // Compare the best existing insertion against a fresh slot.
             let fresh_ready = sb.ready_time(task, None, itype, platform.default_region);
-            let fresh_finish = fresh_ready.max(platform.boot_time_s) + sb.exec_time(task, itype);
+            let fresh_finish = fresh_ready + platform.boot_time_s + sb.exec_time(task, itype);
             match best_insertion(&sb, task, itype, &pool) {
                 Some((vm, fe)) if fe <= fresh_finish + 1e-9 => {
                     sb.place_on_inserted(task, vm);

@@ -94,7 +94,7 @@ pub fn heft_pool(wf: &Workflow, platform: &Platform, pool: &PoolSpec) -> Schedul
                 .iter()
                 .map(|&t| {
                     let ready = probe.ready_fresh(t, platform.default_region);
-                    let finish = ready.max(platform.boot_time_s) + sb.exec_time(task, t);
+                    let finish = ready + platform.boot_time_s + sb.exec_time(task, t);
                     (t, finish)
                 })
                 .min_by(|a, b| {

@@ -76,7 +76,7 @@ pub fn list_schedule(
                 }
                 if pool.len() < machines {
                     let ready_t = batch.fresh_ready(itype, platform.default_region);
-                    let f = ready_t.max(platform.boot_time_s) + sb.exec_time(t, itype);
+                    let f = ready_t + platform.boot_time_s + sb.exec_time(t, itype);
                     if f < best.1 {
                         best = (None, f);
                     }

@@ -17,6 +17,7 @@
 //! | [`mod@hcoc`] | HCOC-style hybrid private+public bursting | b-level clusters | deadline-driven public rent |
 //! | [`mod@heftins`] | insertion-based HEFT on a fixed pool | upward-rank priority | idle-gap insertion |
 //! | [`minmin`] | Min-Min / Max-Min ready-list scheduling | earliest-completion extremes | fixed pool |
+//! | [`spot_heft`] | checkpoint-aware spot-market HEFT | upward-rank priority | risk-adjusted EFT + marginal spot cost |
 
 pub mod botpack;
 pub mod cpa;
@@ -31,6 +32,7 @@ pub mod onelns;
 pub mod pch;
 pub mod ranking;
 pub mod sheft;
+pub mod spot_heft;
 
 pub use botpack::bot_ffd;
 pub use cpa::{cpa_eager, cpa_eager_with};
@@ -45,3 +47,4 @@ pub use onelns::{all_par_1lns, all_par_1lns_dyn, all_par_1lns_dyn_with, all_par_
 pub use pch::pch;
 pub use ranking::{best_insertion, min_finish, rank_order_by};
 pub use sheft::{sheft_deadline, DeadlineOutcome};
+pub use spot_heft::{spot_heft, spot_heft_with};

@@ -843,8 +843,9 @@ impl<'a> ScheduleBuilder<'a> {
     }
 
     /// Rent a fresh VM in the platform's default region and place `task`
-    /// on it. The rental opens when the task starts (pre-booted for free,
-    /// as in the paper's static setting, plus any configured boot time).
+    /// on it. The rental opens at the decision time (the task's data-ready
+    /// instant) and the task starts once the configured boot delay has
+    /// elapsed — a mid-schedule rental is never pre-booted for free.
     pub fn place_on_new(&mut self, task: TaskId, itype: InstanceType) -> VmId {
         self.place_on_new_in(task, itype, self.platform.default_region)
     }
@@ -853,15 +854,20 @@ impl<'a> ScheduleBuilder<'a> {
     pub fn place_on_new_in(&mut self, task: TaskId, itype: InstanceType, region: Region) -> VmId {
         let id = VmId(self.vms.len() as u32);
         let ready = self.ready_time(task, None, itype, region);
-        let start = ready.max(self.platform.boot_time_s);
-        let mut vm = Vm::new(id, itype, region, start);
+        let start = ready + self.platform.boot_time_s;
+        let mut vm = Vm::new(id, itype, region, ready);
         let finish = start + self.exec_time(task, itype);
         vm.push_task(task, start, finish);
         self.vms.push(vm);
         self.vm_avail.push(self.vms[id.index()].available_at());
         self.vm_key.push(key_idx(region, itype) as u16);
         self.origins.push(None);
-        let mut gaps = VmGaps::new(self.platform.boot_time_s);
+        // At boot 0 the gap index opens at 0 (the paper's pre-provisioned
+        // fleet: insertion strategies may fill any pre-start idle). With a
+        // non-zero boot there is no usable time before the first task —
+        // the machine is still booting — so the index opens at `start`.
+        let open = if self.platform.boot_time_s == 0.0 { 0.0 } else { start };
+        let mut gaps = VmGaps::new(open);
         gaps.note_append(start, finish);
         self.gaps.push(gaps);
         self.refresh_busiest(id);
@@ -883,8 +889,9 @@ impl<'a> ScheduleBuilder<'a> {
     ///
     /// A slot is eligible when it has the requested type and `task`
     /// could start on it no later than on a fresh rental (whose first
-    /// task waits out [`Platform::boot_time_s`] — so a longer boot delay
-    /// makes warm reuse strictly more attractive). With `require_fit`
+    /// task waits out [`Platform::boot_time_s`] *after* its data is
+    /// ready — so a longer boot delay makes warm reuse strictly more
+    /// attractive). With `require_fit`
     /// (the NotExceed policies) the task must additionally fit in the
     /// slot's current partially-consumed BTU. Ties prefer the earlier
     /// start, then the slot deeper into its BTU (pack paid time), then
@@ -905,7 +912,7 @@ impl<'a> ScheduleBuilder<'a> {
             .filter_map(|(i, slot)| {
                 let ready = probe.ready_fresh(itype, slot.region);
                 let start = ready.max(slot.available_rel);
-                let fresh_start = ready.max(self.platform.boot_time_s);
+                let fresh_start = ready + self.platform.boot_time_s;
                 let beats_fresh = start <= fresh_start + EPS;
                 let fits = !require_fit || fits_in_current_btu(slot.btu_elapsed, duration);
                 (beats_fresh && fits).then_some((i, slot, start))
@@ -950,10 +957,13 @@ impl<'a> ScheduleBuilder<'a> {
         self.vm_avail.push(self.vms[id.index()].available_at());
         self.vm_key.push(key_idx(region, itype) as u16);
         self.origins.push(Some(slot));
-        // A claimed slot may start before `boot_time_s`; `note_append`
-        // then opens no gap, matching the naive scan whose cursor starts
-        // at the boot time.
-        let mut gaps = VmGaps::new(self.platform.boot_time_s);
+        // A claimed slot is already booted, so its first task may start
+        // before a fresh rental could. As with fresh rentals, no usable
+        // idle exists before the first task, so the gap index opens
+        // where the task starts (at 0 under the paper's zero-boot
+        // setting, matching the naive scan's cursor).
+        let open = if self.platform.boot_time_s == 0.0 { 0.0 } else { start };
+        let mut gaps = VmGaps::new(open);
         gaps.note_append(start, finish);
         self.gaps.push(gaps);
         self.refresh_busiest(id);
@@ -1530,8 +1540,15 @@ pub mod naive {
         let ready = ready_time(sb, task, Some(vm), v.itype, v.region);
         let duration = exec_time(sb, task, v.itype);
         // Candidate gaps: before the first task, between consecutive
-        // tasks, after the last (v.tasks is chronological).
-        let mut cursor = sb.platform.boot_time_s;
+        // tasks, after the last (v.tasks is chronological). At boot 0
+        // the machine is usable from time 0 (pre-provisioned fleet);
+        // with a non-zero boot no usable idle exists before the first
+        // task, so the scan starts there — mirroring `VmGaps::new`.
+        let mut cursor = if sb.platform.boot_time_s == 0.0 {
+            0.0
+        } else {
+            v.tasks.first().map_or(0.0, |&(_, s, _)| s)
+        };
         for &(_, s, e) in &v.tasks {
             let start = cursor.max(ready);
             if start + duration <= s + EPS {

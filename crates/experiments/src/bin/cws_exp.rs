@@ -57,7 +57,7 @@
 use cws_experiments::report::Table;
 use cws_experiments::{
     ablation, boundaries, characterize, corent, data_intensive, energy, failures, fig3, fig4, fig5,
-    fleet, frontier, robustness, sensitivity, service_sweep, summary, table3, table4, table5,
+    fleet, frontier, robustness, sensitivity, service_sweep, spot, summary, table3, table4, table5,
     tables, trace_sweep, ExperimentConfig,
 };
 use cws_obs as obs;
@@ -77,6 +77,17 @@ static ARTIFACTS: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
 
 fn note_artifact(path: PathBuf) {
     ARTIFACTS.lock().expect("artifact list poisoned").push(path);
+}
+
+/// Spot-market parameters of this run, if any command priced spot
+/// instances — stamped into the manifest's `spot_market` field.
+static SPOT_MARKET: Mutex<Option<String>> = Mutex::new(None);
+
+fn note_spot_market(market: cws_platform::SpotMarket) {
+    *SPOT_MARKET.lock().expect("spot market poisoned") = Some(format!(
+        "fraction={},hazard={}",
+        market.price_fraction, market.hourly_interruption_prob
+    ));
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,7 +133,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: cws-exp <fig3|fig4|fig5|table3|table4|table5|corent|catalog|prices\
-         |frontier|ablation|boundaries|grid|workloads|fleet|gantt|sensitivity|robustness|failures|energy|data|summary|service|all> \
+         |frontier|ablation|boundaries|grid|workloads|fleet|gantt|sensitivity|robustness|failures|spot|energy|data|summary|service|all> \
          [--seed N] [--out DIR] [--format ascii|csv|gnuplot] [--threads N] [--json] \
          [--trace FILE] [--metrics] [--manifest]\n       \
          cws-exp serve [--engine legacy|sharded] [--shards N] [--report full|summary] \
@@ -850,6 +861,25 @@ fn main() {
                 args,
             );
         }
+        "spot" => {
+            // The realized spot frontier: all 19 paper pairings plus
+            // the checkpoint-aware SpotHEFT planner, replayed under
+            // sampled evictions. `spot_frontier` replays each plan
+            // itself, so the sim cross-check stays off here (a second
+            // replay would double the trace's event stream).
+            let quiet = ExperimentConfig {
+                validate_with_sim: false,
+                ..config.clone()
+            };
+            let market = cws_platform::SpotMarket::default();
+            note_spot_market(market);
+            let rows = spot::spot_frontier(&quiet, &montage_24(), market, args.threads);
+            emit(
+                &spot::spot_frontier_report("montage-24", market, &rows),
+                "spot_vs_ondemand",
+                args,
+            );
+        }
         "energy" => {
             let quiet = ExperimentConfig {
                 validate_with_sim: false,
@@ -988,6 +1018,7 @@ fn main() {
             "sensitivity",
             "robustness",
             "failures",
+            "spot",
             "energy",
             "data",
             "service",
@@ -1022,6 +1053,14 @@ fn main() {
             .iter()
             .map(cws_core::Strategy::label)
             .collect();
+        base.spot_market = SPOT_MARKET.lock().expect("spot market poisoned").clone();
+        if base.spot_market.is_some() {
+            base.policies.extend(
+                cws_platform::InstanceType::ALL
+                    .iter()
+                    .map(|it| format!("SpotHEFT-{}", it.suffix())),
+            );
+        }
         base.workloads = cws_workloads::paper_workflows()
             .iter()
             .map(|w| w.name().to_string())

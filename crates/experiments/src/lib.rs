@@ -15,9 +15,11 @@
 //! ASCII/CSV/gnuplot emitters. Beyond the paper: [`ablation`] sweeps the
 //! design knobs DESIGN.md calls out, [`sensitivity`] re-draws the Pareto
 //! runtimes across seeds, [`robustness`] replays every plan under
-//! runtime jitter, and [`service_sweep`] runs the strategies as an
+//! runtime jitter, [`service_sweep`] runs the strategies as an
 //! online multi-tenant service with a shared warm-VM pool
-//! (`cws-service`).
+//! (`cws-service`), and [`spot`] replays every plan — plus the
+//! checkpoint-aware spot-HEFT planner — under sampled spot-market
+//! evictions to chart realized cost against on-demand.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -39,6 +41,7 @@ pub mod robustness;
 pub mod run;
 pub mod sensitivity;
 pub mod service_sweep;
+pub mod spot;
 pub mod summary;
 pub mod sweep;
 pub mod table3;

@@ -85,6 +85,9 @@ pub struct RunManifest {
     pub policies: Vec<String>,
     /// Workload names the run scheduled.
     pub workloads: Vec<String>,
+    /// Spot-market parameters when the run priced spot instances
+    /// (e.g. `"fraction=0.3,hazard=0.05"`); `None` for on-demand runs.
+    pub spot_market: Option<String>,
     /// File names produced alongside this manifest.
     pub artifacts: Vec<String>,
     /// Final metrics of the run (empty when metrics were disabled).
@@ -137,6 +140,9 @@ impl RunManifest {
         );
         let _ = writeln!(out, "  \"policies\": [{}],", str_list(&self.policies));
         let _ = writeln!(out, "  \"workloads\": [{}],", str_list(&self.workloads));
+        if let Some(spot) = &self.spot_market {
+            let _ = writeln!(out, "  \"spot_market\": {},", json_str(spot));
+        }
         let _ = writeln!(out, "  \"artifacts\": [{}],", str_list(&self.artifacts));
         let _ = writeln!(out, "  \"metrics\": {}", self.metrics.to_json());
         out.push('}');

@@ -85,6 +85,17 @@ pub mod names {
     pub const SERVICE_FLEET_VMS: &str = "service.fleet_vms";
     /// BTUs billed over a service run.
     pub const SERVICE_FLEET_BTUS: &str = "service.fleet_btus";
+    /// Spot interruptions sampled by `cws-sim` spot replays.
+    pub const SPOT_INTERRUPTIONS: &str = "spot.interruptions";
+    /// Tasks re-executed from their checkpoint after a spot eviction.
+    pub const SPOT_RECOVERED_TASKS: &str = "spot.recovered_tasks";
+    /// Expected total cost (spot BTUs + on-demand recovery) of the most
+    /// recent spot run, USD.
+    pub const RUN_SPOT_COST_USD: &str = "run.spot_cost_usd";
+    /// Fractional saving of the most recent spot run versus its
+    /// on-demand twin (`1 − spot / on_demand`); negative when the
+    /// hazard made spot more expensive.
+    pub const RUN_SPOT_SAVINGS_FRAC: &str = "run.spot_savings_frac";
 }
 
 /// Monotonically increasing `u64` counter.

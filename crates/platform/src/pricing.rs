@@ -226,4 +226,51 @@ mod tests {
         assert!(b.billable(10_240.0)); // inclusive upper bound
         assert!(!b.billable(10_241.0));
     }
+
+    // Regression pins for DESIGN §3's `(1 GB, 10 TB]` rule: both band
+    // boundaries must land on exactly the documented side.
+
+    #[test]
+    fn exactly_one_gb_monthly_volume_is_free() {
+        let b = TransferBracket::default();
+        assert!(
+            !b.billable(1.0),
+            "exactly 1 GB must be free: the bracket is exclusive below"
+        );
+        // transfer_cost agrees: the month's first GB never bills, even
+        // when it arrives as many small moves that sum to exactly 1 GB.
+        let c = cat();
+        let mut so_far = 0.0;
+        let mut cost = 0.0;
+        for _ in 0..4 {
+            cost += c.transfer_cost(Region::UsEastVirginia, Region::EuDublin, 0.25, so_far);
+            so_far += 0.25;
+        }
+        assert_eq!(cost, 0.0, "cumulative volume of exactly 1 GB is free");
+    }
+
+    #[test]
+    fn exactly_ten_tb_monthly_volume_is_charged() {
+        let b = TransferBracket::default();
+        assert!(
+            b.billable(10_240.0),
+            "exactly 10 TB must be charged: the bracket is inclusive above"
+        );
+        let c = cat();
+        // The GB that lands the monthly total exactly on 10 TB is billed
+        // in full; the very next GB is not.
+        let last_in = c.transfer_cost(Region::UsEastVirginia, Region::EuDublin, 1.0, 10_239.0);
+        assert!((last_in - 0.12).abs() < 1e-12);
+        let first_out = c.transfer_cost(Region::UsEastVirginia, Region::EuDublin, 1.0, 10_240.0);
+        assert_eq!(first_out, 0.0);
+    }
+
+    #[test]
+    fn transfer_straddling_both_boundaries_clips_to_bracket() {
+        let c = cat();
+        // One huge move from 0 past the cap bills exactly the bracket
+        // width (10 TB − 1 GB), no more and no less.
+        let cost = c.transfer_cost(Region::UsEastVirginia, Region::EuDublin, 20_000.0, 0.0);
+        assert!((cost - (10_240.0 - 1.0) * 0.12).abs() < 1e-9);
+    }
 }

@@ -7,6 +7,7 @@
 //! probability per hour. Combined with the failure-impact analysis in
 //! the simulator crate, it prices the discount-vs-reliability trade-off.
 
+use crate::billing::btus_for_span;
 use crate::instance::InstanceType;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -60,9 +61,16 @@ impl SpotMarket {
 
     /// Probability a spot VM survives `hours` hours uninterrupted
     /// (geometric survival).
+    ///
+    /// # Panics
+    /// Panics if `hours` is negative or not finite — a NaN here would
+    /// silently poison every downstream frontier figure.
     #[must_use]
     pub fn survival_probability(&self, hours: f64) -> f64 {
-        assert!(hours >= 0.0, "hours must be non-negative");
+        assert!(
+            hours.is_finite() && hours >= 0.0,
+            "hours must be finite and non-negative, got {hours}"
+        );
         (1.0 - self.hourly_interruption_prob).powf(hours)
     }
 
@@ -71,6 +79,14 @@ impl SpotMarket {
     /// running hour's work and restarts it (a simple memoryless retry
     /// model). With survival probability `s` per hour, each wall-clock
     /// hour of useful work costs on average `1/s` attempted hours.
+    ///
+    /// Billable hours come from [`btus_for_span`], so the edge cases
+    /// match the on-demand meter exactly: a zero span still rents one
+    /// BTU, and a span landing on a BTU multiple (within the billing
+    /// epsilon) does not round up to an extra hour.
+    ///
+    /// # Panics
+    /// Panics if `busy_seconds` is negative or not finite.
     #[must_use]
     pub fn expected_cost(
         &self,
@@ -78,10 +94,23 @@ impl SpotMarket {
         on_demand_small: f64,
         busy_seconds: f64,
     ) -> f64 {
-        let hours = (busy_seconds / 3600.0).ceil().max(1.0);
+        assert!(
+            busy_seconds.is_finite() && busy_seconds >= 0.0,
+            "busy seconds must be finite and non-negative, got {busy_seconds}"
+        );
+        let hours = btus_for_span(busy_seconds) as f64;
         let per_hour = self.price(on_demand_small * f64::from(itype.price_multiplier()));
         let survival = 1.0 - self.hourly_interruption_prob;
         per_hour * hours / survival
+    }
+
+    /// Expected price of **one** BTU of useful work on this market given
+    /// the on-demand per-BTU price, retries included: `od × fraction /
+    /// (1 − p)`. This is the per-BTU coefficient the spot-HEFT planner
+    /// weighs against the on-demand price when scoring candidates.
+    #[must_use]
+    pub fn expected_btu_price(&self, on_demand: f64) -> f64 {
+        self.price(on_demand) / (1.0 - self.hourly_interruption_prob)
     }
 
     /// Sample interruption times for a VM running `span_seconds`,
@@ -175,5 +204,64 @@ mod tests {
     #[should_panic(expected = "price fraction")]
     fn zero_price_rejected() {
         let _ = SpotMarket::new(0.0, 0.1);
+    }
+
+    #[test]
+    fn zero_hazard_is_plain_discounted_pricing() {
+        let m = SpotMarket::new(0.3, 0.0);
+        assert!((m.survival_probability(0.0) - 1.0).abs() < 1e-12);
+        assert!((m.survival_probability(1000.0) - 1.0).abs() < 1e-12);
+        // no retries: expected cost is exactly hours × spot price
+        let cost = m.expected_cost(InstanceType::Small, 0.08, 7200.0);
+        assert!((cost - 2.0 * 0.3 * 0.08).abs() < 1e-12);
+        assert!((m.expected_btu_price(0.08) - 0.024).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_span_still_rents_one_btu() {
+        let m = SpotMarket::new(0.3, 0.05);
+        let cost = m.expected_cost(InstanceType::Small, 0.08, 0.0);
+        let one_btu = m.expected_cost(InstanceType::Small, 0.08, 1800.0);
+        assert!(cost.is_finite() && cost > 0.0);
+        assert!((cost - one_btu).abs() < 1e-12, "zero span bills one BTU");
+    }
+
+    #[test]
+    fn exact_btu_multiple_does_not_round_up() {
+        let m = SpotMarket::new(0.3, 0.05);
+        // spans exactly on the BTU boundary bill that many BTUs, not +1 —
+        // same epsilon rule as the on-demand meter.
+        let one = m.expected_cost(InstanceType::Small, 0.08, 3600.0);
+        let two = m.expected_cost(InstanceType::Small, 0.08, 7200.0);
+        assert!((two - 2.0 * one).abs() < 1e-12);
+        let just_over = m.expected_cost(InstanceType::Small, 0.08, 3600.0 + 1.0);
+        assert!((just_over - two).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_cost_is_finite_across_the_valid_grid() {
+        for &frac in &[1e-6, 0.3, 1.0] {
+            for &hazard in &[0.0, 0.5, 1.0 - 1e-9] {
+                let m = SpotMarket::new(frac, hazard);
+                for &span in &[0.0, 1.0, 3600.0, 1e9] {
+                    let c = m.expected_cost(InstanceType::XLarge, 0.08, span);
+                    assert!(c.is_finite() && c >= 0.0, "frac={frac} p={hazard} span={span} -> {c}");
+                    let s = m.survival_probability(span / 3600.0);
+                    assert!(s.is_finite() && (0.0..=1.0).contains(&s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "busy seconds")]
+    fn negative_span_rejected() {
+        let _ = SpotMarket::default().expected_cost(InstanceType::Small, 0.08, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hours")]
+    fn nan_survival_hours_rejected() {
+        let _ = SpotMarket::default().survival_probability(f64::NAN);
     }
 }

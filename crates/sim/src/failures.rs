@@ -14,6 +14,7 @@
 //!   the extra rent.
 
 use crate::engine::simulate;
+use crate::report::SimReport;
 use cws_core::{Schedule, VmId};
 use cws_dag::{TaskId, Workflow};
 use cws_platform::{billing::btus_for_span, InstanceType, Platform};
@@ -57,7 +58,20 @@ pub fn failure_impact(
     schedule: &Schedule,
     failures: &[VmFailure],
 ) -> FailureImpact {
-    let report = simulate(wf, platform, schedule);
+    failure_impact_from(wf, schedule, &simulate(wf, platform, schedule), failures)
+}
+
+/// [`failure_impact`] on an already-replayed plan. Callers that need
+/// several analyses of one schedule (or that record traces, where every
+/// extra replay would pollute the event stream) simulate once and share
+/// the report.
+#[must_use]
+pub fn failure_impact_from(
+    wf: &Workflow,
+    schedule: &Schedule,
+    report: &SimReport,
+    failures: &[VmFailure],
+) -> FailureImpact {
     let fail_time = |vm: VmId| -> f64 {
         failures
             .iter()
@@ -131,6 +145,20 @@ pub fn recover(
     itype: InstanceType,
 ) -> Recovery {
     let report = simulate(wf, platform, schedule);
+    recover_from(wf, platform, &report, impact, restart_at, itype)
+}
+
+/// [`recover`] on an already-replayed plan — same sharing rationale as
+/// [`failure_impact_from`].
+#[must_use]
+pub fn recover_from(
+    wf: &Workflow,
+    platform: &Platform,
+    report: &SimReport,
+    impact: &FailureImpact,
+    restart_at: f64,
+    itype: InstanceType,
+) -> Recovery {
     let mut finish = vec![0.0f64; wf.len()];
     for t in wf.ids() {
         if impact.completed[t.index()] {

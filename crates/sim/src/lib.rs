@@ -21,9 +21,13 @@ pub mod failures;
 pub mod jitter;
 pub mod queue;
 pub mod report;
+pub mod spot;
 
 pub use engine::{simulate, Simulator};
-pub use failures::{failure_impact, recover, FailureImpact, Recovery, VmFailure};
+pub use failures::{
+    failure_impact, failure_impact_from, recover, recover_from, FailureImpact, Recovery, VmFailure,
+};
+pub use spot::{replay_spot, SpotReplay};
 pub use jitter::{robustness, JitterModel, RobustnessReport};
 pub use queue::{EventQueue, TimedEvent};
 pub use report::{SimEvent, SimReport, VerifyError};

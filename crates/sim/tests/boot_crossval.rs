@@ -1,0 +1,62 @@
+//! Regression gate for the planner/simulator boot-delay divergence:
+//! with a non-zero [`Platform::boot_time_s`] every paper pairing (and
+//! the spot-HEFT planner) must still replay to *exactly* its analytic
+//! plan. Before the boot-aware provisioning fix, policies that opened
+//! mid-schedule rentals planned starts at the decision time while the
+//! engine booted the VM first — this test pins the two models together
+//! at a realistic 120 s EC2 boot delay.
+
+use cws_core::alloc::spot_heft;
+use cws_core::Strategy;
+use cws_platform::{InstanceType, Platform, SpotMarket};
+use cws_sim::verify;
+use cws_workloads::{paper_workflows, Scenario};
+
+#[test]
+fn every_pairing_replays_exactly_at_120s_boot() {
+    let p = Platform::ec2_paper().with_boot_time(120.0);
+    for base in paper_workflows() {
+        let wf = Scenario::Pareto { seed: 42 }.apply(&base);
+        for strategy in Strategy::paper_set() {
+            let s = strategy.schedule(&wf, &p);
+            verify(&wf, &p, &s, 1e-6).unwrap_or_else(|e| {
+                panic!(
+                    "{} diverged on {} at boot 120 s: {e}",
+                    strategy.label(),
+                    base.name()
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn spot_heft_replays_exactly_at_120s_boot() {
+    let p = Platform::ec2_paper().with_boot_time(120.0);
+    for base in paper_workflows() {
+        let wf = Scenario::Pareto { seed: 42 }.apply(&base);
+        for itype in InstanceType::ALL {
+            let s = spot_heft(&wf, &p, &SpotMarket::default(), itype);
+            verify(&wf, &p, &s, 1e-6).unwrap_or_else(|e| {
+                panic!(
+                    "SpotHEFT-{} diverged on {} at boot 120 s: {e}",
+                    itype.suffix(),
+                    base.name()
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn boot_delay_shows_up_in_the_simulated_makespan() {
+    // Sanity that the gate bites: the delay is genuinely modelled, not
+    // cancelled to zero on both sides. A single-task workflow pays the
+    // boot wait in full.
+    let wf = Scenario::BestCase.apply(&cws_workloads::sequential(1));
+    let free = Strategy::BASELINE.schedule(&wf, &Platform::ec2_paper());
+    let slow_p = Platform::ec2_paper().with_boot_time(120.0);
+    let slow = Strategy::BASELINE.schedule(&wf, &slow_p);
+    assert!((slow.makespan() - (free.makespan() + 120.0)).abs() < 1e-9);
+    verify(&wf, &slow_p, &slow, 1e-6).expect("boot-aware plan replays exactly");
+}

@@ -27,7 +27,7 @@
 #
 # Environment overrides:
 #   SEEDS  — space-separated seed list        (default: "7 42 1337")
-#   FIGS   — space-separated cws-exp commands (default: "fig4 fig5")
+#   FIGS   — space-separated cws-exp commands (default: "fig4 fig5 spot")
 #   SHARDS — shard counts for the serve leg   (default: "1 2 8")
 #   OUTDIR — scratch directory               (default: target/seed-matrix)
 
@@ -35,7 +35,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SEEDS="${SEEDS:-7 42 1337}"
-FIGS="${FIGS:-fig4 fig5}"
+# `spot` sweeps the realized spot frontier (19 pairings + SpotHEFT,
+# sampled evictions + checkpoint recovery) — the eviction sampling is
+# seeded per VM, so it is held to the same byte-identity bar.
+FIGS="${FIGS:-fig4 fig5 spot}"
 SHARDS="${SHARDS:-1 2 8}"
 OUTDIR="${OUTDIR:-target/seed-matrix}"
 
